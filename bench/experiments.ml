@@ -1,0 +1,583 @@
+(* The experiment suite E1-E8 (see DESIGN.md §2): every table of the
+   paper's evaluation (Table 2) and every observation of §4 backed by
+   tech report data is regenerated here, plus the ratio-problem and
+   Howard-bound extensions. *)
+
+type config = {
+  sizes : int list;         (* node counts n *)
+  densities : float list;   (* m / n *)
+  seeds : int list;
+  cell_budget_ms : float;   (* one-seed soft budget per (alg, instance) *)
+  circuits : (string * int) list;
+}
+
+let quick_config =
+  {
+    sizes = [ 256; 512; 1024 ];
+    densities = [ 1.0; 1.5; 2.0; 2.5; 3.0 ];
+    seeds = [ 1; 2; 3 ];
+    cell_budget_ms = 5_000.0;
+    circuits =
+      List.filter (fun (_, r) -> r <= 650) Circuit.benchmark_suite;
+  }
+
+let full_config =
+  {
+    sizes = [ 512; 1024; 2048; 4096; 8192 ];
+    densities = [ 1.0; 1.5; 2.0; 2.5; 3.0 ];
+    seeds = [ 1; 2; 3 ];
+    cell_budget_ms = 60_000.0;
+    circuits = Circuit.benchmark_suite;
+  }
+
+let instance ~n ~density ~seed =
+  let m = max n (int_of_float (Float.round (density *. float_of_int n))) in
+  Sprand.generate ~seed ~n ~m ()
+
+let grid cfg f =
+  List.iter
+    (fun n -> List.iter (fun density -> f ~n ~density) cfg.densities)
+    cfg.sizes
+
+(* memory guard: the Karp-table family allocates (n+1)·n words per
+   table; refuse beyond this budget, as the paper's N/A entries did *)
+let memory_budget_words = 600_000_000
+
+let table_words n = (n + 1) * n
+
+let needs_too_much_memory alg n =
+  match alg with
+  | Registry.Karp | Registry.Dg -> table_words n > memory_budget_words
+  | Registry.Ho -> 2 * table_words n > memory_budget_words
+  | Registry.Burns | Registry.Ko | Registry.Yto | Registry.Howard
+  | Registry.Lawler | Registry.Karp2 | Registry.Oa1 | Registry.Oa2 -> false
+
+(* per-(algorithm, density) blow-up memo: once an algorithm exceeds 5x
+   the cell budget at some n, larger n at the same density are skipped,
+   like the paper's "could not get a result in a day" entries *)
+let blown : (string * float, unit) Hashtbl.t = Hashtbl.create 16
+
+let run_cell cfg ~alg ~n ~density =
+  if needs_too_much_memory alg n then None
+  else if Hashtbl.mem blown (Registry.name alg, density) then None
+  else begin
+    let times = ref [] in
+    let budget_hit = ref false in
+    List.iter
+      (fun seed ->
+        if not !budget_hit then begin
+          let g = instance ~n ~density ~seed in
+          let dt =
+            Timing.time_ms ~reps:(if n <= 512 then 3 else 1) (fun () ->
+                ignore (Registry.minimum_cycle_mean alg g))
+          in
+          times := dt :: !times;
+          if dt > cfg.cell_budget_ms then budget_hit := true
+        end)
+      cfg.seeds;
+    let avg = Timing.mean !times in
+    if avg > 5.0 *. cfg.cell_budget_ms then
+      Hashtbl.replace blown (Registry.name alg, density) ();
+    Some avg
+  end
+
+(* ------------------------------------------------------------------ *)
+(* E1: the minimum cycle mean vs the graph parameters (§4.1)           *)
+(* ------------------------------------------------------------------ *)
+
+let e1 cfg =
+  let rows = ref [] in
+  grid cfg (fun ~n ~density ->
+      let lambdas =
+        List.map
+          (fun seed ->
+            let g = instance ~n ~density ~seed in
+            let lambda, _ = Registry.minimum_cycle_mean Registry.Howard g in
+            Ratio.to_float lambda)
+          cfg.seeds
+      in
+      rows :=
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" density;
+          Printf.sprintf "%.1f" (Timing.mean lambdas);
+        ]
+        :: !rows);
+  Tables.print
+    ~title:
+      "E1 (§4.1): minimum cycle mean on SPRAND graphs — nearly independent \
+       of n, decreasing in density m/n"
+    ~header:[ "n"; "m/n"; "avg lambda*" ]
+    (List.rev !rows);
+  print_endline
+    "  expectation: each column block shows lambda* shrinking as m/n grows,\n\
+    \  and staying within the same range as n changes at fixed density."
+
+(* ------------------------------------------------------------------ *)
+(* E2: KO vs YTO heap operations (§4.2)                                *)
+(* ------------------------------------------------------------------ *)
+
+let e2 cfg =
+  let rows = ref [] in
+  grid cfg (fun ~n ~density ->
+      let acc_ko = Stats.create () and acc_yto = Stats.create () in
+      let t_ko = ref [] and t_yto = ref [] in
+      List.iter
+        (fun seed ->
+          let g = instance ~n ~density ~seed in
+          let s = Stats.create () in
+          let dt = Timing.time_ms (fun () -> ignore (Ko.minimum_cycle_mean ~stats:s g)) in
+          (* time_ms may run the solver several times; rebuild stats once *)
+          Stats.reset s;
+          ignore (Ko.minimum_cycle_mean ~stats:s g);
+          Stats.add acc_ko s;
+          t_ko := dt :: !t_ko;
+          let s = Stats.create () in
+          let dt = Timing.time_ms (fun () -> ignore (Yto.minimum_cycle_mean ~stats:s g)) in
+          Stats.reset s;
+          ignore (Yto.minimum_cycle_mean ~stats:s g);
+          Stats.add acc_yto s;
+          t_yto := dt :: !t_yto)
+        cfg.seeds;
+      let k = List.length cfg.seeds in
+      let per x = x / k in
+      rows :=
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" density;
+          string_of_int (per acc_ko.Stats.iterations);
+          string_of_int (per acc_ko.Stats.heap.Heap_stats.inserts);
+          string_of_int (per acc_yto.Stats.heap.Heap_stats.inserts);
+          string_of_int (per acc_ko.Stats.heap.Heap_stats.decrease_keys);
+          string_of_int (per acc_yto.Stats.heap.Heap_stats.decrease_keys);
+          Tables.fmt_ms (Timing.mean !t_ko);
+          Tables.fmt_ms (Timing.mean !t_yto);
+        ]
+        :: !rows);
+  Tables.print
+    ~title:
+      "E2 (§4.2): KO vs YTO — same pivots, fewer heap operations for YTO \
+       (savings grow with density)"
+    ~header:
+      [ "n"; "m/n"; "pivots"; "KO ins"; "YTO ins"; "KO dec"; "YTO dec";
+        "KO ms"; "YTO ms" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E3: iteration counts (§4.3)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e3 cfg =
+  let rows = ref [] in
+  grid cfg (fun ~n ~density ->
+      let iters solve =
+        let xs =
+          List.map
+            (fun seed ->
+              let g = instance ~n ~density ~seed in
+              let s = Stats.create () in
+              ignore (solve ~stats:s g);
+              s)
+            cfg.seeds
+        in
+        xs
+      in
+      let avg f xs =
+        List.fold_left (fun a s -> a + f s) 0 xs / List.length xs
+      in
+      let burns = iters (fun ~stats g -> Burns.minimum_cycle_mean ~stats g) in
+      let ko = iters (fun ~stats g -> Ko.minimum_cycle_mean ~stats g) in
+      let yto = iters (fun ~stats g -> Yto.minimum_cycle_mean ~stats g) in
+      let howard = iters (fun ~stats g -> Howard.minimum_cycle_mean ~stats g) in
+      let ho = iters (fun ~stats g -> Ho.minimum_cycle_mean ~stats g) in
+      rows :=
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" density;
+          string_of_int (avg (fun s -> s.Stats.iterations) burns);
+          string_of_int (avg (fun s -> s.Stats.iterations) ko);
+          string_of_int (avg (fun s -> s.Stats.iterations) yto);
+          string_of_int (avg (fun s -> s.Stats.iterations) howard);
+          string_of_int (avg (fun s -> s.Stats.level) ho);
+        ]
+        :: !rows);
+  Tables.print
+    ~title:
+      "E3 (§4.3): iterations to convergence — KO/YTO around n/2, Burns \
+       fewer, Howard drastically few, HO's terminal level k << n"
+    ~header:[ "n"; "m/n"; "Burns"; "KO"; "YTO"; "Howard"; "HO k" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E4: the Karp family work counts (§4.4)                              *)
+(* ------------------------------------------------------------------ *)
+
+let e4 cfg =
+  let rows = ref [] in
+  let karp_family g =
+    let sk = Stats.create () and sd = Stats.create () and s2 = Stats.create () in
+    ignore (Karp.minimum_cycle_mean ~stats:sk g);
+    ignore (Dg.minimum_cycle_mean ~stats:sd g);
+    ignore (Karp2.minimum_cycle_mean ~stats:s2 g);
+    (sk.Stats.arcs_visited, sd.Stats.arcs_visited, s2.Stats.arcs_visited)
+  in
+  let sizes = List.filter (fun n -> table_words n <= memory_budget_words) cfg.sizes in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun density ->
+          let k, d, k2 =
+            List.fold_left
+              (fun (a, b, c) seed ->
+                let ka, da, k2a = karp_family (instance ~n ~density ~seed) in
+                (a + ka, b + da, c + k2a))
+              (0, 0, 0) cfg.seeds
+          in
+          let s = List.length cfg.seeds in
+          rows :=
+            [
+              "sprand";
+              string_of_int n;
+              Printf.sprintf "%.1f" density;
+              string_of_int (k / s);
+              string_of_int (d / s);
+              Printf.sprintf "%.2f" (float_of_int d /. float_of_int k);
+              Printf.sprintf "%.2f" (float_of_int k2 /. float_of_int k);
+            ]
+            :: !rows)
+        [ 1.0; 3.0 ])
+    sizes;
+  (* circuits: DG's improvement is far better on circuits (§4.4) *)
+  List.iter
+    (fun (name, registers) ->
+      if registers >= 100 && registers <= 2000 then begin
+        let g = Circuit.benchmark name in
+        let k, d, k2 = karp_family g in
+        rows :=
+          [
+            name;
+            string_of_int (Digraph.n g);
+            Printf.sprintf "%.1f"
+              (float_of_int (Digraph.m g) /. float_of_int (Digraph.n g));
+            string_of_int k;
+            string_of_int d;
+            Printf.sprintf "%.2f" (float_of_int d /. float_of_int k);
+            Printf.sprintf "%.2f" (float_of_int k2 /. float_of_int k);
+          ]
+          :: !rows
+      end)
+    cfg.circuits;
+  Tables.print
+    ~title:
+      "E4 (§4.4): arcs visited by the Karp family — DG saves little on \
+       dense SPRAND, a lot on circuits; Karp2 does ~2x Karp"
+    ~header:[ "workload"; "n"; "m/n"; "Karp arcs"; "DG arcs"; "DG/Karp"; "Karp2/Karp" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E5: Table 2 — running times of all ten algorithms                   *)
+(* ------------------------------------------------------------------ *)
+
+let e5 cfg =
+  Hashtbl.reset blown;
+  let header =
+    [ "n"; "m" ]
+    @ List.map Registry.display_name Registry.all
+  in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun density ->
+          let m = max n (int_of_float (Float.round (density *. float_of_int n))) in
+          let cells =
+            List.map
+              (fun alg ->
+                match run_cell cfg ~alg ~n ~density with
+                | None -> "N/A"
+                | Some ms -> Tables.fmt_ms ms)
+              Registry.all
+          in
+          rows := ([ string_of_int n; string_of_int m ] @ cells) :: !rows)
+        cfg.densities)
+    cfg.sizes;
+  Tables.print
+    ~title:
+      "E5 (Table 2): average running times in milliseconds on SPRAND \
+       graphs (weights uniform in [1,10000])"
+    ~header (List.rev !rows);
+  print_endline
+    "  expectation (paper): Howard fastest by a wide margin; HO second;\n\
+    \  Lawler slowest; OA uncompetitive and erratic at density 1; Karp's\n\
+    \  simplicity helps on small graphs but degrades with n; Karp2 ~ 2x \
+     Karp.\n\
+    \  N/A follows the paper's protocol: quadratic-space table too large,\n\
+    \  or the algorithm blew the time budget on a smaller instance."
+
+(* ------------------------------------------------------------------ *)
+(* E6: the circuit suite (§3; data in the tech report)                 *)
+(* ------------------------------------------------------------------ *)
+
+let e6 cfg =
+  let algs =
+    Registry.[ Howard; Ho; Dg; Karp; Karp2; Burns; Ko; Yto; Lawler ]
+  in
+  let header =
+    [ "circuit"; "regs"; "arcs"; "lambda*" ] @ List.map Registry.display_name algs
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (name, _) ->
+      let g = Circuit.benchmark name in
+      let lambda, _ = Registry.minimum_cycle_mean Registry.Howard g in
+      let cells =
+        List.map
+          (fun alg ->
+            if needs_too_much_memory alg (Digraph.n g) then "N/A"
+            else
+              Tables.fmt_ms
+                (Timing.time_ms (fun () ->
+                     ignore (Registry.minimum_cycle_mean alg g))))
+          algs
+      in
+      rows :=
+        ([
+           name;
+           string_of_int (Digraph.n g);
+           string_of_int (Digraph.m g);
+           Ratio.to_string lambda;
+         ]
+        @ cells)
+        :: !rows)
+    cfg.circuits;
+  Tables.print
+    ~title:
+      "E6 (§3): running times (ms) on the synthetic stand-ins for the \
+       LGSynth'91 sequential circuits"
+    ~header (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E7: Howard's iteration bound ablation (§2.5, §4.3)                  *)
+(* ------------------------------------------------------------------ *)
+
+let e7 cfg =
+  let rows = ref [] in
+  grid cfg (fun ~n ~density ->
+      let iters =
+        List.map
+          (fun seed ->
+            let g = instance ~n ~density ~seed in
+            let s = Stats.create () in
+            ignore (Howard.minimum_cycle_mean ~stats:s g);
+            s.Stats.iterations)
+          cfg.seeds
+      in
+      let fmean =
+        float_of_int (List.fold_left ( + ) 0 iters)
+        /. float_of_int (List.length iters)
+      in
+      let worst = List.fold_left max 0 iters in
+      rows :=
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" density;
+          Printf.sprintf "%.1f" fmean;
+          string_of_int worst;
+          Printf.sprintf "%.1f" (Float.log (float_of_int n));
+        ]
+        :: !rows);
+  Tables.print
+    ~title:
+      "E7 (§4.3/§2.5): Howard's iterations vs the O(lg n) average-case \
+       conjecture of Cochet-Terrasson et al."
+    ~header:[ "n"; "m/n"; "avg iters"; "max iters"; "ln n" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E8: cost-to-time ratio algorithms (Table 1, rows 11-18)             *)
+(* ------------------------------------------------------------------ *)
+
+let e8 cfg =
+  let sizes = List.filter (fun n -> n <= 2048) cfg.sizes in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let m = 2 * n in
+      let mk seed = Sprand.generate ~seed ~n ~m ~transits:(1, 5) () in
+      let timed solve =
+        Timing.mean
+          (List.map (fun seed ->
+               let g = mk seed in
+               Timing.time_ms ~reps:1 (fun () -> ignore (solve g)))
+             cfg.seeds)
+      in
+      let t_howard = timed (Registry.minimum_cycle_ratio Registry.Howard) in
+      let t_burns = timed (Registry.minimum_cycle_ratio Registry.Burns) in
+      let t_lawler = timed (Registry.minimum_cycle_ratio Registry.Lawler) in
+      let t_oa2 = timed (Registry.minimum_cycle_ratio Registry.Oa2) in
+      let t_yto = timed (Registry.minimum_cycle_ratio Registry.Yto) in
+      (* the Karp family only solves the ratio problem through the
+         Hartmann-Orlin expansion: the instance grows to T ≈ 3m nodes *)
+      let g0 = mk (List.hd cfg.seeds) in
+      let total_t = Digraph.total_transit g0 in
+      let expanded_n = total_t + Digraph.n g0 in
+      let t_karp_exp =
+        if table_words expanded_n > memory_budget_words then None
+        else Some (timed (Registry.minimum_cycle_ratio Registry.Karp))
+      in
+      let t_ho_exp =
+        if 2 * table_words expanded_n > memory_budget_words then None
+        else Some (timed (Registry.minimum_cycle_ratio Registry.Ho))
+      in
+      (* agreement check across the native and expansion paths *)
+      let l1, _ = Registry.minimum_cycle_ratio Registry.Howard g0 in
+      let l2, _ = Registry.minimum_cycle_ratio Registry.Yto g0 in
+      let l3, _ = Registry.minimum_cycle_ratio Registry.Karp2 g0 in
+      assert (Ratio.equal l1 l2);
+      assert (Ratio.equal l1 l3);
+      let opt = function None -> "N/A" | Some t -> Tables.fmt_ms t in
+      rows :=
+        [
+          string_of_int n;
+          string_of_int m;
+          string_of_int total_t;
+          Tables.fmt_ms t_howard;
+          Tables.fmt_ms t_burns;
+          Tables.fmt_ms t_lawler;
+          Tables.fmt_ms t_oa2;
+          Tables.fmt_ms t_yto;
+          opt t_karp_exp;
+          opt t_ho_exp;
+        ]
+        :: !rows)
+    sizes;
+  Tables.print
+    ~title:
+      "E8 (Table 1 rows 11-18): minimum cost-to-time ratio — native \
+       algorithms (Howard, Burns, Lawler, OA2, YTO) vs the Karp family \
+       on the Hartmann-Orlin transit-time expansion (SPRAND, transit \
+       times uniform in [1,5], density 2)"
+    ~header:
+      [ "n"; "m"; "T"; "Howard"; "Burns"; "Lawler"; "OA2"; "YTO";
+        "Karp+exp"; "HO+exp" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E9: the improved variants announced in §5                           *)
+(* ------------------------------------------------------------------ *)
+
+let e9 cfg =
+  let rows = ref [] in
+  grid cfg (fun ~n ~density ->
+      let measure f =
+        let ss =
+          List.map
+            (fun seed ->
+              let g = instance ~n ~density ~seed in
+              let s = Stats.create () in
+              f s g;
+              s)
+            cfg.seeds
+        in
+        ss
+      in
+      let avg f xs =
+        float_of_int (List.fold_left (fun a s -> a + f s) 0 xs)
+        /. float_of_int (List.length xs)
+      in
+      let lw = measure (fun s g -> ignore (Lawler.minimum_cycle_mean ~stats:s g)) in
+      let lw' =
+        measure (fun s g ->
+            ignore (Lawler.minimum_cycle_mean ~stats:s ~improved:true g))
+      in
+      let hw_cheap =
+        measure (fun s g ->
+            ignore (Howard.minimum_cycle_mean ~stats:s ~init:`Cheapest_arc g))
+      in
+      let hw_first =
+        measure (fun s g ->
+            ignore (Howard.minimum_cycle_mean ~stats:s ~init:`First_arc g))
+      in
+      let hw_rand =
+        measure (fun s g ->
+            ignore (Howard.minimum_cycle_mean ~stats:s ~init:(`Random 7) g))
+      in
+      let oracle s = s.Stats.oracle_calls in
+      let iters s = s.Stats.iterations in
+      rows :=
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" density;
+          Printf.sprintf "%.1f" (avg oracle lw);
+          Printf.sprintf "%.1f" (avg oracle lw');
+          Printf.sprintf "%.1f" (avg iters hw_cheap);
+          Printf.sprintf "%.1f" (avg iters hw_first);
+          Printf.sprintf "%.1f" (avg iters hw_rand);
+        ]
+        :: !rows);
+  Tables.print
+    ~title:
+      "E9 (§5): improved variants — Lawler with witness-tightened upper \
+       bounds (oracle calls) and Howard under three initial policies \
+       (iterations)"
+    ~header:
+      [ "n"; "m/n"; "Lawler orc"; "Lawler+ orc"; "How cheap"; "How first";
+        "How rand" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E10: heap ablation for the parametric algorithms                    *)
+(* ------------------------------------------------------------------ *)
+
+let e10 cfg =
+  let rows = ref [] in
+  let kinds = [ ("fibonacci", `Fibonacci); ("binary", `Binary); ("pairing", `Pairing) ] in
+  grid cfg (fun ~n ~density ->
+      if density >= 2.0 then
+        List.iter
+          (fun variant ->
+            let cells =
+              List.concat_map
+                (fun (_, kind) ->
+                  let times = ref [] and ops = ref 0 in
+                  List.iter
+                    (fun seed ->
+                      let g = instance ~n ~density ~seed in
+                      let s = Stats.create () in
+                      let dt =
+                        Timing.time_ms ~reps:1 (fun () ->
+                            ignore
+                              (Parametric.minimum_cycle_mean ~stats:s
+                                 ~heap:kind ~variant g))
+                      in
+                      times := dt :: !times;
+                      ops := !ops + Heap_stats.total s.Stats.heap)
+                    cfg.seeds;
+                  [
+                    Tables.fmt_ms (Timing.mean !times);
+                    string_of_int (!ops / List.length cfg.seeds);
+                  ])
+                kinds
+            in
+            rows :=
+              ([
+                 (match variant with `Ko -> "KO" | `Yto -> "YTO");
+                 string_of_int n;
+                 Printf.sprintf "%.1f" density;
+               ]
+              @ cells)
+              :: !rows)
+          [ `Ko; `Yto ])
+  ;
+  Tables.print
+    ~title:
+      "E10: heap ablation for KO/YTO — Fibonacci (as in the paper's LEDA \
+       setup) vs binary vs pairing heaps (time in ms / heap ops)"
+    ~header:
+      [ "variant"; "n"; "m/n"; "fib ms"; "fib ops"; "bin ms"; "bin ops";
+        "pair ms"; "pair ops" ]
+    (List.rev !rows)
+
+let all : (string * (config -> unit)) list =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10) ]

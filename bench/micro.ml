@@ -1,0 +1,91 @@
+(* Bechamel microbenchmarks: one Test.make per algorithm, grouped per
+   experiment table, measured with the monotonic clock and analysed
+   with OLS — the statistically careful counterpart of the wall-clock
+   sweeps in Experiments. *)
+
+open Bechamel
+open Toolkit
+
+let mcm_group ~name g =
+  Test.make_grouped ~name ~fmt:"%s:%s"
+    (List.map
+       (fun alg ->
+         Test.make ~name:(Registry.name alg)
+           (Staged.stage (fun () -> ignore (Registry.minimum_cycle_mean alg g))))
+       Registry.all)
+
+let ratio_group ~name g =
+  Test.make_grouped ~name ~fmt:"%s:%s"
+    (List.map
+       (fun alg ->
+         Test.make ~name:(Registry.name alg)
+           (Staged.stage (fun () -> ignore (Registry.minimum_cycle_ratio alg g))))
+       Registry.[ Howard; Burns; Lawler; Oa2; Yto ])
+
+let heap_group ~name =
+  (* heap ablation: the same sort through each heap implementation *)
+  let keys = Array.init 2000 (fun i -> (i * 7919) mod 65536) in
+  let binary () =
+    let h = Binary_heap.create ~capacity:(Array.length keys) ~cmp:compare () in
+    Array.iteri (fun e k -> Binary_heap.insert h e k) keys;
+    while not (Binary_heap.is_empty h) do
+      ignore (Binary_heap.extract_min h)
+    done
+  in
+  let fibonacci () =
+    let h = Fibonacci_heap.create ~cmp:compare () in
+    Array.iter (fun k -> ignore (Fibonacci_heap.insert h k ())) keys;
+    while not (Fibonacci_heap.is_empty h) do
+      ignore (Fibonacci_heap.extract_min h)
+    done
+  in
+  let pairing () =
+    let h = Pairing_heap.create ~cmp:compare () in
+    Array.iter (fun k -> ignore (Pairing_heap.insert h k ())) keys;
+    while not (Pairing_heap.is_empty h) do
+      ignore (Pairing_heap.extract_min h)
+    done
+  in
+  Test.make_grouped ~name ~fmt:"%s:%s"
+    [
+      Test.make ~name:"binary" (Staged.stage binary);
+      Test.make ~name:"fibonacci" (Staged.stage fibonacci);
+      Test.make ~name:"pairing" (Staged.stage pairing);
+    ]
+
+let run () =
+  let sprand = Sprand.generate ~seed:1 ~n:256 ~m:512 () in
+  let circuit = Circuit.benchmark "s9234" in
+  let ratio_g = Sprand.generate ~seed:1 ~n:256 ~m:512 ~transits:(1, 5) () in
+  let tests =
+    Test.make_grouped ~name:"ocr" ~fmt:"%s/%s"
+      [
+        mcm_group ~name:"table2-sprand-256x512" sprand;
+        mcm_group ~name:"circuit-s9234" circuit;
+        ratio_group ~name:"ratio-256x512" ratio_g;
+        heap_group ~name:"heap-2000-elements";
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "\nBechamel microbenchmarks (monotonic clock, ns/run):";
+  let entries = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ e ] -> Printf.sprintf "%12.0f" e
+        | _ -> "?"
+      in
+      entries := (name, est) :: !entries)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-40s %s ns\n" name est)
+    (List.sort compare !entries)

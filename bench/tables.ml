@@ -1,0 +1,64 @@
+(* Minimal fixed-width table printer for the experiment outputs. *)
+
+let hline widths =
+  let parts = List.map (fun w -> String.make (w + 2) '-') widths in
+  print_endline ("+" ^ String.concat "+" parts ^ "+")
+
+let row widths cells =
+  let padded =
+    List.map2
+      (fun w c ->
+        let len = String.length c in
+        if len >= w then " " ^ c ^ " " else " " ^ String.make (w - len) ' ' ^ c ^ " ")
+      widths cells
+  in
+  print_endline ("|" ^ String.concat "|" padded ^ "|")
+
+(* When set (bench --csv DIR), every printed table is also written as
+   <DIR>/<first-word-of-title>.csv for downstream plotting. *)
+let csv_dir : string option ref = ref None
+
+let write_csv ~title ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    let first_word =
+      match String.index_opt title ' ' with
+      | Some i -> String.sub title 0 i
+      | None -> title
+    in
+    let slug =
+      String.lowercase_ascii first_word
+      |> String.to_seq
+      |> Seq.filter (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+      |> String.of_seq
+    in
+    let path = Filename.concat dir (slug ^ ".csv") in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (String.concat "," header ^ "\n");
+        List.iter
+          (fun row -> output_string oc (String.concat "," row ^ "\n"))
+          rows)
+
+let print ~title ~header rows =
+  Printf.printf "\n%s\n" title;
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc r -> max acc (String.length (List.nth r i)))
+          (String.length h) rows)
+      header
+  in
+  hline widths;
+  row widths header;
+  hline widths;
+  List.iter (row widths) rows;
+  hline widths;
+  write_csv ~title ~header rows
+
+let fmt_ms dt = if dt < 10.0 then Printf.sprintf "%.2f" dt else Printf.sprintf "%.1f" dt
+

@@ -1,0 +1,31 @@
+(* Wall-clock measurement helpers for the experiment tables.  The
+   Bechamel microbenchmark suite (see Micro) covers the
+   statistically careful per-call estimates; the tables measure whole
+   solver runs, which last milliseconds to minutes, so a monotonic
+   clock around each run is the right tool. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let time_once f =
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  (r, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+
+(* Median of an odd number of repetitions, in milliseconds.  Cheap runs
+   are repeated to dampen noise; anything over [rep_threshold_ms] is
+   measured once. *)
+let time_ms ?(reps = 3) ?(rep_threshold_ms = 200.0) f =
+  let _, first = time_once f in
+  if first >= rep_threshold_ms || reps <= 1 then first
+  else begin
+    let samples = ref [ first ] in
+    for _ = 2 to reps do
+      let _, dt = time_once f in
+      samples := dt :: !samples
+    done;
+    let sorted = List.sort compare !samples in
+    List.nth sorted (List.length sorted / 2)
+  end
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

@@ -1,0 +1,290 @@
+(* ocr — command-line front-end: generate workloads, solve optimum
+   cycle mean / cost-to-time ratio problems, inspect graphs. *)
+
+open Cmdliner
+
+(* ----------------------------------------------------------------- *)
+(* shared arguments                                                   *)
+(* ----------------------------------------------------------------- *)
+
+let graph_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"GRAPH" ~doc:"Input graph file (p/a line format).")
+
+let algorithm_arg =
+  let parse s =
+    match Registry.of_name s with
+    | Some a -> Ok a
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown algorithm %S (expected one of: %s)" s
+             (String.concat ", " (List.map Registry.name Registry.all))))
+  in
+  let print ppf a = Format.pp_print_string ppf (Registry.name a) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Registry.Howard
+    & info [ "a"; "algorithm" ] ~docv:"ALG"
+        ~doc:
+          "Algorithm: burns, ko, yto, howard, ho, karp, dg, lawler, karp2, \
+           oa1, oa2.")
+
+let objective_arg =
+  Arg.(
+    value
+    & opt (enum [ ("min", Solver.Minimize); ("max", Solver.Maximize) ])
+        Solver.Minimize
+    & info [ "o"; "objective" ] ~docv:"OBJ" ~doc:"min or max.")
+
+let problem_arg =
+  Arg.(
+    value
+    & opt (enum [ ("mean", Solver.Cycle_mean); ("ratio", Solver.Cycle_ratio) ])
+        Solver.Cycle_mean
+    & info [ "p"; "problem" ] ~docv:"PROBLEM"
+        ~doc:"mean (cycle mean) or ratio (cost-to-time ratio).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+
+(* .gr files use the DIMACS shortest-path format; anything else the
+   native p/a format *)
+let load_graph path =
+  if Filename.check_suffix path ".gr" then begin
+    let ic = open_in path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Graph_io.of_dimacs contents
+  end
+  else Graph_io.read_file path
+
+let emit output g =
+  match output with
+  | None -> print_string (Graph_io.to_string g)
+  | Some path ->
+    Graph_io.write_file path g;
+    Printf.printf "wrote %d nodes, %d arcs to %s\n" (Digraph.n g)
+      (Digraph.m g) path
+
+(* ----------------------------------------------------------------- *)
+(* gen                                                                *)
+(* ----------------------------------------------------------------- *)
+
+let gen_sprand =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  let m = Arg.(required & pos 1 (some int) None & info [] ~docv:"M") in
+  let transits =
+    Arg.(
+      value
+      & opt (pair ~sep:',' int int) (1, 1)
+      & info [ "transits" ] ~docv:"LO,HI"
+          ~doc:"Transit-time range (default 1,1 — a pure mean instance).")
+  in
+  let run n m seed transits output =
+    emit output (Sprand.generate ~seed ~transits ~n ~m ())
+  in
+  Cmd.v
+    (Cmd.info "sprand" ~doc:"SPRAND random graph (Hamiltonian cycle + random arcs).")
+    Term.(const run $ n $ m $ seed_arg $ transits $ output_arg)
+
+let gen_circuit =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"Benchmark name (s27 … s38584) or 'list' to enumerate.")
+  in
+  let run name seed output =
+    if name = "list" then
+      List.iter
+        (fun (nm, r) -> Printf.printf "%-8s %5d registers\n" nm r)
+        Circuit.benchmark_suite
+    else
+      try emit output (Circuit.benchmark ~seed name)
+      with Not_found ->
+        prerr_endline ("unknown circuit " ^ name);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "circuit" ~doc:"Synthetic sequential-circuit benchmark stand-in.")
+    Term.(const run $ name_arg $ seed_arg $ output_arg)
+
+let gen_ring =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  let run n output = emit output (Families.ring n) in
+  Cmd.v (Cmd.info "ring" ~doc:"Single directed cycle.")
+    Term.(const run $ n $ output_arg)
+
+let gen_cmd =
+  Cmd.group (Cmd.info "gen" ~doc:"Generate workload graphs.")
+    [ gen_sprand; gen_circuit; gen_ring ]
+
+(* ----------------------------------------------------------------- *)
+(* solve                                                              *)
+(* ----------------------------------------------------------------- *)
+
+let solve_cmd =
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Certify the result exactly.")
+  in
+  let show_stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print operation counts.")
+  in
+  let show_cycle =
+    Arg.(value & flag & info [ "cycle" ] ~doc:"Print the witness cycle arcs.")
+  in
+  let run file algorithm objective problem verify show_stats show_cycle =
+    let g = load_graph file in
+    match Solver.solve ~objective ~problem ~algorithm g with
+    | None ->
+      print_endline "acyclic graph: no cycle to optimize";
+      exit 2
+    | Some r ->
+      Printf.printf "lambda = %s (%.6f)\n"
+        (Ratio.to_string r.Solver.lambda)
+        (Ratio.to_float r.Solver.lambda);
+      if show_cycle then
+        Printf.printf "cycle: %s\n"
+          (String.concat " "
+             (List.map
+                (fun a ->
+                  Printf.sprintf "%d->%d" (Digraph.src g a) (Digraph.dst g a))
+                r.Solver.cycle));
+      if show_stats then
+        Format.printf "stats: %a@." Stats.pp r.Solver.stats;
+      if verify then begin
+        match Verify.certify_report ~objective ~problem g r with
+        | Ok () -> print_endline "certificate: OK"
+        | Error e ->
+          Printf.printf "certificate FAILED: %s\n" e;
+          exit 3
+      end
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Compute the optimum cycle mean or cost-to-time ratio of a graph.")
+    Term.(
+      const run $ graph_file_arg $ algorithm_arg $ objective_arg $ problem_arg
+      $ verify $ show_stats $ show_cycle)
+
+(* ----------------------------------------------------------------- *)
+(* info                                                               *)
+(* ----------------------------------------------------------------- *)
+
+let info_cmd =
+  let run file =
+    let g = load_graph file in
+    let scc = Scc.compute g in
+    let cyclic = List.length (Scc.nontrivial_components g scc) in
+    Printf.printf "nodes: %d\narcs: %d\n" (Digraph.n g) (Digraph.m g);
+    if Digraph.m g > 0 then
+      Printf.printf "weights: [%d, %d]\ntotal transit: %d\n"
+        (Digraph.min_weight g) (Digraph.max_weight g) (Digraph.total_transit g);
+    Printf.printf "strongly connected components: %d (%d cyclic)\n"
+      scc.Scc.count cyclic;
+    Printf.printf "strongly connected: %b\n" (Traversal.is_strongly_connected g)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print basic graph statistics.")
+    Term.(const run $ graph_file_arg)
+
+(* ----------------------------------------------------------------- *)
+(* critical                                                           *)
+(* ----------------------------------------------------------------- *)
+
+let critical_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz with the critical arcs highlighted.")
+  in
+  let run file problem dot =
+    let g = load_graph file in
+    let objective = Solver.Minimize in
+    match Solver.solve ~objective ~problem ~algorithm:Registry.Howard g with
+    | None ->
+      print_endline "acyclic graph";
+      exit 2
+    | Some r ->
+      let den =
+        match problem with
+        | Solver.Cycle_mean -> fun _ -> 1
+        | Solver.Cycle_ratio -> Digraph.transit g
+      in
+      let arcs = Critical.critical_arcs ~den g r.Solver.lambda in
+      if dot then print_string (Graph_io.to_dot ~highlight:arcs g)
+      else begin
+        Printf.printf "lambda = %s\ncritical arcs (%d):\n"
+          (Ratio.to_string r.Solver.lambda)
+          (List.length arcs);
+        List.iter
+          (fun a ->
+            Printf.printf "  #%d: %d -> %d (w=%d, t=%d)\n" a (Digraph.src g a)
+              (Digraph.dst g a) (Digraph.weight g a) (Digraph.transit g a))
+          arcs
+      end
+  in
+  Cmd.v
+    (Cmd.info "critical"
+       ~doc:"Compute the critical subgraph (arcs on optimum cycles).")
+    Term.(const run $ graph_file_arg $ problem_arg $ dot)
+
+(* ----------------------------------------------------------------- *)
+(* compare                                                            *)
+(* ----------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run file objective problem =
+    let g = load_graph file in
+    Printf.printf "%-8s %14s %10s %8s %12s %10s\n" "alg" "lambda" "time(ms)"
+      "iter" "relax/arcs" "heap-ops";
+    let reference = ref None in
+    let disagreements = ref 0 in
+    List.iter
+      (fun algorithm ->
+        let t0 = Unix.gettimeofday () in
+        match Solver.solve ~objective ~problem ~algorithm g with
+        | None ->
+          print_endline "acyclic graph: no cycle to optimize";
+          exit 2
+        | Some r ->
+          let dt = 1000.0 *. (Unix.gettimeofday () -. t0) in
+          (match !reference with
+          | None -> reference := Some r.Solver.lambda
+          | Some l ->
+            if not (Ratio.equal l r.Solver.lambda) then incr disagreements);
+          Printf.printf "%-8s %14s %10.2f %8d %12d %10d\n"
+            (Registry.display_name algorithm)
+            (Ratio.to_string r.Solver.lambda)
+            dt r.Solver.stats.Stats.iterations
+            (r.Solver.stats.Stats.relaxations + r.Solver.stats.Stats.arcs_visited)
+            (Heap_stats.total r.Solver.stats.Stats.heap))
+      Registry.all;
+    if !disagreements > 0 then begin
+      Printf.printf "DISAGREEMENT between algorithms (%d)!\n" !disagreements;
+      exit 4
+    end
+    else print_endline "all algorithms agree"
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Run every algorithm of the study on a graph and compare answers, \
+          times and operation counts.")
+    Term.(const run $ graph_file_arg $ objective_arg $ problem_arg)
+
+let () =
+  let doc = "Optimum cycle mean and cost-to-time ratio algorithms (DAC'99 study)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ocr" ~version:"1.0.0" ~doc)
+          [ gen_cmd; solve_cmd; info_cmd; critical_cmd; compare_cmd ]))

@@ -1,0 +1,39 @@
+(* Run every algorithm of the study on the same SPRAND instance and
+   compare answers, running times and operation counts — a miniature of
+   the paper's Table 2 on a single graph.
+
+   Run with: dune exec examples/algorithm_comparison.exe [-- n m seed] *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 512 in
+  let m = try int_of_string Sys.argv.(2) with _ -> 1024 in
+  let seed = try int_of_string Sys.argv.(3) with _ -> 7 in
+  let g = Sprand.generate ~seed ~n ~m () in
+  Printf.printf "SPRAND graph: n=%d m=%d seed=%d (weights 1..10000)\n\n" n m
+    seed;
+  Printf.printf "%-8s %10s %10s %8s %10s %12s %10s\n" "alg" "lambda"
+    "time(ms)" "iter" "relax" "arcs" "heap-ops";
+  List.iter
+    (fun alg ->
+      let stats = Stats.create () in
+      let solve () =
+        Registry.minimum_cycle_mean alg ~stats g
+      in
+      let (lambda, cycle), dt = time solve in
+      (match Verify.certify g lambda cycle with
+      | Ok () -> ()
+      | Error e ->
+        Printf.printf "!! %s certificate failed: %s\n"
+          (Registry.display_name alg) e);
+      Printf.printf "%-8s %10s %10.2f %8d %10d %12d %10d\n"
+        (Registry.display_name alg)
+        (Ratio.to_string lambda)
+        (1000.0 *. dt) stats.Stats.iterations stats.Stats.relaxations
+        stats.Stats.arcs_visited
+        (Heap_stats.total stats.Stats.heap))
+    Registry.all

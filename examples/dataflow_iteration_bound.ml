@@ -1,0 +1,66 @@
+(* Iteration bound of a DSP filter — the Ito & Parhi application the
+   paper cites (§1.1): the fastest achievable iteration period of a
+   recursive data-flow graph is its maximum cost-to-time ratio.
+
+   Run with: dune exec examples/dataflow_iteration_bound.exe *)
+
+let describe dfg name =
+  match Dataflow.iteration_bound dfg with
+  | None -> Printf.printf "%s: feed-forward (no recursion, bound 0)\n" name
+  | Some (bound, loop) ->
+    Printf.printf "%s: iteration bound = %s (%.3f time units)\n" name
+      (Ratio.to_string bound) (Ratio.to_float bound);
+    Printf.printf "  critical loop: %s\n"
+      (String.concat " -> " (List.map (Dataflow.op_name dfg) loop))
+
+(* Second-order IIR section:  y(n) = x(n) + a1·y(n−1) + a2·y(n−2).
+   Multipliers take 2 time units, adders 1.  Two recursion loops:
+     add1 -> m1 -> add1            (1 delay):  (1+2)/1 = 3
+     add1 -> add2 -> m2 -> add1?   — here add2 feeds add1, m2 in the
+     2-delay path: (1+1+2)/2 = 2.  Bound = 3. *)
+let biquad () =
+  let d = Dataflow.create () in
+  let add1 = Dataflow.add_op d ~name:"add1" ~time:1 in
+  let add2 = Dataflow.add_op d ~name:"add2" ~time:1 in
+  let m1 = Dataflow.add_op d ~name:"mul_a1" ~time:2 in
+  let m2 = Dataflow.add_op d ~name:"mul_a2" ~time:2 in
+  let out = Dataflow.add_op d ~name:"out" ~time:0 in
+  (* y feeds both multipliers through 1 and 2 registers *)
+  Dataflow.add_edge d ~delays:1 add1 m1;
+  Dataflow.add_edge d ~delays:2 add1 m2;
+  Dataflow.add_edge d m1 add1;
+  Dataflow.add_edge d m2 add2;
+  Dataflow.add_edge d add2 add1;
+  Dataflow.add_edge d add1 out;
+  d
+
+(* A lattice-style filter with a longer recursion. *)
+let lattice () =
+  let d = Dataflow.create () in
+  let a = Array.init 6 (fun i ->
+      Dataflow.add_op d ~name:(Printf.sprintf "stage%d" i)
+        ~time:(if i mod 2 = 0 then 2 else 1))
+  in
+  for i = 0 to 4 do
+    Dataflow.add_edge d a.(i) a.(i + 1)
+  done;
+  Dataflow.add_edge d ~delays:3 a.(5) a.(0);
+  (* a short inner loop that is NOT critical: (1+2)/2 *)
+  Dataflow.add_edge d ~delays:2 a.(1) a.(0);
+  d
+
+(* Feed-forward FIR: no cycle at all. *)
+let fir () =
+  let d = Dataflow.create () in
+  let x = Dataflow.add_op d ~name:"x" ~time:0 in
+  let m = Dataflow.add_op d ~name:"mul" ~time:2 in
+  let s = Dataflow.add_op d ~name:"sum" ~time:1 in
+  Dataflow.add_edge d x m;
+  Dataflow.add_edge d ~delays:1 x m;
+  Dataflow.add_edge d m s;
+  d
+
+let () =
+  describe (biquad ()) "second-order IIR (biquad)";
+  describe (lattice ()) "lattice filter";
+  describe (fir ()) "FIR filter"

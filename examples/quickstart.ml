@@ -1,0 +1,54 @@
+(* Quickstart: build a small graph, compute its minimum / maximum cycle
+   mean and cost-to-time ratio, and certify the answers.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A 6-node graph with two interesting cycles:
+       0 -> 1 -> 2 -> 0   (weights 2, 4, 3  -> mean 3)
+       2 -> 3 -> 4 -> 5 -> 2 (weights 1, 2, 1, 2 -> mean 3/2)
+     plus a heavy shortcut 4 -> 0. *)
+  let g =
+    Digraph.of_arcs 6
+      [
+        (0, 1, 2, 1);
+        (1, 2, 4, 2);
+        (2, 0, 3, 1);
+        (2, 3, 1, 1);
+        (3, 4, 2, 3);
+        (4, 5, 1, 1);
+        (5, 2, 2, 1);
+        (4, 0, 9, 1);
+      ]
+  in
+  let show label = function
+    | None -> Printf.printf "%-28s: (graph is acyclic)\n" label
+    | Some (r : Solver.report) ->
+      Printf.printf "%-28s: %-8s  witness cycle arcs: [%s]\n" label
+        (Ratio.to_string r.Solver.lambda)
+        (String.concat "; " (List.map string_of_int r.Solver.cycle))
+  in
+  show "minimum cycle mean" (Solver.minimum_cycle_mean g);
+  show "maximum cycle mean" (Solver.maximum_cycle_mean g);
+  show "minimum cost-to-time ratio" (Solver.minimum_cycle_ratio g);
+  show "maximum cost-to-time ratio" (Solver.maximum_cycle_ratio g);
+
+  (* every algorithm of the study is available by name *)
+  let by_karp = Solver.minimum_cycle_mean ~algorithm:Registry.Karp g in
+  show "minimum mean, via Karp" by_karp;
+
+  (* results can be certified independently of the solver *)
+  (match Solver.minimum_cycle_mean g with
+  | Some r -> (
+    match Verify.certify_report g r with
+    | Ok () -> print_endline "certificate: OK (witness tight, no better cycle)"
+    | Error e -> Printf.printf "certificate FAILED: %s\n" e)
+  | None -> ());
+
+  (* the critical subgraph: all arcs lying on some optimum-mean cycle *)
+  match Solver.minimum_cycle_mean g with
+  | Some r ->
+    let crit = Critical.critical_arcs ~den:(fun _ -> 1) g r.Solver.lambda in
+    Printf.printf "critical arcs at the optimum: [%s]\n"
+      (String.concat "; " (List.map string_of_int crit))
+  | None -> ()

@@ -1,0 +1,44 @@
+(** Optimal clock schedules for level-clocked circuits — the Szymanski
+    (DAC 1992) application cited in §1.1 of the paper.
+
+    Latches are level-sensitive: data may "borrow" time across latch
+    boundaries, so the clock period is not limited by the longest
+    single latch-to-latch path but by the {e average} delay around
+    dependency cycles.  For a latch graph with combinational delays
+    [d(u,v)], a period [P] is feasible iff there are departure offsets
+    [x] with [x(v) ≥ x(u) + d(u,v) − P] for every path — difference
+    constraints whose feasibility is exactly "no cycle of mean > P".
+    Hence the optimum period is the {e maximum cycle mean}, and an
+    optimal schedule falls out of the Bellman–Ford potentials at that
+    period.  Everything is computed in exact rational arithmetic. *)
+
+type t
+type latch = private int
+
+val create : unit -> t
+
+val add_latch : t -> name:string -> latch
+
+val add_path : t -> delay:int -> latch -> latch -> unit
+(** Combinational path between two latches.
+    @raise Invalid_argument if [delay < 0]. *)
+
+val latch_count : t -> int
+val latch_name : t -> latch -> string
+
+val to_graph : t -> Digraph.t
+(** Latch-to-latch delay graph (weight = delay, transit = 1). *)
+
+val min_period : ?algorithm:Registry.algorithm -> t -> Ratio.t option
+(** The smallest feasible clock period: the maximum cycle mean of the
+    latch graph.  [None] for acyclic (purely feed-forward) circuits,
+    which can be clocked arbitrarily fast with enough borrowing. *)
+
+val schedule : t -> period:Ratio.t -> Ratio.t array option
+(** [schedule t ~period] returns latch departure offsets realizing the
+    period: [x(v) − x(u) ≥ d(u,v) − period] holds along every path.
+    [None] iff the period is below {!min_period} (infeasible). *)
+
+val verify_schedule : t -> period:Ratio.t -> Ratio.t array -> bool
+(** Checks the constraint system explicitly (used by tests and by
+    downstream consumers that transform schedules). *)

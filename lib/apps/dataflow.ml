@@ -1,0 +1,54 @@
+type op = int
+
+type edge = { src : op; dst : op; delays : int }
+
+type t = {
+  names : string Vec.t;
+  times : int Vec.t;
+  edges : edge Vec.t;
+}
+
+let create () = { names = Vec.create (); times = Vec.create (); edges = Vec.create () }
+
+let add_op t ~name ~time =
+  if time < 0 then invalid_arg "Dataflow.add_op: negative computation time";
+  let id = Vec.length t.names in
+  Vec.push t.names name;
+  Vec.push t.times time;
+  id
+
+let check_op t v name =
+  if v < 0 || v >= Vec.length t.names then
+    invalid_arg ("Dataflow." ^ name ^ ": unknown operation")
+
+let add_edge t ?(delays = 0) u v =
+  check_op t u "add_edge";
+  check_op t v "add_edge";
+  if delays < 0 then invalid_arg "Dataflow.add_edge: negative delay count";
+  Vec.push t.edges { src = u; dst = v; delays }
+
+let op_name t v =
+  check_op t v "op_name";
+  Vec.get t.names v
+
+let op_time t v =
+  check_op t v "op_time";
+  Vec.get t.times v
+
+let to_graph t =
+  let b = Digraph.create_builder (Vec.length t.names) in
+  Vec.iter
+    (fun e ->
+      ignore
+        (Digraph.add_arc b ~src:e.src ~dst:e.dst
+           ~weight:(Vec.get t.times e.src) ~transit:e.delays ()))
+    t.edges;
+  Digraph.build b
+
+let iteration_bound ?(algorithm = Registry.Howard) t =
+  let g = to_graph t in
+  match Solver.solve ~objective:Solver.Maximize ~problem:Solver.Cycle_ratio ~algorithm g with
+  | None -> None
+  | Some r ->
+    let ops = List.map (Digraph.src g) r.Solver.cycle in
+    Some (r.Solver.lambda, ops)

@@ -1,0 +1,37 @@
+(** Iteration bound of DSP data-flow graphs (Ito & Parhi, J. VLSI
+    Signal Processing 1995) — one of the CAD applications motivating
+    the paper (§1.1).
+
+    A data-flow graph has one node per operation (with a computation
+    time) and directed edges carrying {e delays} (registers).  The
+    iteration bound
+    [T∞ = max_C (total computation time of C) / (total delays of C)]
+    is the fastest achievable steady-state iteration period of any
+    implementation; it is a {e maximum cost-to-time ratio} problem and
+    is solved here through {!Solver}. *)
+
+type t
+type op = private int
+
+val create : unit -> t
+
+val add_op : t -> name:string -> time:int -> op
+(** [time] is the operation's computation time (must be >= 0). *)
+
+val add_edge : t -> ?delays:int -> op -> op -> unit
+(** Data dependency carrying [delays] registers (default 0; must be
+    >= 0). *)
+
+val op_name : t -> op -> string
+val op_time : t -> op -> int
+
+val to_graph : t -> Digraph.t
+(** The underlying ratio-problem instance: arc weight = computation
+    time of the edge's source operation, arc transit = delay count. *)
+
+val iteration_bound :
+  ?algorithm:Registry.algorithm -> t -> (Ratio.t * op list) option
+(** The iteration bound and the operations of a critical loop, or
+    [None] if the graph has no cycle (fully feed-forward).
+    @raise Invalid_argument if some cycle carries zero delays (such a
+    graph is not computable). *)

@@ -1,0 +1,102 @@
+type event = int
+
+type rule = { src : event; dst : event; delay : int; offset : int }
+
+type t = { names : string Vec.t; rules : rule Vec.t }
+
+let create () = { names = Vec.create (); rules = Vec.create () }
+
+let add_event t ~name =
+  let id = Vec.length t.names in
+  Vec.push t.names name;
+  id
+
+let check_event t e name =
+  if e < 0 || e >= Vec.length t.names then
+    invalid_arg ("Eventrule." ^ name ^ ": unknown event")
+
+let add_rule t ?(offset = 0) ~delay e f =
+  check_event t e "add_rule";
+  check_event t f "add_rule";
+  if delay < 0 then invalid_arg "Eventrule.add_rule: negative delay";
+  if offset < 0 then invalid_arg "Eventrule.add_rule: negative offset";
+  Vec.push t.rules { src = e; dst = f; delay; offset }
+
+let event_count t = Vec.length t.names
+
+let event_name t e =
+  check_event t e "event_name";
+  Vec.get t.names e
+
+let to_graph t =
+  let b = Digraph.create_builder (event_count t) in
+  Vec.iter
+    (fun r ->
+      ignore
+        (Digraph.add_arc b ~src:r.src ~dst:r.dst ~weight:r.delay
+           ~transit:r.offset ()))
+    t.rules;
+  Digraph.build b
+
+let cycle_period ?(algorithm = Registry.Howard) t =
+  let g = to_graph t in
+  match
+    Solver.solve ~objective:Solver.Maximize ~problem:Solver.Cycle_ratio
+      ~algorithm g
+  with
+  | None -> None
+  | Some r ->
+    let events = List.map (Digraph.src g) r.Solver.cycle in
+    Some (r.Solver.lambda, events)
+
+let simulate t ~occurrences =
+  let g = to_graph t in
+  (* a zero-offset cycle makes the same-iteration recurrence circular *)
+  (match Critical.cycle_in g (fun a -> Digraph.transit g a = 0) with
+  | Some _ ->
+    invalid_arg "Eventrule.simulate: zero-offset dependency cycle (deadlock)"
+  | None -> ());
+  let n = event_count t in
+  (* evaluation order within one iteration: topological over ε=0 rules *)
+  let order =
+    let indeg = Array.make n 0 in
+    Vec.iter
+      (fun r -> if r.offset = 0 then indeg.(r.dst) <- indeg.(r.dst) + 1)
+      t.rules;
+    let queue = Queue.create () in
+    for v = 0 to n - 1 do
+      if indeg.(v) = 0 then Queue.add v queue
+    done;
+    let out = Vec.create () in
+    while not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      Vec.push out u;
+      Vec.iter
+        (fun r ->
+          if r.offset = 0 && r.src = u then begin
+            indeg.(r.dst) <- indeg.(r.dst) - 1;
+            if indeg.(r.dst) = 0 then Queue.add r.dst queue
+          end)
+        t.rules
+    done;
+    Vec.to_array out
+  in
+  assert (Array.length order = n);
+  (* in-rules per event, for the recurrence *)
+  let in_rules = Array.make n [] in
+  Vec.iter (fun r -> in_rules.(r.dst) <- r :: in_rules.(r.dst)) t.rules;
+  let times = Array.make_matrix occurrences n 0 in
+  for k = 0 to occurrences - 1 do
+    Array.iter
+      (fun f ->
+        let best = ref 0 in
+        List.iter
+          (fun r ->
+            let earlier = k - r.offset in
+            let base = if earlier < 0 then 0 else times.(earlier).(r.src) in
+            if base + r.delay > !best then best := base + r.delay)
+          in_rules.(f);
+        times.(k).(f) <- !best)
+      order
+  done;
+  times

@@ -1,0 +1,50 @@
+(** Timed event-rule systems — Burns' model for the performance
+    analysis of asynchronous circuits (Caltech 1991), the setting in
+    which his cost-to-time ratio algorithm was conceived (§1.1 of the
+    paper).
+
+    An ER system has a set of {e events} (signal transitions) and
+    {e rules} [(e, f, d, ε)]: occurrence [k] of event [f] must wait
+    until [d] time units after occurrence [k − ε] of event [e].  The
+    offset ε counts initial tokens; rules with ε = 0 are dependencies
+    within the same iteration.
+
+    For a strongly connected system, occurrence times grow linearly:
+    [t_f(k) ≈ p·k + c_f], where the {e cycle period}
+    [p = max_C d(C) / ε(C)] is a maximum cost-to-time ratio over the
+    rule graph — computed here with the library's MCR solvers.  The
+    critical cycle is the set of transitions that limit the circuit's
+    throughput. *)
+
+type t
+type event = private int
+
+val create : unit -> t
+
+val add_event : t -> name:string -> event
+
+val add_rule : t -> ?offset:int -> delay:int -> event -> event -> unit
+(** [add_rule t ~offset ~delay e f]: occurrence [k] of [f] waits for
+    occurrence [k − offset] of [e] plus [delay].  [offset] defaults to
+    0 (same-iteration dependency).
+    @raise Invalid_argument on negative delay or offset. *)
+
+val event_count : t -> int
+val event_name : t -> event -> string
+
+val to_graph : t -> Digraph.t
+(** Rule graph: one arc per rule, weight = delay, transit = offset. *)
+
+val cycle_period : ?algorithm:Registry.algorithm -> t -> (Ratio.t * event list) option
+(** The asymptotic cycle period and the events of a critical cycle;
+    [None] if the rule graph is acyclic (a non-repetitive system).
+    @raise Invalid_argument if some dependency cycle has zero total
+    offset (the circuit would deadlock / the period is ill-defined). *)
+
+val simulate : t -> occurrences:int -> int array array
+(** [simulate t ~occurrences] returns [times] with
+    [times.(k).(f)] = time of occurrence [k] of event [f], from the
+    recurrence [t_f(k) = max over rules (e,f,d,ε) of t_e(k−ε) + d]
+    (occurrences before 0 happen at time 0).  Used by the tests as an
+    independent oracle: [t_f(k)/k] converges to the cycle period.
+    @raise Invalid_argument if a zero-offset dependency cycle exists. *)

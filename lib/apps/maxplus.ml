@@ -1,0 +1,148 @@
+type entry = int option
+
+type t = { n : int; a : entry array array }
+
+let create n =
+  if n < 1 then invalid_arg "Maxplus.create: dimension must be positive";
+  { n; a = Array.make_matrix n n None }
+
+let dim t = t.n
+
+let check t i j name =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then
+    invalid_arg ("Maxplus." ^ name ^ ": index out of range")
+
+let get t i j =
+  check t i j "get";
+  t.a.(i).(j)
+
+let set t i j x =
+  check t i j "set";
+  t.a.(i).(j) <- Some x
+
+let of_entries n entries =
+  let t = create n in
+  List.iter (fun (i, j, x) -> set t i j x) entries;
+  t
+
+let to_graph t =
+  let b = Digraph.create_builder t.n in
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      match t.a.(i).(j) with
+      | Some w -> ignore (Digraph.add_arc b ~src:j ~dst:i ~weight:w ())
+      | None -> ()
+    done
+  done;
+  Digraph.build b
+
+let of_graph g =
+  let t = create (Digraph.n g) in
+  Digraph.iter_arcs g (fun arc ->
+      let i = Digraph.dst g arc and j = Digraph.src g arc in
+      let w = Digraph.weight g arc in
+      match t.a.(i).(j) with
+      | Some old when old >= w -> ()
+      | _ -> t.a.(i).(j) <- Some w);
+  t
+
+let plus a b =
+  match (a, b) with Some x, Some y -> Some (x + y) | _ -> None
+
+let join a b =
+  match (a, b) with
+  | Some x, Some y -> Some (max x y)
+  | (Some _ as s), None | None, (Some _ as s) -> s
+  | None, None -> None
+
+let mul x y =
+  if x.n <> y.n then invalid_arg "Maxplus.mul: dimension mismatch";
+  let r = create x.n in
+  for i = 0 to x.n - 1 do
+    for j = 0 to x.n - 1 do
+      let acc = ref None in
+      for k = 0 to x.n - 1 do
+        acc := join !acc (plus x.a.(i).(k) y.a.(k).(j))
+      done;
+      r.a.(i).(j) <- !acc
+    done
+  done;
+  r
+
+let vec_mul t x =
+  if Array.length x <> t.n then invalid_arg "Maxplus.vec_mul: dimension mismatch";
+  Array.init t.n (fun i ->
+      let acc = ref None in
+      for j = 0 to t.n - 1 do
+        acc := join !acc (plus t.a.(i).(j) x.(j))
+      done;
+      !acc)
+
+let is_irreducible t = Traversal.is_strongly_connected (to_graph t)
+
+let eigenvalue ?(algorithm = Registry.Howard) t =
+  match Solver.maximum_cycle_mean ~algorithm (to_graph t) with
+  | None -> None
+  | Some r -> Some r.Solver.lambda
+
+let eigenvector t =
+  if not (is_irreducible t) then None
+  else begin
+    let g = to_graph t in
+    let lambda =
+      match Solver.maximum_cycle_mean g with
+      | Some r -> r.Solver.lambda
+      | None -> assert false (* irreducible with n >= 1 has a cycle *)
+    in
+    let p = Ratio.num lambda and q = Ratio.den lambda in
+    (* normalized scaled arc costs: q·w − p; all cycles are <= 0, the
+       critical ones are exactly 0 *)
+    let cost a = (q * Digraph.weight g a) - p in
+    let crit =
+      Critical.critical_arcs ~den:(fun _ -> 1) (Digraph.negate_weights g)
+        (Ratio.neg lambda)
+    in
+    let n = Digraph.n g in
+    let v = Array.make n min_int in
+    let queue = Queue.create () in
+    let in_queue = Array.make n false in
+    let push x =
+      if not in_queue.(x) then begin
+        in_queue.(x) <- true;
+        Queue.add x queue
+      end
+    in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun x ->
+            if v.(x) < 0 then begin
+              v.(x) <- 0;
+              push x
+            end)
+          [ Digraph.src g a; Digraph.dst g a ])
+      crit;
+    (* longest paths from the critical nodes; terminates because no
+       cycle is positive under the normalized costs *)
+    while not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      in_queue.(u) <- false;
+      Digraph.iter_out g u (fun a ->
+          let w = Digraph.dst g a in
+          let cand = v.(u) + cost a in
+          if cand > v.(w) then begin
+            v.(w) <- cand;
+            push w
+          end)
+    done;
+    assert (Array.for_all (fun x -> x > min_int) v);
+    Some (lambda, Array.map (fun x -> Ratio.make x q) v)
+  end
+
+let cycle_time t ~x0 ~rounds =
+  if Array.length x0 <> t.n then invalid_arg "Maxplus.cycle_time: dimension mismatch";
+  let x = ref x0 in
+  for _ = 1 to rounds do
+    x := vec_mul t !x
+  done;
+  !x

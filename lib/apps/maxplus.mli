@@ -1,0 +1,56 @@
+(** Max-plus (tropical) spectral analysis of discrete event systems —
+    the setting of Cochet-Terrasson et al. (1998), where Howard's
+    algorithm originates, and of the synchronization theory of Bacelli
+    et al. referenced in §1.1.
+
+    A square matrix over ℝmax = (ℝ ∪ {−∞}, max, +) models a timed
+    event graph: [x(k+1) = A ⊗ x(k)] with
+    [(A ⊗ x)_i = max_j (A(i,j) + x_j)].  For an irreducible matrix the
+    unique eigenvalue λ — the steady-state cycle time / inverse
+    throughput — equals the {e maximum cycle mean} of the precedence
+    graph, and an eigenvector is obtained from the critical graph. *)
+
+type t
+
+type entry = int option
+(** [None] is −∞ (no dependency). *)
+
+val create : int -> t
+(** All entries −∞. *)
+
+val dim : t -> int
+val get : t -> int -> int -> entry
+val set : t -> int -> int -> int -> unit
+
+val of_entries : int -> (int * int * int) list -> t
+(** [(i, j, a)] sets [A(i,j) = a]. *)
+
+val to_graph : t -> Digraph.t
+(** Precedence graph: an arc [j → i] of weight [A(i,j)] per finite
+    entry, so that graph cycles correspond to dependency cycles. *)
+
+val of_graph : Digraph.t -> t
+(** [A(dst, src) = max] weight over parallel arcs. *)
+
+val mul : t -> t -> t
+(** ⊗ product.  @raise Invalid_argument on dimension mismatch. *)
+
+val vec_mul : t -> entry array -> entry array
+(** [A ⊗ x]. *)
+
+val is_irreducible : t -> bool
+(** Whether the precedence graph is strongly connected. *)
+
+val eigenvalue : ?algorithm:Registry.algorithm -> t -> Ratio.t option
+(** Maximum cycle mean of the precedence graph ([None] when it is
+    acyclic, i.e. the system is finite). *)
+
+val eigenvector : t -> (Ratio.t * Ratio.t array) option
+(** For an irreducible matrix: the eigenvalue λ and a vector [v] with
+    [A ⊗ v = λ + v], built from longest paths out of the critical
+    graph in exact arithmetic.  [None] if the matrix is not
+    irreducible. *)
+
+val cycle_time : t -> x0:entry array -> rounds:int -> entry array
+(** Plain power iteration [x ↦ A ⊗ x], for simulations and as a test
+    oracle: for irreducible [A], [x(k+n) − x(k)] approaches [n·λ]. *)

@@ -1,0 +1,69 @@
+type process = int
+
+type dependency = {
+  src : process;
+  dst : process;
+  dmin : int;
+  dmax : int;
+  offset : int;
+}
+
+type t = { names : string Vec.t; deps : dependency Vec.t }
+
+let create () = { names = Vec.create (); deps = Vec.create () }
+
+let add_process t ~name =
+  let id = Vec.length t.names in
+  Vec.push t.names name;
+  id
+
+let check_process t p name =
+  if p < 0 || p >= Vec.length t.names then
+    invalid_arg ("Rate_analysis." ^ name ^ ": unknown process")
+
+let add_dependency t ?(offset = 0) ~dmin ~dmax u v =
+  check_process t u "add_dependency";
+  check_process t v "add_dependency";
+  if dmin < 0 then invalid_arg "Rate_analysis.add_dependency: negative dmin";
+  if dmax < dmin then invalid_arg "Rate_analysis.add_dependency: dmax < dmin";
+  if offset < 0 then invalid_arg "Rate_analysis.add_dependency: negative offset";
+  Vec.push t.deps { src = u; dst = v; dmin; dmax; offset }
+
+let process_count t = Vec.length t.names
+
+let process_name t p =
+  check_process t p "process_name";
+  Vec.get t.names p
+
+let graph_with t delay_of =
+  let b = Digraph.create_builder (process_count t) in
+  Vec.iter
+    (fun d ->
+      ignore
+        (Digraph.add_arc b ~src:d.src ~dst:d.dst ~weight:(delay_of d)
+           ~transit:d.offset ()))
+    t.deps;
+  Digraph.build b
+
+let max_ratio ~algorithm g =
+  Option.map
+    (fun r -> r.Solver.lambda)
+    (Solver.solve ~objective:Solver.Maximize ~problem:Solver.Cycle_ratio
+       ~algorithm g)
+
+let period_interval ?(algorithm = Registry.Howard) t =
+  let best = max_ratio ~algorithm (graph_with t (fun d -> d.dmin)) in
+  let worst = max_ratio ~algorithm (graph_with t (fun d -> d.dmax)) in
+  match (best, worst) with
+  | Some b, Some w -> Some (b, w)
+  | None, None -> None
+  | _ -> assert false (* both graphs share the same structure *)
+
+let rate_interval ?algorithm t =
+  match period_interval ?algorithm t with
+  | None -> None
+  | Some (best, worst) ->
+    let inverse p =
+      if Ratio.equal p Ratio.zero then None else Some (Ratio.div Ratio.one p)
+    in
+    Some (inverse worst, inverse best)

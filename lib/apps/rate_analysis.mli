@@ -1,0 +1,46 @@
+(** Rate analysis of embedded real-time systems — the Mathur, Dasdan &
+    Gupta application (ACM TODAES 1998) cited in §1.1 of the paper.
+
+    Processes execute repeatedly and exchange data through dependencies
+    carrying a delay {e interval} [dmin, dmax] (computation and
+    communication jitter) and an occurrence offset (pipelining /
+    initial tokens).  Asymptotically, execution [k] of every process in
+    a strongly connected system happens at time [p·k + O(1)], where the
+    period [p] is the maximum delay-to-offset cycle ratio.  Interval
+    delays therefore yield a {e period interval} — best case from the
+    minimum delays, worst case from the maximum delays — whose
+    reciprocals bound the process execution {e rates}.  Both ends are
+    maximum cost-to-time ratio problems. *)
+
+type t
+type process = private int
+
+val create : unit -> t
+
+val add_process : t -> name:string -> process
+
+val add_dependency :
+  t -> ?offset:int -> dmin:int -> dmax:int -> process -> process -> unit
+(** Execution [k] of the target waits between [dmin] and [dmax] time
+    units after execution [k − offset] of the source.  [offset]
+    defaults to 0.
+    @raise Invalid_argument if [dmin < 0], [dmax < dmin] or
+    [offset < 0]. *)
+
+val process_count : t -> int
+val process_name : t -> process -> string
+
+val period_interval :
+  ?algorithm:Registry.algorithm -> t -> (Ratio.t * Ratio.t) option
+(** [(best, worst)] asymptotic execution period over the delay
+    intervals; [None] if the dependence graph is acyclic (rates are
+    then bounded by the environment, not the system).
+    @raise Invalid_argument if some dependency cycle has zero total
+    offset. *)
+
+val rate_interval :
+  ?algorithm:Registry.algorithm -> t -> (Ratio.t option * Ratio.t option) option
+(** [(lowest, highest)] sustainable execution rates — the reciprocals
+    of {!period_interval}; an end is [None] (unbounded) when the
+    corresponding period is zero, i.e. when every delay on the critical
+    cycle can vanish. *)

@@ -1,0 +1,54 @@
+(** Retiming and optimal clock period (Leiserson–Saxe), the clock
+    scheduling application of §1.1 (Szymanski, DAC 1992).
+
+    A synchronous circuit is a graph of combinational blocks (each with
+    a propagation delay) connected by wires carrying registers.  The
+    {e clock period} is the longest register-free combinational path.
+    Retiming moves registers across blocks: with labels [r],
+    [w_r(e) = w(e) + r(v) − r(u)] must stay non-negative.
+
+    The maximum delay-to-register cycle ratio is a lower bound on the
+    period achievable by {e any} retiming (computed here by the cycle
+    ratio solvers); the exact optimum is found by the classic
+    [W/D]-matrix binary search with a Bellman–Ford feasibility test. *)
+
+type t
+type block = private int
+
+val create : unit -> t
+
+val add_block : t -> name:string -> delay:int -> block
+(** @raise Invalid_argument if [delay < 0]. *)
+
+val add_wire : t -> ?registers:int -> block -> block -> unit
+(** @raise Invalid_argument if [registers < 0]. *)
+
+val block_count : t -> int
+val blocks : t -> block array
+(** All blocks, in creation order. *)
+
+val block_name : t -> block -> string
+val block_delay : t -> block -> int
+
+val to_graph : t -> Digraph.t
+(** Arc weight = source block delay, arc transit = register count. *)
+
+val period_lower_bound : ?algorithm:Registry.algorithm -> t -> Ratio.t option
+(** [max_C d(C)/w(C)] over cycles [C] — no retiming can clock faster
+    than this ratio.  [None] on acyclic circuits.
+    @raise Invalid_argument if some cycle carries no register. *)
+
+val clock_period : t -> int
+(** Longest register-free path delay of the circuit as built.
+    @raise Invalid_argument if a register-free cycle exists. *)
+
+val min_period : t -> int * int array
+(** Optimal retiming: the smallest achievable clock period and the
+    retiming labels that realize it (Leiserson–Saxe OPT, O(n³) for the
+    W/D matrices + O(nm) per feasibility test).
+    @raise Invalid_argument if a register-free cycle exists. *)
+
+val retime : t -> int array -> t
+(** Applies retiming labels; the result has the same blocks with
+    register counts [w(e) + r(dst) − r(src)].
+    @raise Invalid_argument if any count would become negative. *)

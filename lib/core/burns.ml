@@ -1,0 +1,113 @@
+(* Longest path, counted in arcs, starting at each node inside the DAG
+   of tight arcs: xi(u) = max over tight (u,v) of 1 + xi(v).  Kahn
+   topological order over the tight subgraph, processed in reverse. *)
+let xi_of_tight g tight =
+  let n = Digraph.n g in
+  let indeg = Array.make n 0 in
+  Digraph.iter_arcs g (fun a ->
+      if tight a then indeg.(Digraph.dst g a) <- indeg.(Digraph.dst g a) + 1);
+  let order = Array.make n (-1) in
+  let k = ref 0 in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    order.(!k) <- u;
+    incr k;
+    Digraph.iter_out g u (fun a ->
+        if tight a then begin
+          let v = Digraph.dst g a in
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then Queue.add v queue
+        end)
+  done;
+  assert (!k = n) (* the caller guarantees the tight subgraph is acyclic *);
+  let xi = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let u = order.(i) in
+    Digraph.iter_out g u (fun a ->
+        if tight a then xi.(u) <- max xi.(u) (1 + xi.(Digraph.dst g a)))
+  done;
+  xi
+
+let any_cycle g =
+  match Critical.cycle_in g (fun _ -> true) with
+  | Some c -> c
+  | None -> invalid_arg "Burns: input graph is acyclic"
+
+let solve ?stats ~den ~lambda0 ~epsilon g =
+  if Digraph.m g = 0 then invalid_arg "Burns: graph has no arcs";
+  let n = Digraph.n g in
+  let m = Digraph.m g in
+  let maxabs =
+    Digraph.fold_arcs g (fun acc a -> max acc (abs (Digraph.weight g a))) 1
+  in
+  let tol = epsilon *. float_of_int maxabs in
+  let costf a =
+    float_of_int (Digraph.weight g a) -. (lambda0 *. float_of_int (den a))
+  in
+  let d =
+    match Bellman_ford.run_float ~cost:costf g with
+    | Ok pot -> pot
+    | Error _ -> assert false (* λ0 is below every cycle ratio *)
+  in
+  let lambda = ref lambda0 in
+  let slack = Array.make m 0.0 in
+  let cap = (4 * n) + 64 in
+  let iter = ref 0 in
+  let result = ref None in
+  while !result = None && !iter < cap do
+    incr iter;
+    (match stats with
+    | Some s -> s.Stats.iterations <- s.Stats.iterations + 1
+    | None -> ());
+    Digraph.iter_arcs g (fun a ->
+        slack.(a) <-
+          float_of_int (Digraph.weight g a)
+          -. (!lambda *. float_of_int (den a))
+          +. d.(Digraph.src g a) -. d.(Digraph.dst g a));
+    let tight a = slack.(a) <= tol in
+    match Critical.cycle_in g tight with
+    | Some c -> result := Some c
+    | None ->
+      let xi = xi_of_tight g tight in
+      (* θ = min over arcs with ξ(v)+1 > ξ(u) of slack / (ξ(v)+1−ξ(u));
+         tight arcs satisfy ξ(u) ≥ ξ(v)+1 and are excluded automatically *)
+      let theta = ref infinity in
+      Digraph.iter_arcs g (fun a ->
+          let coeff =
+            xi.(Digraph.dst g a) + 1 - xi.(Digraph.src g a)
+          in
+          if coeff > 0 then begin
+            let t = slack.(a) /. float_of_int coeff in
+            if t < !theta then theta := t
+          end);
+      if !theta = infinity || !theta <= 0.0 then
+        (* no useful step (numerically stuck): bail out to the exact
+           finisher from any cycle *)
+        result := Some (any_cycle g)
+      else begin
+        lambda := !lambda +. !theta;
+        for v = 0 to n - 1 do
+          d.(v) <- d.(v) +. (!theta *. float_of_int xi.(v))
+        done
+      end
+  done;
+  let cycle = match !result with Some c -> c | None -> any_cycle g in
+  Critical.improve_to_optimal ?stats ~den g cycle
+
+let minimum_cycle_mean ?stats ?(epsilon = 1e-9) g =
+  (* every cycle mean is at least the minimum arc weight *)
+  let lambda0 = float_of_int (Digraph.min_weight g) in
+  solve ?stats ~den:(fun _ -> 1) ~lambda0 ~epsilon g
+
+let minimum_cycle_ratio ?stats ?(epsilon = 1e-9) g =
+  Critical.assert_ratio_well_posed g;
+  (* safe lower bound: |w(C)/t(C)| <= n·max|w| when t(C) >= 1 *)
+  let maxabs =
+    Digraph.fold_arcs g (fun acc a -> max acc (abs (Digraph.weight g a))) 1
+  in
+  let lambda0 = float_of_int (-(Digraph.n g * maxabs) - 1) in
+  solve ?stats ~den:(Digraph.transit g) ~lambda0 ~epsilon g

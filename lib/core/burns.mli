@@ -1,0 +1,22 @@
+(** Burns' algorithm (Caltech PhD thesis, 1991), the primal–dual method
+    on the linear program [max λ s.t. d(v) − d(u) ≤ w(u,v) − λ·t(u,v)].
+
+    Each iteration rebuilds the {e critical graph} of tight constraints
+    from scratch; if it contains a cycle the current λ is optimal,
+    otherwise the dual step lengths ξ (longest tight-path counts) give
+    the largest feasible increase θ of λ, with
+    [d ← d + θ·ξ].  Identical to the Cuninghame-Green & Yixun (1996)
+    algorithm, as the paper observes.
+
+    As with {!Howard}, the iteration runs in floating point and the
+    final candidate cycle is handed to {!Critical.improve_to_optimal},
+    so results are exact.
+
+    Preconditions: strongly connected input with at least one arc; for
+    the ratio form every cycle must have positive total transit time. *)
+
+val minimum_cycle_mean :
+  ?stats:Stats.t -> ?epsilon:float -> Digraph.t -> Ratio.t * int list
+
+val minimum_cycle_ratio :
+  ?stats:Stats.t -> ?epsilon:float -> Digraph.t -> Ratio.t * int list

@@ -1,0 +1,124 @@
+let scaled_cost g ~den lambda a =
+  (Ratio.den lambda * Digraph.weight g a) - (Ratio.num lambda * den a)
+
+let ratio_of_cycle g ~den cycle =
+  let w = Digraph.cycle_weight g cycle in
+  let d = List.fold_left (fun s a -> s + den a) 0 cycle in
+  Ratio.make w d
+
+type position =
+  | Below
+  | Optimal of int list
+  | Above of int list
+
+(* Tight arcs under potentials [d]: d(dst) = d(src) + cost. *)
+let tight_arc g ~cost d a =
+  d.(Digraph.dst g a) = d.(Digraph.src g a) + cost a
+
+(* Finds a cycle (arc ids, path order) within the subgraph formed by the
+   arcs selected by [keep], via iterative DFS with an explicit arc
+   stack.  Returns None if that subgraph is acyclic. *)
+let find_cycle_in_subgraph g keep =
+  let n = Digraph.n g in
+  let color = Array.make n 0 in        (* 0 white, 1 on stack, 2 done *)
+  let stack_pos = Array.make n (-1) in (* node -> depth on current path *)
+  let path_arcs = Vec.create () in     (* arcs of the current DFS path *)
+  let result = ref None in
+  let rec dfs u =
+    color.(u) <- 1;
+    stack_pos.(u) <- Vec.length path_arcs;
+    Digraph.iter_out g u (fun a ->
+        if !result = None && keep a then begin
+          let v = Digraph.dst g a in
+          if color.(v) = 1 then begin
+            (* back arc: the cycle is the path suffix from v, plus a *)
+            let acc = ref [ a ] in
+            for i = Vec.length path_arcs - 1 downto stack_pos.(v) do
+              acc := Vec.get path_arcs i :: !acc
+            done;
+            result := Some !acc
+          end
+          else if color.(v) = 0 then begin
+            Vec.push path_arcs a;
+            dfs v;
+            if !result = None then ignore (Vec.pop path_arcs)
+          end
+        end);
+    if !result = None then begin
+      color.(u) <- 2;
+      stack_pos.(u) <- -1
+    end
+  in
+  let u = ref 0 in
+  while !result = None && !u < n do
+    if color.(!u) = 0 then dfs !u;
+    incr u
+  done;
+  !result
+
+let cycle_in g keep = find_cycle_in_subgraph g keep
+
+let assert_ratio_well_posed g =
+  match find_cycle_in_subgraph g (fun a -> Digraph.transit g a = 0) with
+  | Some _ ->
+    invalid_arg
+      "cost-to-time ratio undefined: the graph has a cycle of zero total \
+       transit time"
+  | None -> ()
+
+let locate ?stats ~den g lambda =
+  (match stats with Some s -> s.Stats.oracle_calls <- s.Stats.oracle_calls + 1 | None -> ());
+  let cost = scaled_cost g ~den lambda in
+  let on_relax =
+    Option.map (fun s () -> s.Stats.relaxations <- s.Stats.relaxations + 1) stats
+  in
+  match Bellman_ford.run ?on_relax ~cost g with
+  | Bellman_ford.Negative_cycle c -> Above c
+  | Bellman_ford.Feasible d -> (
+    match find_cycle_in_subgraph g (tight_arc g ~cost d) with
+    | Some c -> Optimal c
+    | None -> Below)
+
+let improve_to_optimal ?stats ~den g cycle =
+  if not (Digraph.is_cycle g cycle) then
+    invalid_arg "Critical.improve_to_optimal: not a cycle";
+  let rec go lambda =
+    match locate ?stats ~den g lambda with
+    | Optimal w -> (lambda, w)
+    | Above better ->
+      let lambda' = ratio_of_cycle g ~den better in
+      assert (Ratio.lt lambda' lambda);
+      go lambda'
+    | Below ->
+      (* impossible: lambda is the ratio of a genuine cycle *)
+      assert false
+  in
+  go (ratio_of_cycle g ~den cycle)
+
+let critical_arcs ~den g lambda =
+  let cost = scaled_cost g ~den lambda in
+  match Bellman_ford.run ~cost g with
+  | Bellman_ford.Negative_cycle _ -> []
+  | Bellman_ford.Feasible d ->
+    (* Keep tight arcs, then keep only those inside a nontrivial SCC of
+       the tight subgraph: exactly the arcs on some optimum cycle. *)
+    let keep = tight_arc g ~cost d in
+    let b = Digraph.create_builder (Digraph.n g) in
+    let ids = Vec.create () in
+    Digraph.iter_arcs g (fun a ->
+        if keep a then begin
+          ignore
+            (Digraph.add_arc b ~src:(Digraph.src g a) ~dst:(Digraph.dst g a)
+               ~weight:(Digraph.weight g a) ());
+          Vec.push ids a
+        end);
+    let tight = Digraph.build b in
+    let scc = Scc.compute tight in
+    let result = ref [] in
+    for ta = Digraph.m tight - 1 downto 0 do
+      let u = Digraph.src tight ta and v = Digraph.dst tight ta in
+      let same = scc.Scc.component.(u) = scc.Scc.component.(v) in
+      let cyclic = (not (Scc.is_trivial tight scc scc.Scc.component.(u))) in
+      if same && cyclic then result := Vec.get ids ta :: !result
+    done;
+    !result

@@ -1,0 +1,111 @@
+let inf = Karp_core.inf
+
+let minimum_cycle_mean ?stats g =
+  if Digraph.m g = 0 then invalid_arg "Dg: graph has no arcs";
+  let n = Digraph.n g in
+  let d = Karp_core.alloc_table g in
+  let bump =
+    match stats with
+    | Some s -> fun () -> s.Stats.arcs_visited <- s.Stats.arcs_visited + 1
+    | None -> fun () -> ()
+  in
+  let frontier = ref (Vec.of_list [ 0 ]) in
+  for k = 1 to n do
+    let prev = (k - 1) * n and cur = k * n in
+    let next = Vec.create () in
+    Vec.iter
+      (fun u ->
+        let du = d.(prev + u) in
+        Digraph.iter_out g u (fun a ->
+            bump ();
+            let v = Digraph.dst g a in
+            let cand = du + Digraph.weight g a in
+            if cand < d.(cur + v) then begin
+              if d.(cur + v) = inf then Vec.push next v;
+              d.(cur + v) <- cand
+            end))
+      !frontier;
+    frontier := next
+  done;
+  (match stats with Some s -> s.Stats.level <- n | None -> ());
+  let lambda = Karp_core.lambda_of_table g d in
+  (lambda, Karp_core.witness ?stats g lambda)
+
+(* One frontier-driven rolling step: fills [cur] from [prev], returning
+   the next frontier.  Shared by both passes of the low-space form. *)
+let step ?stats g prev cur frontier =
+  Array.fill cur 0 (Array.length cur) inf;
+  let bump =
+    match stats with
+    | Some s -> fun () -> s.Stats.arcs_visited <- s.Stats.arcs_visited + 1
+    | None -> fun () -> ()
+  in
+  let next = Vec.create () in
+  Vec.iter
+    (fun u ->
+      let du = prev.(u) in
+      Digraph.iter_out g u (fun a ->
+          bump ();
+          let v = Digraph.dst g a in
+          let cand = du + Digraph.weight g a in
+          if cand < cur.(v) then begin
+            if cur.(v) = inf then Vec.push next v;
+            cur.(v) <- cand
+          end))
+    frontier;
+  next
+
+let minimum_cycle_mean_low_space ?stats g =
+  if Digraph.m g = 0 then invalid_arg "Dg: graph has no arcs";
+  let n = Digraph.n g in
+  let init () =
+    let row = Array.make n inf in
+    row.(0) <- 0;
+    (row, Vec.of_list [ 0 ])
+  in
+  (* pass 1: D_n via rolling rows *)
+  let row, frontier = init () in
+  let prev = ref row and cur = ref (Array.make n inf) and front = ref frontier in
+  for _ = 1 to n do
+    front := step ?stats g !prev !cur !front;
+    let t = !prev in
+    prev := !cur;
+    cur := t
+  done;
+  let d_n = Array.copy !prev in
+  (* pass 2: recompute D_k, folding Karp's fraction on the fly *)
+  let max_num = Array.make n 0 and max_den = Array.make n 0 in
+  let fold k row =
+    for v = 0 to n - 1 do
+      if row.(v) < inf && d_n.(v) < inf then begin
+        let num = d_n.(v) - row.(v) and den = n - k in
+        if max_den.(v) = 0 || num * max_den.(v) > max_num.(v) * den then begin
+          max_num.(v) <- num;
+          max_den.(v) <- den
+        end
+      end
+    done
+  in
+  let row, frontier = init () in
+  let prev = ref row and cur = ref (Array.make n inf) and front = ref frontier in
+  fold 0 !prev;
+  for k = 1 to n - 1 do
+    front := step ?stats g !prev !cur !front;
+    fold k !cur;
+    let t = !prev in
+    prev := !cur;
+    cur := t
+  done;
+  (match stats with Some s -> s.Stats.level <- n | None -> ());
+  let best_num = ref 0 and best_den = ref 0 in
+  for v = 0 to n - 1 do
+    if max_den.(v) > 0
+       && (!best_den = 0 || max_num.(v) * !best_den < !best_num * max_den.(v))
+    then begin
+      best_num := max_num.(v);
+      best_den := max_den.(v)
+    end
+  done;
+  if !best_den = 0 then invalid_arg "Dg: no finite candidate";
+  let lambda = Ratio.make !best_num !best_den in
+  (lambda, Karp_core.witness ?stats g lambda)

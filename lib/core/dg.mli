@@ -1,0 +1,20 @@
+(** DG: the Dasdan–Gupta breadth-first unfolding of Karp's recurrence
+    (IEEE TCAD 1998; §2.2 of the paper).
+
+    Instead of scanning every arc at every level, only the out-arcs of
+    nodes actually reached at the previous level are visited, so the
+    work equals the size of the "unfolded" graph: between Θ(m) (e.g. a
+    bare cycle, where the frontier has one node per level) and O(nm).
+    The [arcs_visited] counter exposes the difference against Karp
+    (§4.4).  Same Θ(n²) space as Karp.
+
+    Precondition: strongly connected input with at least one arc. *)
+
+val minimum_cycle_mean : ?stats:Stats.t -> Digraph.t -> Ratio.t * int list
+
+val minimum_cycle_mean_low_space :
+  ?stats:Stats.t -> Digraph.t -> Ratio.t * int list
+(** The Karp2 space trick applied to DG, as §4.4 of the paper suggests
+    ("the space efficiency of the Karp2 algorithm is directly
+    applicable to the DG and HO algorithms"): two frontier-driven
+    passes over rolling rows, Θ(n) space, roughly twice the work. *)

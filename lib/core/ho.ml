@@ -1,0 +1,129 @@
+let inf = Karp_core.inf
+
+(* Like Karp_core.relax_level but also records, for every entry of row
+   [k], the arc that realized it. *)
+let relax_level_with_parents ?stats g d par k =
+  let n = Digraph.n g in
+  let prev = (k - 1) * n and cur = k * n in
+  let bump =
+    match stats with
+    | Some s -> fun () -> s.Stats.arcs_visited <- s.Stats.arcs_visited + 1
+    | None -> fun () -> ()
+  in
+  Digraph.iter_arcs g (fun a ->
+      bump ();
+      let u = Digraph.src g a in
+      let du = d.(prev + u) in
+      if du < inf then begin
+        let v = Digraph.dst g a in
+        let cand = du + Digraph.weight g a in
+        if cand < d.(cur + v) then begin
+          d.(cur + v) <- cand;
+          par.(cur + v) <- a
+        end
+      end)
+
+type candidate = { mutable num : int; mutable den : int; mutable cycle : int list }
+
+(* Walks the predecessor chain of the level-k walk ending at [v] and
+   updates [best] with every cycle found on it.  [last_seen] is a
+   scratch array (node -> level within this chain, or -1). *)
+let scan_chain ?stats g d par k v last_seen node_at arc_into best =
+  let n = Digraph.n g in
+  let touched = ref [] in
+  let x = ref v in
+  node_at.(k) <- v;
+  last_seen.(v) <- k;
+  touched := v :: !touched;
+  (try
+     for j = k downto 1 do
+       let a = par.((j * n) + !x) in
+       arc_into.(j) <- a;
+       let u = Digraph.src g a in
+       node_at.(j - 1) <- u;
+       if last_seen.(u) >= 0 then begin
+         (* cycle between levels (j-1) and last_seen.(u) *)
+         let hi = last_seen.(u) and lo = j - 1 in
+         let num = d.((hi * n) + u) - d.((lo * n) + u) in
+         let den = hi - lo in
+         (match stats with
+         | Some s -> s.Stats.cycles_examined <- s.Stats.cycles_examined + 1
+         | None -> ());
+         if best.den = 0 || num * best.den < best.num * den then begin
+           let cycle = ref [] in
+           for l = hi downto lo + 1 do
+             cycle := arc_into.(l) :: !cycle
+           done;
+           best.num <- num;
+           best.den <- den;
+           best.cycle <- !cycle
+         end;
+         raise Exit
+       end;
+       last_seen.(u) <- j - 1;
+       touched := u :: !touched;
+       x := u
+     done
+   with Exit -> ());
+  List.iter (fun u -> last_seen.(u) <- -1) !touched
+
+(* Exact optimality test of λ = best.num / best.den using potentials
+   d(v) = min_{j <= k} (q·D_j(v) − j·p); sound by LP duality: feasible
+   potentials prove λ* >= λ, the witness cycle proves λ* <= λ. *)
+let proves_optimal g d k best =
+  let n = Digraph.n g in
+  let p = best.num and q = best.den in
+  let pot = Array.make n max_int in
+  for j = 0 to k do
+    let base = j * n in
+    for v = 0 to n - 1 do
+      if d.(base + v) < inf then begin
+        let cand = (q * d.(base + v)) - (j * p) in
+        if cand < pot.(v) then pot.(v) <- cand
+      end
+    done
+  done;
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if pot.(v) = max_int then ok := false
+  done;
+  if !ok then
+    Digraph.iter_arcs g (fun a ->
+        let u = Digraph.src g a and v = Digraph.dst g a in
+        if pot.(v) > pot.(u) + (q * Digraph.weight g a) - p then ok := false);
+  !ok
+
+let check_level k n = k <= 8 || k land (k - 1) = 0 || k = n
+
+let minimum_cycle_mean ?stats g =
+  if Digraph.m g = 0 then invalid_arg "Ho: graph has no arcs";
+  let n = Digraph.n g in
+  let d = Karp_core.alloc_table g in
+  let par = Array.make ((n + 1) * n) (-1) in
+  let last_seen = Array.make n (-1) in
+  let node_at = Array.make (n + 1) (-1) in
+  let arc_into = Array.make (n + 1) (-1) in
+  let best = { num = 0; den = 0; cycle = [] } in
+  let result = ref None in
+  let k = ref 1 in
+  while !result = None && !k <= n do
+    relax_level_with_parents ?stats g d par !k;
+    if check_level !k n then begin
+      let base = !k * n in
+      for v = 0 to n - 1 do
+        if d.(base + v) < inf then
+          scan_chain ?stats g d par !k v last_seen node_at arc_into best
+      done;
+      if best.den > 0 && proves_optimal g d !k best then begin
+        (match stats with Some s -> s.Stats.level <- !k | None -> ());
+        result := Some (Ratio.make best.num best.den, best.cycle)
+      end
+    end;
+    incr k
+  done;
+  match !result with
+  | Some r -> r
+  | None ->
+    (match stats with Some s -> s.Stats.level <- n | None -> ());
+    let lambda = Karp_core.lambda_of_table g d in
+    (lambda, Karp_core.witness ?stats g lambda)

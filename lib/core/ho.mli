@@ -1,0 +1,19 @@
+(** HO: Karp's algorithm with the Hartmann–Orlin early-termination
+    scheme (Networks 1993; §2.2 of the paper).
+
+    The recurrence and table are Karp's; additionally, at selected
+    levels [k] the algorithm (a) walks the predecessor chains of the
+    level-[k] walks to collect the cycles they contain and (b) checks
+    exactly — via the potentials [d(v) = min_j (D_j(v) − j·λ)] — whether
+    the best cycle found proves optimal.  If it does, the algorithm
+    stops at level [k] (reported in [stats.level], the "number of
+    iterations" of §4.3); otherwise it falls back to the full Karp
+    evaluation at [k = n].
+
+    Checks run at every level up to 8, at powers of two, and at [n]:
+    the chain walks then cost O(n²) total and the feasibility checks
+    O(m·lg n), matching the overhead bound quoted in the paper.
+
+    Precondition: strongly connected input with at least one arc. *)
+
+val minimum_cycle_mean : ?stats:Stats.t -> Digraph.t -> Ratio.t * int list

@@ -1,0 +1,205 @@
+type init = [ `Cheapest_arc | `First_arc | `Random of int ]
+
+(* Policy evaluation: find every cycle of the functional graph
+   u -> dst(pi(u)), returning the one with the smallest exact ratio.
+   O(n) with colour stamps. *)
+let best_policy_cycle ?stats g den pi =
+  let n = Digraph.n g in
+  let color = Array.make n 0 in (* 0 unseen, 1 on current walk, 2 done *)
+  let pos = Array.make n (-1) in
+  let walk = Array.make (n + 1) (-1) in
+  let best = ref None in
+  for start = 0 to n - 1 do
+    if color.(start) = 0 then begin
+      let len = ref 0 in
+      let x = ref start in
+      while color.(!x) = 0 do
+        color.(!x) <- 1;
+        pos.(!x) <- !len;
+        walk.(!len) <- !x;
+        incr len;
+        x := Digraph.dst g pi.(!x)
+      done;
+      if color.(!x) = 1 then begin
+        (* new cycle: walk.(pos(!x)) .. walk.(len-1) *)
+        (match stats with
+        | Some s -> s.Stats.cycles_examined <- s.Stats.cycles_examined + 1
+        | None -> ());
+        let num = ref 0 and d = ref 0 and arcs = ref [] in
+        for i = !len - 1 downto pos.(!x) do
+          let a = pi.(walk.(i)) in
+          num := !num + Digraph.weight g a;
+          d := !d + den a;
+          arcs := a :: !arcs
+        done;
+        if !d <= 0 then
+          invalid_arg "Howard: policy cycle with non-positive denominator \
+                       (zero-transit cycle in the ratio problem?)";
+        let replace =
+          match !best with
+          | None -> true
+          | Some (bn, bd, _, _) -> !num * bd < bn * !d
+        in
+        if replace then best := Some (!num, !d, !arcs, !x)
+      end;
+      (* close the walk *)
+      for i = 0 to !len - 1 do
+        color.(walk.(i)) <- 2
+      done
+    end
+  done;
+  match !best with
+  | Some b -> b
+  | None -> assert false (* every functional graph has a cycle *)
+
+let solve ?stats ?(init = `Cheapest_arc) ?policy ~den ~epsilon g =
+  if Digraph.m g = 0 then invalid_arg "Howard: graph has no arcs";
+  let n = Digraph.n g in
+  (* initial policy: cheapest out-arc (Figure 1, lines 1-4) by
+     default; a caller-supplied warm-start policy overrides [init]
+     (the incremental re-solve path); the alternatives ablate how much
+     the improved initialization buys (bench E9) *)
+  let d = Array.make n infinity in
+  let pi = Array.make n (-1) in
+  (match policy with
+  | Some p ->
+    if Array.length p <> n then invalid_arg "Howard: wrong policy length";
+    Array.iteri
+      (fun u a ->
+        if a < 0 || a >= Digraph.m g || Digraph.src g a <> u then
+          invalid_arg "Howard: invalid warm-start policy";
+        pi.(u) <- a;
+        d.(u) <- float_of_int (Digraph.weight g a))
+      p
+  | None -> ());
+  (match (policy, init) with
+  | Some _, _ -> ()
+  | None, `Cheapest_arc ->
+    Digraph.iter_arcs g (fun a ->
+        let u = Digraph.src g a in
+        let w = float_of_int (Digraph.weight g a) in
+        if w < d.(u) then begin
+          d.(u) <- w;
+          pi.(u) <- a
+        end)
+  | None, `First_arc ->
+    Digraph.iter_arcs g (fun a ->
+        let u = Digraph.src g a in
+        if pi.(u) < 0 then begin
+          pi.(u) <- a;
+          d.(u) <- float_of_int (Digraph.weight g a)
+        end)
+  | None, `Random seed ->
+    (* xorshift-mixed reservoir choice among each node's out-arcs *)
+    let state = ref (seed lxor 0x2545F4914F6CDD1D) in
+    let next () =
+      let x = !state in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 7) in
+      let x = x lxor (x lsl 17) in
+      state := x;
+      x land max_int
+    in
+    for u = 0 to n - 1 do
+      let deg = Digraph.out_degree g u in
+      if deg > 0 then begin
+        let pick = next () mod deg in
+        let i = ref 0 in
+        Digraph.iter_out g u (fun a ->
+            if !i = pick then begin
+              pi.(u) <- a;
+              d.(u) <- float_of_int (Digraph.weight g a)
+            end;
+            incr i)
+      end
+    done);
+  Array.iter
+    (fun a -> if a < 0 then invalid_arg "Howard: node without out-arc")
+    pi;
+  let scale =
+    Digraph.fold_arcs g (fun acc a -> max acc (abs (Digraph.weight g a))) 1
+    |> float_of_int
+  in
+  let eps = epsilon *. scale in
+  let rev = Array.make n [] in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  let cap = (8 * n) + 64 in
+  let iter = ref 0 in
+  let result = ref None in
+  while !result = None && !iter < cap do
+    incr iter;
+    (match stats with
+    | Some s -> s.Stats.iterations <- s.Stats.iterations + 1
+    | None -> ());
+    let num, dn, cycle, s_node = best_policy_cycle ?stats g den pi in
+    let lambda = float_of_int num /. float_of_int dn in
+    (* node distances by reverse BFS from s_node over policy arcs
+       (Figure 1, lines 10-12) *)
+    Array.fill rev 0 n [];
+    for u = 0 to n - 1 do
+      let v = Digraph.dst g pi.(u) in
+      rev.(v) <- u :: rev.(v)
+    done;
+    Array.fill visited 0 n false;
+    Queue.clear queue;
+    visited.(s_node) <- true;
+    Queue.add s_node queue;
+    while not (Queue.is_empty queue) do
+      let x = Queue.take queue in
+      List.iter
+        (fun u ->
+          if not visited.(u) then begin
+            visited.(u) <- true;
+            let a = pi.(u) in
+            d.(u) <-
+              d.(x) +. float_of_int (Digraph.weight g a)
+              -. (lambda *. float_of_int (den a));
+            Queue.add u queue
+          end)
+        rev.(x)
+    done;
+    (* improvement sweep (Figure 1, lines 13-18) *)
+    let improved = ref false in
+    Digraph.iter_arcs g (fun a ->
+        let u = Digraph.src g a and v = Digraph.dst g a in
+        let cand =
+          d.(v) +. float_of_int (Digraph.weight g a)
+          -. (lambda *. float_of_int (den a))
+        in
+        let delta = d.(u) -. cand in
+        if delta > 0.0 then begin
+          (match stats with
+          | Some s -> s.Stats.relaxations <- s.Stats.relaxations + 1
+          | None -> ());
+          d.(u) <- cand;
+          pi.(u) <- a;
+          if delta > eps then improved := true
+        end);
+    if not !improved then result := Some cycle
+  done;
+  let cycle =
+    match !result with
+    | Some c -> c
+    | None ->
+      (* iteration cap hit: the best policy cycle is still a sound
+         candidate; the exact finisher below corrects any gap *)
+      let _, _, c, _ = best_policy_cycle ?stats g den pi in
+      c
+  in
+  let lambda, witness = Critical.improve_to_optimal ?stats ~den g cycle in
+  (lambda, witness, pi)
+
+let minimum_cycle_mean ?stats ?(epsilon = 1e-9) ?init g =
+  let lambda, cycle, _ = solve ?stats ?init ~den:(fun _ -> 1) ~epsilon g in
+  (lambda, cycle)
+
+let minimum_cycle_ratio ?stats ?(epsilon = 1e-9) ?init g =
+  Critical.assert_ratio_well_posed g;
+  let lambda, cycle, _ =
+    solve ?stats ?init ~den:(Digraph.transit g) ~epsilon g
+  in
+  (lambda, cycle)
+
+let minimum_cycle_mean_warm ?stats ?(epsilon = 1e-9) ?policy g =
+  solve ?stats ?policy ~den:(fun _ -> 1) ~epsilon g

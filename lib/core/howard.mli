@@ -1,0 +1,49 @@
+(** Howard's algorithm (policy iteration), in the improved form of
+    Figure 1 of the paper (after Cochet-Terrasson, Cohen, Gaubert,
+    McGettrick & Quadrat, 1997).
+
+    Maintains a {e policy} — one out-arc per node — whose functional
+    graph is evaluated each iteration: the best policy cycle gives the
+    current λ, node distances are propagated backwards from that cycle,
+    and every arc is then tested for an improvement.  The only known
+    worst-case bounds are pseudopolynomial (O(Nm) for N the product of
+    out-degrees; the paper adds O(nmα) and O(n²m(w_max−w_min)/ε)), yet
+    it is by far the fastest algorithm in the study.
+
+    The iteration runs in floating point exactly as published; on
+    convergence the best policy cycle is handed to
+    {!Critical.improve_to_optimal}, so the returned value is the exact
+    optimum with a witness cycle regardless of rounding.
+
+    Preconditions: strongly connected input with at least one arc; for
+    the ratio form, every cycle must have positive total transit
+    time. *)
+
+type init = [ `Cheapest_arc | `First_arc | `Random of int ]
+(** Initial policy choice: the improved initialization of Figure 1
+    (cheapest out-arc, the default), the naive first-out-arc policy, or
+    a seeded random policy — ablated in bench E9. *)
+
+val minimum_cycle_mean :
+  ?stats:Stats.t -> ?epsilon:float -> ?init:init -> Digraph.t ->
+  Ratio.t * int list
+(** [epsilon] is the improvement threshold of Figure 1 (relative to the
+    weight scale; default [1e-9]). *)
+
+val minimum_cycle_ratio :
+  ?stats:Stats.t -> ?epsilon:float -> ?init:init -> Digraph.t ->
+  Ratio.t * int list
+(** Cost-to-time ratio form: policy values use [w − λ·t]. *)
+
+val minimum_cycle_mean_warm :
+  ?stats:Stats.t -> ?epsilon:float -> ?policy:int array -> Digraph.t ->
+  Ratio.t * int list * int array
+(** Warm-start entry point for repeated re-solves (the paper's §1.3
+    notes the applications "require that they be run many times"): the
+    optional [policy] (one out-arc id per node, e.g. the third
+    component of a previous call's result) seeds the iteration, which
+    typically converges in one or two sweeps after a small weight
+    change.  Returns the final policy along with the optimum.  Used by
+    {!Incremental}.
+    @raise Invalid_argument if [policy] has the wrong length or names
+    an arc that does not leave its node. *)

@@ -1,0 +1,42 @@
+type t = {
+  mutable graph : Digraph.t;
+  mutable weights : int array; (* current weights, arc id -> w *)
+  mutable policy : int array option;
+  mutable dirty : bool; (* weights changed since [graph] was built *)
+}
+
+let create g =
+  if Digraph.m g = 0 then invalid_arg "Incremental.create: graph has no arcs";
+  {
+    graph = g;
+    weights = Array.init (Digraph.m g) (Digraph.weight g);
+    policy = None;
+    dirty = false;
+  }
+
+let refresh t =
+  if t.dirty then begin
+    let w = t.weights in
+    t.graph <- Digraph.map_weights t.graph (fun a -> w.(a));
+    t.dirty <- false
+  end
+
+let graph t =
+  refresh t;
+  t.graph
+
+let set_weight t a w =
+  if a < 0 || a >= Array.length t.weights then
+    invalid_arg "Incremental.set_weight: arc out of range";
+  if t.weights.(a) <> w then begin
+    t.weights.(a) <- w;
+    t.dirty <- true
+  end
+
+let solve ?stats t =
+  refresh t;
+  let lambda, cycle, policy =
+    Howard.minimum_cycle_mean_warm ?stats ?policy:t.policy t.graph
+  in
+  t.policy <- Some policy;
+  (lambda, cycle)

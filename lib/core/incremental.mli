@@ -1,0 +1,30 @@
+(** Repeated minimum-cycle-mean queries under arc-weight updates.
+
+    The paper's motivation (§1.3): "finding more efficient
+    implementation of these algorithms is very important because their
+    applications require that they be run many times" — retiming loops,
+    rate optimization, and clock scheduling all re-solve after small
+    edits.  This module keeps Howard's last optimal policy and
+    warm-starts from it: after a local weight change the policy is
+    usually still optimal or one improvement sweep away, so a re-solve
+    costs one or two O(m) iterations instead of a cold start.
+
+    Results are identical to a cold solve (every answer goes through
+    the exact finisher); only the work differs. *)
+
+type t
+
+val create : Digraph.t -> t
+(** The graph must be strongly connected with at least one arc (as for
+    the raw algorithms; use {!Solver} + fresh solves otherwise). *)
+
+val graph : t -> Digraph.t
+(** Current graph (reflects all updates). *)
+
+val set_weight : t -> int -> int -> unit
+(** [set_weight t arc w] changes one arc weight.
+    @raise Invalid_argument on a bad arc id. *)
+
+val solve : ?stats:Stats.t -> t -> Ratio.t * int list
+(** Exact minimum cycle mean of the current graph, warm-started from
+    the previous solution when one exists. *)

@@ -1,0 +1,10 @@
+let minimum_cycle_mean ?stats g =
+  if Digraph.m g = 0 then invalid_arg "Karp: graph has no arcs";
+  let n = Digraph.n g in
+  let d = Karp_core.alloc_table g in
+  for k = 1 to n do
+    Karp_core.relax_level ?stats g d k
+  done;
+  (match stats with Some s -> s.Stats.level <- n | None -> ());
+  let lambda = Karp_core.lambda_of_table g d in
+  (lambda, Karp_core.witness ?stats g lambda)

@@ -1,0 +1,13 @@
+(** Karp's minimum mean cycle algorithm (Discrete Mathematics, 1978).
+
+    Θ(nm) time and Θ(n²) space; the best and worst cases coincide
+    because the dynamic program always fills the complete
+    [(n+1) × n] table (§2.2 of the paper).
+
+    Precondition (all algorithm modules): the input graph is strongly
+    connected and contains at least one arc, hence at least one cycle.
+    Use {!Solver} for arbitrary graphs. *)
+
+val minimum_cycle_mean : ?stats:Stats.t -> Digraph.t -> Ratio.t * int list
+(** Exact minimum cycle mean and a critical cycle (arc ids, path
+    order). *)

@@ -1,0 +1,71 @@
+let inf = Karp_core.inf
+
+(* One rolling relaxation step: fills [cur] from [prev]. *)
+let step ?stats g prev cur =
+  Array.fill cur 0 (Array.length cur) inf;
+  let bump =
+    match stats with
+    | Some s -> fun () -> s.Stats.arcs_visited <- s.Stats.arcs_visited + 1
+    | None -> fun () -> ()
+  in
+  Digraph.iter_arcs g (fun a ->
+      bump ();
+      let du = prev.(Digraph.src g a) in
+      if du < inf then begin
+        let v = Digraph.dst g a in
+        let cand = du + Digraph.weight g a in
+        if cand < cur.(v) then cur.(v) <- cand
+      end)
+
+let minimum_cycle_mean ?stats g =
+  if Digraph.m g = 0 then invalid_arg "Karp2: graph has no arcs";
+  let n = Digraph.n g in
+  let init () =
+    let row = Array.make n inf in
+    row.(0) <- 0;
+    row
+  in
+  (* Pass 1: obtain D_n with two rolling rows. *)
+  let prev = ref (init ()) and cur = ref (Array.make n inf) in
+  for _ = 1 to n do
+    step ?stats g !prev !cur;
+    let t = !prev in
+    prev := !cur;
+    cur := t
+  done;
+  let d_n = Array.copy !prev in
+  (* Pass 2: recompute D_k and fold max_k (D_n - D_k) / (n - k). *)
+  let max_num = Array.make n 0 and max_den = Array.make n 0 in
+  let fold k row =
+    for v = 0 to n - 1 do
+      if row.(v) < inf && d_n.(v) < inf then begin
+        let num = d_n.(v) - row.(v) and den = n - k in
+        if max_den.(v) = 0 || num * max_den.(v) > max_num.(v) * den then begin
+          max_num.(v) <- num;
+          max_den.(v) <- den
+        end
+      end
+    done
+  in
+  let prev = ref (init ()) and cur = ref (Array.make n inf) in
+  fold 0 !prev;
+  for k = 1 to n - 1 do
+    step ?stats g !prev !cur;
+    fold k !cur;
+    let t = !prev in
+    prev := !cur;
+    cur := t
+  done;
+  (match stats with Some s -> s.Stats.level <- n | None -> ());
+  let best_num = ref 0 and best_den = ref 0 in
+  for v = 0 to n - 1 do
+    if max_den.(v) > 0
+       && (!best_den = 0 || max_num.(v) * !best_den < !best_num * max_den.(v))
+    then begin
+      best_num := max_num.(v);
+      best_den := max_den.(v)
+    end
+  done;
+  if !best_den = 0 then invalid_arg "Karp2: no finite candidate";
+  let lambda = Ratio.make !best_num !best_den in
+  (lambda, Karp_core.witness ?stats g lambda)

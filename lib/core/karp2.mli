@@ -1,0 +1,11 @@
+(** Karp2: the space-efficient two-pass variant of Karp's algorithm
+    (suggested by S. Gaubert; §2.2 of the paper).
+
+    Pass 1 computes the final row [D_n] keeping only two rolling rows;
+    pass 2 recomputes every row and folds the Karp fraction on the fly.
+    Θ(n) space instead of Θ(n²), at roughly twice the running time —
+    the 2× slowdown is one of the measurements reproduced in §4.4.
+
+    Precondition: strongly connected input with at least one arc. *)
+
+val minimum_cycle_mean : ?stats:Stats.t -> Digraph.t -> Ratio.t * int list

@@ -1,0 +1,64 @@
+let inf = max_int / 4
+
+let alloc_table g =
+  let n = Digraph.n g in
+  let d = Array.make ((n + 1) * n) inf in
+  d.(0) <- 0;
+  (* row 0: only the source (node 0) is at distance 0 *)
+  d
+
+let relax_level ?stats g d k =
+  let n = Digraph.n g in
+  let prev = (k - 1) * n and cur = k * n in
+  let bump =
+    match stats with
+    | Some s -> fun () -> s.Stats.arcs_visited <- s.Stats.arcs_visited + 1
+    | None -> fun () -> ()
+  in
+  Digraph.iter_arcs g (fun a ->
+      bump ();
+      let u = Digraph.src g a in
+      let du = d.(prev + u) in
+      if du < inf then begin
+        let v = Digraph.dst g a in
+        let cand = du + Digraph.weight g a in
+        if cand < d.(cur + v) then d.(cur + v) <- cand
+      end)
+
+let lambda_of_table g d =
+  let n = Digraph.n g in
+  let last = n * n in
+  (* min over v of max over k, exact fraction comparison throughout *)
+  let best_num = ref 0 and best_den = ref 0 in
+  for v = 0 to n - 1 do
+    if d.(last + v) < inf then begin
+      (* inner max over k of (D_n(v) - D_k(v)) / (n - k) *)
+      let max_num = ref 0 and max_den = ref 0 in
+      for k = 0 to n - 1 do
+        let dk = d.((k * n) + v) in
+        if dk < inf then begin
+          let num = d.(last + v) - dk and den = n - k in
+          if !max_den = 0 || num * !max_den > !max_num * den then begin
+            max_num := num;
+            max_den := den
+          end
+        end
+      done;
+      if !max_den > 0
+         && (!best_den = 0 || !max_num * !best_den < !best_num * !max_den)
+      then begin
+        best_num := !max_num;
+        best_den := !max_den
+      end
+    end
+  done;
+  if !best_den = 0 then
+    invalid_arg "Karp_core.lambda_of_table: no finite candidate \
+                 (input not strongly connected and cyclic?)";
+  Ratio.make !best_num !best_den
+
+let witness ?stats g lambda =
+  match Critical.locate ?stats ~den:(fun _ -> 1) g lambda with
+  | Critical.Optimal c -> c
+  | Critical.Below | Critical.Above _ ->
+    invalid_arg "Karp_core.witness: value is not the optimum cycle mean"

@@ -1,0 +1,31 @@
+(** Shared machinery for the Karp recurrence family (Karp, Karp2, DG,
+    HO).  Internal to the library; applications should use the
+    algorithm modules or {!Solver}.
+
+    The table [d] is the flattened [(n+1) × n] array of walk weights:
+    [d.(k*n + v)] is the minimum weight of a walk of exactly [k] arcs
+    from the source (node 0) to [v], or {!inf} if none exists.  All
+    algorithms in this family assume a strongly connected input with at
+    least one arc, so the source reaches every node. *)
+
+val inf : int
+(** Sentinel "no walk" value, safe against one addition. *)
+
+val alloc_table : Digraph.t -> int array
+(** Fresh [(n+1) × n] table with row 0 initialized for source 0. *)
+
+val relax_level : ?stats:Stats.t -> Digraph.t -> int array -> int -> unit
+(** [relax_level g d k] fills row [k] from row [k-1] by scanning every
+    arc (Karp's original recurrence); counts one [arcs_visited] per arc
+    scanned. *)
+
+val lambda_of_table : Digraph.t -> int array -> Ratio.t
+(** Karp's theorem applied to a complete table:
+    [λ* = min_v max_k (D_n(v) − D_k(v)) / (n − k)], skipping infinite
+    entries.  @raise Invalid_argument if the table yields no finite
+    candidate (cannot happen on strongly connected cyclic inputs). *)
+
+val witness : ?stats:Stats.t -> Digraph.t -> Ratio.t -> int list
+(** Extracts a cycle whose mean is exactly the given optimum, via the
+    tight subgraph of exact potentials.
+    @raise Invalid_argument if λ is not the optimum. *)

@@ -1,0 +1,14 @@
+(** KO: the Karp–Orlin parametric shortest path algorithm (Discrete
+    Applied Mathematics, 1981), O(nm log n) with Fibonacci heaps.
+    See {!Parametric} for the engine; KO keeps one heap entry per arc.
+
+    Preconditions: strongly connected input with at least one arc; for
+    the ratio form every cycle needs positive total transit time. *)
+
+val minimum_cycle_mean :
+  ?stats:Stats.t -> ?heap:Parametric.heap_kind -> Digraph.t ->
+  Ratio.t * int list
+
+val minimum_cycle_ratio :
+  ?stats:Stats.t -> ?heap:Parametric.heap_kind -> Digraph.t ->
+  Ratio.t * int list

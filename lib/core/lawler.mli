@@ -1,0 +1,27 @@
+(** Lawler's algorithm (Combinatorial Optimization, 1976): binary
+    search over λ with a Bellman–Ford negative-cycle oracle on [G_λ]
+    (§2.4 of the paper).
+
+    The search runs in floating point down to a width of [epsilon]
+    (the "precision" of the paper's Table 1); that alone yields an
+    approximate value.  This implementation then hands the last
+    negative cycle found to {!Critical.improve_to_optimal}, so the
+    returned value is exact — set [exact_finish:false] to measure the
+    algorithm exactly as published.
+
+    Preconditions: strongly connected input with at least one arc; for
+    the ratio form every cycle must have positive total transit time. *)
+
+val minimum_cycle_mean :
+  ?stats:Stats.t -> ?epsilon:float -> ?exact_finish:bool -> ?improved:bool ->
+  Digraph.t -> Ratio.t * int list
+(** With [exact_finish:false] the result is the ratio of the best cycle
+    found by the bisection, whose mean lies within [epsilon] of λ*.
+    [improved] (default false) enables the variant announced in §5 of
+    the paper: the upper bound drops to the exact ratio of the witness
+    cycle instead of the probe value, so each positive oracle answer
+    shrinks the interval by more than half (ablated in bench E9). *)
+
+val minimum_cycle_ratio :
+  ?stats:Stats.t -> ?epsilon:float -> ?exact_finish:bool -> ?improved:bool ->
+  Digraph.t -> Ratio.t * int list

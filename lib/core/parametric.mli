@@ -1,0 +1,44 @@
+(** Parametric shortest path engine shared by the KO and YTO algorithms
+    (Karp & Orlin 1981; Young, Tarjan & Orlin 1991).
+
+    A shortest-path tree from node 0 is maintained in the reweighted
+    graph [G_λ] (arc costs [w − λ·t]) as λ grows from −∞, where the
+    initial tree is the λ → −∞ limit: lexicographic (transit, weight)
+    shortest paths.  Each pivot replaces one tree arc at the smallest λ
+    where a non-tree arc becomes tight, i.e. at key
+    [λ̂(u,v) = (d_w(u) + w − d_w(v)) / (d_t(u) + t − d_t(v))]
+    over arcs with positive denominator.  The first pivot that would
+    create a cycle stops the algorithm: that cycle attains the optimum
+    and [λ* = λ̂] exactly (keys are exact rationals).  With unit
+    transit times this is the classic minimum-mean-cycle algorithm; with
+    general transit times it solves the cost-to-time ratio problem
+    directly.
+
+    The two published variants differ only in heap bookkeeping, which is
+    what §4.2 of the paper measures:
+    {ul
+    {- [`Ko] keeps one heap entry {e per arc} and reinserts every arc
+       whose key a pivot changes;}
+    {- [`Yto] keeps one entry {e per node} (the minimum key over its
+       incoming arcs) and recomputes keys only for nodes whose incoming
+       keys actually changed — fewer, cheaper heap operations.}}
+
+    The heap itself is pluggable ([`Fibonacci] as in the paper's LEDA
+    implementation and the published bounds, [`Binary] and [`Pairing]
+    for the ablation of E10).
+
+    Preconditions: strongly connected input with at least one arc; for
+    the ratio form, every cycle must have positive total transit
+    time. *)
+
+type variant = [ `Ko | `Yto ]
+type heap_kind = [ `Fibonacci | `Binary | `Pairing ]
+
+val minimum_cycle_mean :
+  ?stats:Stats.t -> ?heap:heap_kind -> variant:variant -> Digraph.t ->
+  Ratio.t * int list
+(** [heap] defaults to [`Fibonacci]. *)
+
+val minimum_cycle_ratio :
+  ?stats:Stats.t -> ?heap:heap_kind -> variant:variant -> Digraph.t ->
+  Ratio.t * int list

@@ -1,0 +1,42 @@
+(** Exact rational arithmetic on native ints.
+
+    Cycle means and cost-to-time ratios are rationals [w(C)/|C|] or
+    [w(C)/t(C)]; with the paper's parameters (weights ≤ 10^4, n ≤ 10^4)
+    every intermediate product fits comfortably in a 63-bit int, so no
+    arbitrary-precision arithmetic is needed.  Values are kept
+    normalized: [den > 0] and [gcd (abs num) den = 1]. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] normalizes the fraction.
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+
+val num : t -> int
+val den : t -> int
+
+val compare : t -> t -> int
+(** Exact comparison by cross-multiplication. *)
+
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+(** Prints [num/den], or just [num] when [den = 1]. *)
+
+val to_string : t -> string

@@ -1,0 +1,45 @@
+(** The ten algorithms of the study, behind one uniform interface.
+
+    Every entry point assumes a strongly connected input with at least
+    one arc (use {!Solver} for arbitrary graphs) and returns the exact
+    optimum together with a witness cycle. *)
+
+type algorithm =
+  | Burns
+  | Ko
+  | Yto
+  | Howard
+  | Ho
+  | Karp
+  | Dg
+  | Lawler
+  | Karp2
+  | Oa1
+  | Oa2
+
+val all : algorithm list
+(** In the column order of the paper's Table 2 (plus OA2). *)
+
+val name : algorithm -> string
+(** Lower-case identifier, e.g. ["yto"]. *)
+
+val display_name : algorithm -> string
+(** As printed in the paper, e.g. ["YTO"], ["Howard"]. *)
+
+val of_name : string -> algorithm option
+(** Case-insensitive inverse of {!name} / {!display_name}. *)
+
+val native_ratio : algorithm -> bool
+(** Whether the algorithm solves the cost-to-time ratio problem
+    directly (Burns, Howard, Lawler, OA, KO, YTO); the Karp family
+    goes through the Hartmann–Orlin transit-time expansion
+    ({!Expand}). *)
+
+val minimum_cycle_mean :
+  algorithm -> ?stats:Stats.t -> Digraph.t -> Ratio.t * int list
+
+val minimum_cycle_ratio :
+  algorithm -> ?stats:Stats.t -> Digraph.t -> Ratio.t * int list
+(** For non-[native_ratio] algorithms this expands transit times first,
+    so it requires every transit time to be a positive integer; native
+    algorithms only require every {e cycle} to have positive transit. *)

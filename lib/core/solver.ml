@@ -1,0 +1,87 @@
+type objective = Minimize | Maximize
+
+type problem = Cycle_mean | Cycle_ratio
+
+type report = {
+  lambda : Ratio.t;
+  cycle : int list;
+  components : int;
+  stats : Stats.t;
+}
+
+(* A zero-transit cycle makes the ratio problem ill-posed; such a cycle
+   exists iff the subgraph of zero-transit arcs is cyclic. *)
+let check_ratio_well_posed g =
+  match Critical.cycle_in g (fun a -> Digraph.transit g a = 0) with
+  | Some _ ->
+    invalid_arg "Solver: cycle with zero total transit time \
+                 (cost-to-time ratio undefined)"
+  | None -> ()
+
+(* Exact arithmetic safety: every cross-multiplication in the library
+   is bounded by (2·D·W)·D where W = max |weight| and D = the largest
+   possible denominator (n for means, total transit for ratios); keep
+   that product far from max_int. *)
+let check_arithmetic_range ~problem g =
+  if Digraph.m g > 0 then begin
+    let w = max 1 (max (abs (Digraph.min_weight g)) (abs (Digraph.max_weight g))) in
+    let d =
+      match problem with
+      | Cycle_mean -> max 1 (Digraph.n g)
+      | Cycle_ratio -> max (Digraph.n g) (Digraph.total_transit g)
+    in
+    if d > 0 && w > max_int / 8 / d / d then
+      invalid_arg
+        (Printf.sprintf
+           "Solver: weights up to %d on an instance with denominator range \
+            %d would overflow exact native-int arithmetic" w d)
+  end
+
+let solve ?(objective = Minimize) ?(problem = Cycle_mean) ~algorithm g =
+  check_arithmetic_range ~problem g;
+  (match problem with
+  | Cycle_ratio -> check_ratio_well_posed g
+  | Cycle_mean -> ());
+  let g_min =
+    match objective with Minimize -> g | Maximize -> Digraph.negate_weights g
+  in
+  let run =
+    match problem with
+    | Cycle_mean -> Registry.minimum_cycle_mean algorithm
+    | Cycle_ratio -> Registry.minimum_cycle_ratio algorithm
+  in
+  let stats = Stats.create () in
+  let scc = Scc.compute g_min in
+  let best = ref None in
+  let components = ref 0 in
+  List.iter
+    (fun nodes ->
+      incr components;
+      let sub, _, arc_of_sub = Digraph.induced g_min nodes in
+      let sub_stats = Stats.create () in
+      let lambda, cycle = run ~stats:sub_stats sub in
+      Stats.add stats sub_stats;
+      let cycle = List.map (fun a -> arc_of_sub.(a)) cycle in
+      match !best with
+      | Some (bl, _) when Ratio.leq bl lambda -> ()
+      | _ -> best := Some (lambda, cycle))
+    (Scc.nontrivial_components g_min scc);
+  match !best with
+  | None -> None
+  | Some (lambda, cycle) ->
+    let lambda =
+      match objective with Minimize -> lambda | Maximize -> Ratio.neg lambda
+    in
+    Some { lambda; cycle; components = !components; stats }
+
+let minimum_cycle_mean ?(algorithm = Registry.Howard) g =
+  solve ~objective:Minimize ~problem:Cycle_mean ~algorithm g
+
+let maximum_cycle_mean ?(algorithm = Registry.Howard) g =
+  solve ~objective:Maximize ~problem:Cycle_mean ~algorithm g
+
+let minimum_cycle_ratio ?(algorithm = Registry.Howard) g =
+  solve ~objective:Minimize ~problem:Cycle_ratio ~algorithm g
+
+let maximum_cycle_ratio ?(algorithm = Registry.Howard) g =
+  solve ~objective:Maximize ~problem:Cycle_ratio ~algorithm g

@@ -1,0 +1,50 @@
+(** The safe front-end for arbitrary graphs.
+
+    Following §2 of the paper: the input is decomposed into strongly
+    connected components, the chosen algorithm runs on every component
+    that contains a cycle, and the best component optimum is returned
+    ("this is the way we implemented all of the algorithms").
+    Maximization is handled by weight negation. *)
+
+type objective = Minimize | Maximize
+
+type problem =
+  | Cycle_mean  (** optimize [w(C)/|C|] *)
+  | Cycle_ratio  (** optimize [w(C)/t(C)] — the cost-to-time ratio *)
+
+type report = {
+  lambda : Ratio.t;  (** exact optimum over the whole graph *)
+  cycle : int list;  (** witness cycle, arc ids of the input graph *)
+  components : int;  (** number of cyclic SCCs solved *)
+  stats : Stats.t;   (** operation counts accumulated over components *)
+}
+
+val solve :
+  ?objective:objective ->
+  ?problem:problem ->
+  algorithm:Registry.algorithm ->
+  Digraph.t ->
+  report option
+(** [None] iff the graph is acyclic (no cycle to optimize).
+    @raise Invalid_argument for [Cycle_ratio] if some cycle has zero
+    total transit time (the ratio is then ill-defined), or when the
+    weight magnitudes are so large that the exact native-int rational
+    arithmetic could overflow (roughly [|w| · D² < 2⁵⁹] is required,
+    with [D] = node count for means and total transit time for
+    ratios — far beyond the paper's [1..10000] weights at any
+    realistic size). *)
+
+(** {1 Convenience wrappers} — default algorithm {!Registry.Howard},
+    the study's overall winner. *)
+
+val minimum_cycle_mean :
+  ?algorithm:Registry.algorithm -> Digraph.t -> report option
+
+val maximum_cycle_mean :
+  ?algorithm:Registry.algorithm -> Digraph.t -> report option
+
+val minimum_cycle_ratio :
+  ?algorithm:Registry.algorithm -> Digraph.t -> report option
+
+val maximum_cycle_ratio :
+  ?algorithm:Registry.algorithm -> Digraph.t -> report option

@@ -1,0 +1,44 @@
+type t = {
+  mutable iterations : int;
+  mutable relaxations : int;
+  mutable arcs_visited : int;
+  mutable cycles_examined : int;
+  mutable oracle_calls : int;
+  mutable level : int;
+  heap : Heap_stats.t;
+}
+
+let create () =
+  {
+    iterations = 0;
+    relaxations = 0;
+    arcs_visited = 0;
+    cycles_examined = 0;
+    oracle_calls = 0;
+    level = 0;
+    heap = Heap_stats.create ();
+  }
+
+let reset t =
+  t.iterations <- 0;
+  t.relaxations <- 0;
+  t.arcs_visited <- 0;
+  t.cycles_examined <- 0;
+  t.oracle_calls <- 0;
+  t.level <- 0;
+  Heap_stats.reset t.heap
+
+let add acc x =
+  acc.iterations <- acc.iterations + x.iterations;
+  acc.relaxations <- acc.relaxations + x.relaxations;
+  acc.arcs_visited <- acc.arcs_visited + x.arcs_visited;
+  acc.cycles_examined <- acc.cycles_examined + x.cycles_examined;
+  acc.oracle_calls <- acc.oracle_calls + x.oracle_calls;
+  acc.level <- max acc.level x.level;
+  Heap_stats.add acc.heap x.heap
+
+let pp ppf t =
+  Format.fprintf ppf
+    "iter=%d relax=%d arcs=%d cycles=%d oracle=%d level=%d heap:[%a]"
+    t.iterations t.relaxations t.arcs_visited t.cycles_examined t.oracle_calls
+    t.level Heap_stats.pp t.heap

@@ -1,0 +1,29 @@
+(** Representative operation counts, as advocated by Ahuja et al. and
+    measured throughout §4 of the paper.  Every algorithm accepts an
+    optional [Stats.t] and increments the counters relevant to it. *)
+
+type t = {
+  mutable iterations : int;
+      (** main-loop iterations (Burns, KO, YTO, Howard pivots/policies;
+          bisection steps for Lawler/OA) *)
+  mutable relaxations : int;
+      (** successful distance/potential updates *)
+  mutable arcs_visited : int;
+      (** arcs scanned (the DG-vs-Karp measure of §4.4) *)
+  mutable cycles_examined : int;
+      (** cycles whose mean/ratio was evaluated *)
+  mutable oracle_calls : int;
+      (** negative-cycle tests (Lawler, OA) *)
+  mutable level : int;
+      (** Karp-recurrence level reached at termination — the HO
+          "number of iterations" of §4.3 (equals [n] for plain Karp) *)
+  heap : Heap_stats.t;  (** heap operations (KO vs YTO, §4.2) *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]; [level] accumulates by
+    [max]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+let certify ?(objective = Solver.Minimize) ?(problem = Solver.Cycle_mean) g
+    lambda cycle =
+  let den =
+    match problem with
+    | Solver.Cycle_mean -> fun _ -> 1
+    | Solver.Cycle_ratio -> Digraph.transit g
+  in
+  if cycle = [] then Error "empty witness cycle"
+  else if not (Digraph.is_cycle g cycle) then
+    Error "witness arcs do not form a cycle"
+  else begin
+    let w = Digraph.cycle_weight g cycle in
+    let d = List.fold_left (fun s a -> s + den a) 0 cycle in
+    if d <= 0 then Error "witness cycle has non-positive denominator"
+    else if not (Ratio.equal lambda (Ratio.make w d)) then
+      Error
+        (Printf.sprintf "witness cycle has ratio %s, claimed %s"
+           (Ratio.to_string (Ratio.make w d))
+           (Ratio.to_string lambda))
+    else begin
+      (* optimality: no improving cycle under the scaled integer costs *)
+      let sign = match objective with Solver.Minimize -> 1 | Solver.Maximize -> -1 in
+      let cost a =
+        sign
+        * ((Ratio.den lambda * Digraph.weight g a)
+          - (Ratio.num lambda * den a))
+      in
+      match Bellman_ford.negative_cycle ~cost g with
+      | None -> Ok ()
+      | Some better ->
+        let bw = Digraph.cycle_weight g better in
+        let bd = List.fold_left (fun s a -> s + den a) 0 better in
+        Error
+          (Printf.sprintf "found a better cycle of ratio %s"
+             (Ratio.to_string (Ratio.make bw bd)))
+    end
+  end
+
+let certify_report ?objective ?problem g (r : Solver.report) =
+  certify ?objective ?problem g r.Solver.lambda r.Solver.cycle

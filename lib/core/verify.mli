@@ -1,0 +1,29 @@
+(** Independent certification of solver results.
+
+    A claimed optimum [(λ, C)] is checked from scratch, using only
+    exact integer arithmetic:
+    {ol
+    {- [C] is a genuine cycle of the graph;}
+    {- the exact ratio of [C] equals λ;}
+    {- no better cycle exists — a Bellman–Ford pass over the costs
+       [den λ · w(a) − num λ · t(a)] (sign-adjusted for maximization)
+       finds no improving cycle.}}
+
+    Together these prove optimality by LP duality, independently of the
+    algorithm that produced the result. *)
+
+val certify :
+  ?objective:Solver.objective ->
+  ?problem:Solver.problem ->
+  Digraph.t ->
+  Ratio.t ->
+  int list ->
+  (unit, string) result
+(** [Error msg] pinpoints the first failing condition. *)
+
+val certify_report :
+  ?objective:Solver.objective ->
+  ?problem:Solver.problem ->
+  Digraph.t ->
+  Solver.report ->
+  (unit, string) result

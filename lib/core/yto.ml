@@ -1,0 +1,5 @@
+let minimum_cycle_mean ?stats ?heap g =
+  Parametric.minimum_cycle_mean ?stats ?heap ~variant:`Yto g
+
+let minimum_cycle_ratio ?stats ?heap g =
+  Parametric.minimum_cycle_ratio ?stats ?heap ~variant:`Yto g

@@ -1,0 +1,16 @@
+(** YTO: the Young–Tarjan–Orlin parametric shortest path algorithm
+    (Networks, 1991), O(nm + n² log n) — an efficient implementation of
+    KO keeping one heap entry per node and touching only the keys that
+    a pivot actually changes.  §4.2 of the paper compares the two by
+    heap operation counts.
+
+    Preconditions: strongly connected input with at least one arc; for
+    the ratio form every cycle needs positive total transit time. *)
+
+val minimum_cycle_mean :
+  ?stats:Stats.t -> ?heap:Parametric.heap_kind -> Digraph.t ->
+  Ratio.t * int list
+
+val minimum_cycle_ratio :
+  ?stats:Stats.t -> ?heap:Parametric.heap_kind -> Digraph.t ->
+  Ratio.t * int list

@@ -1,0 +1,40 @@
+(** Synthetic sequential-circuit benchmarks.
+
+    The paper's second test suite consists of cyclic sequential
+    multi-level logic circuits from the 1991 MCNC/LGSynth benchmarks
+    (§3); that data set is not redistributable here, so this module
+    generates {e register graphs} with the structural properties the
+    study exploits: nodes are registers, an arc is a combinational path
+    between two registers weighted by its gate delay, connectivity is
+    {e local} (most paths connect registers that are close in the
+    placement order), and the graphs are much sparser than SPRAND
+    instances.  The substitution is recorded in DESIGN.md.
+
+    Locality is the property that makes the DG algorithm shine on
+    circuits (§4.4): breadth-first unfolding stays narrow. *)
+
+val generate :
+  ?seed:int ->
+  ?density:float ->
+  ?locality:int ->
+  ?delays:int * int ->
+  registers:int ->
+  unit ->
+  Digraph.t
+(** A strongly connected register graph: a ring backbone over a random
+    register ordering (the global feedback every sequential circuit
+    has) plus [density·registers − registers] local arcs whose span is
+    geometric with mean [locality].  [density] defaults to [1.8]
+    (m/n of typical ISCAS'89 register graphs), [locality] to [8],
+    [delays] (arc weights, i.e. combinational path delays) to
+    [(1, 100)].  Transit times are 1.
+    @raise Invalid_argument if [registers < 2] or [density < 1.0]. *)
+
+val benchmark_suite : (string * int) list
+(** Names and register counts mirroring the ISCAS'89/LGSynth'91
+    sequential circuits used in the study (s27 … s38584); feed the
+    sizes to {!generate} to obtain the stand-in suite. *)
+
+val benchmark : ?seed:int -> string -> Digraph.t
+(** [benchmark name] generates the stand-in for the named circuit.
+    @raise Not_found for unknown names. *)

@@ -1,0 +1,18 @@
+(** The SPRAND random graph generator of Cherkassky, Goldberg & Radzik
+    (SODA 1994), reimplemented: first a Hamiltonian cycle over all [n]
+    nodes (which makes the graph strongly connected), then [m − n]
+    arcs with independently uniform endpoints.  Arc weights are uniform
+    in [1, 10000] by default — the interval used throughout the paper's
+    experiments (§3). *)
+
+val generate :
+  ?seed:int ->
+  ?weights:int * int ->
+  ?transits:int * int ->
+  n:int ->
+  m:int ->
+  unit ->
+  Digraph.t
+(** [weights] defaults to [(1, 10000)]; [transits] to [(1, 1)] (all
+    transit times 1, i.e. a pure mean-problem instance).
+    @raise Invalid_argument if [n < 1] or [m < n]. *)

@@ -1,0 +1,177 @@
+type outcome =
+  | Feasible of int array
+  | Negative_cycle of int list
+
+(* Searches the predecessor graph (at most one pred arc per node) for a
+   cycle and returns its arcs in path order.  A classic invariant of
+   Bellman-Ford (Cherkassky & Goldberg, "Negative-cycle detection
+   algorithms") is that any cycle of the predecessor graph is a
+   negative cycle, so a hit here is a sound certificate.  O(n). *)
+let cycle_in_pred_graph g pred_arc =
+  let n = Digraph.n g in
+  let color = Array.make n 0 in (* 0 unseen, 1 on current walk, 2 done *)
+  let result = ref None in
+  let v = ref 0 in
+  while !result = None && !v < n do
+    if color.(!v) = 0 then begin
+      (* walk backwards along predecessors *)
+      let path = ref [] in
+      let x = ref !v in
+      let continue = ref true in
+      while !continue do
+        if pred_arc.(!x) < 0 || color.(!x) = 2 then begin
+          continue := false;
+          List.iter (fun y -> color.(y) <- 2) !path
+        end
+        else if color.(!x) = 1 then begin
+          (* found a cycle through !x: collect until we return to it *)
+          continue := false;
+          let arcs = ref [] in
+          let y = ref !x in
+          let go = ref true in
+          while !go do
+            let a = pred_arc.(!y) in
+            arcs := a :: !arcs;
+            y := Digraph.src g a;
+            if !y = !x then go := false
+          done;
+          List.iter (fun z -> color.(z) <- 2) !path;
+          result := Some !arcs
+        end
+        else begin
+          color.(!x) <- 1;
+          path := !x :: !path;
+          x := Digraph.src g pred_arc.(!x)
+        end
+      done
+    end;
+    incr v
+  done;
+  !result
+
+(* FIFO Bellman-Ford ("Moore") with per-node update counting.  When
+   [sources] is None every node starts at distance 0 (virtual
+   super-source), which is the form needed for potentials and global
+   negative-cycle detection.  A node reaching n+1 updates triggers a
+   predecessor-graph cycle search; its counter is reset if the search
+   is inconclusive, so the scan amortizes to O(1) per update. *)
+let engine ?on_relax ~cost g ~sources =
+  let n = Digraph.n g in
+  let dist = Array.make n max_int in
+  let pred_arc = Array.make n (-1) in
+  let times_updated = Array.make n 0 in
+  let in_queue = Array.make n false in
+  let queue = Queue.create () in
+  let enqueue v =
+    if not in_queue.(v) then begin
+      in_queue.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  (match sources with
+  | None ->
+    for v = 0 to n - 1 do
+      dist.(v) <- 0;
+      enqueue v
+    done
+  | Some vs ->
+    List.iter
+      (fun v ->
+        dist.(v) <- 0;
+        enqueue v)
+      vs);
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    in_queue.(u) <- false;
+    if dist.(u) < max_int then
+      Digraph.iter_out g u (fun a ->
+          if !found = None then begin
+            let v = Digraph.dst g a in
+            let cand = dist.(u) + cost a in
+            if cand < dist.(v) then begin
+              (match on_relax with Some f -> f () | None -> ());
+              dist.(v) <- cand;
+              pred_arc.(v) <- a;
+              times_updated.(v) <- times_updated.(v) + 1;
+              if times_updated.(v) > n then begin
+                times_updated.(v) <- 0;
+                match cycle_in_pred_graph g pred_arc with
+                | Some cycle -> found := Some cycle
+                | None -> enqueue v
+              end
+              else enqueue v
+            end
+          end)
+  done;
+  match !found with
+  | Some cycle -> Error cycle
+  | None -> Ok (dist, pred_arc)
+
+let run ?on_relax ~cost g =
+  match engine ?on_relax ~cost g ~sources:None with
+  | Ok (dist, _) -> Feasible dist
+  | Error cycle -> Negative_cycle cycle
+
+let negative_cycle ~cost g =
+  match run ~cost g with
+  | Feasible _ -> None
+  | Negative_cycle c -> Some c
+
+let potentials ~cost g =
+  match run ~cost g with
+  | Feasible d -> Some d
+  | Negative_cycle _ -> None
+
+let shortest_from ~cost g s = engine ~cost g ~sources:(Some [ s ])
+
+(* Float engine: a structural duplicate of [engine] over float costs.
+   Kept separate rather than functorized so the hot integer path stays
+   monomorphic and unboxed. *)
+let engine_float ?on_relax ~cost g =
+  let n = Digraph.n g in
+  let dist = Array.make n 0.0 in
+  let pred_arc = Array.make n (-1) in
+  let times_updated = Array.make n 0 in
+  let in_queue = Array.make n true in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    Queue.add v queue
+  done;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    in_queue.(u) <- false;
+    Digraph.iter_out g u (fun a ->
+        if !found = None then begin
+          let v = Digraph.dst g a in
+          let cand = dist.(u) +. cost a in
+          if cand < dist.(v) then begin
+            (match on_relax with Some f -> f () | None -> ());
+            dist.(v) <- cand;
+            pred_arc.(v) <- a;
+            times_updated.(v) <- times_updated.(v) + 1;
+            let enqueue () =
+              if not in_queue.(v) then begin
+                in_queue.(v) <- true;
+                Queue.add v queue
+              end
+            in
+            if times_updated.(v) > n then begin
+              times_updated.(v) <- 0;
+              match cycle_in_pred_graph g pred_arc with
+              | Some cycle -> found := Some cycle
+              | None -> enqueue ()
+            end
+            else enqueue ()
+          end
+        end)
+  done;
+  match !found with
+  | Some cycle -> Error cycle
+  | None -> Ok dist
+
+let run_float ?on_relax ~cost g = engine_float ?on_relax ~cost g
+
+let negative_cycle_float ~cost g =
+  match run_float ~cost g with Ok _ -> None | Error c -> Some c

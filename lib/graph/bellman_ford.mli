@@ -1,0 +1,47 @@
+(** Bellman–Ford shortest paths and negative-cycle detection.
+
+    Costs are supplied by a callback [cost : arc id -> int], so callers
+    can run the algorithm on reweighted graphs (e.g. [w(e)·q - p·t(e)]
+    when testing a candidate ratio [p/q]) without materializing them.
+    All arithmetic is on native ints; callers are responsible for
+    keeping scaled costs within range. *)
+
+type outcome =
+  | Feasible of int array
+      (** Feasible potentials [d]: [d.(dst) <= d.(src) + cost a] for
+          every arc [a].  Computed from a virtual super-source, so all
+          nodes participate even in disconnected graphs. *)
+  | Negative_cycle of int list
+      (** Arc ids of a simple cycle of negative total cost, in path
+          order. *)
+
+val run : ?on_relax:(unit -> unit) -> cost:(int -> int) -> Digraph.t -> outcome
+(** Standard Bellman–Ford with a FIFO queue and early exit.
+    [on_relax] is invoked on every successful arc relaxation (used for
+    the paper's operation counts). *)
+
+val negative_cycle : cost:(int -> int) -> Digraph.t -> int list option
+(** [Some cycle] iff the graph contains a negative-cost cycle. *)
+
+val potentials : cost:(int -> int) -> Digraph.t -> int array option
+(** [Some d] iff there is no negative cycle. *)
+
+val shortest_from :
+  cost:(int -> int) -> Digraph.t -> int -> (int array * int array, int list) result
+(** [shortest_from ~cost g s] returns [Ok (dist, pred_arc)] with
+    [max_int] distances for unreachable nodes and [-1] predecessor arcs,
+    or [Error cycle] if a negative cycle is reachable from [s]. *)
+
+(** {1 Float-cost variants}
+
+    Lawler's algorithm and the scaling algorithms bisect over real
+    [λ] values and test [w(e) - λ·t(e)] costs directly in floating
+    point (as the original study did); these entry points mirror the
+    integer ones. *)
+
+val run_float :
+  ?on_relax:(unit -> unit) -> cost:(int -> float) -> Digraph.t ->
+  (float array, int list) result
+(** [Ok potentials] or [Error cycle]. *)
+
+val negative_cycle_float : cost:(int -> float) -> Digraph.t -> int list option

@@ -1,0 +1,66 @@
+exception Limit_reached
+
+(* Johnson's elementary-circuit algorithm.  For each root s in
+   increasing node order we enumerate the cycles whose smallest node is
+   s, over the subgraph induced by nodes >= s.  Blocked sets give the
+   usual output-sensitive behaviour; this module is an oracle for tests
+   and small critical subgraphs, so the recursion is plain OCaml
+   recursion (depth <= n). *)
+let iter_cycles ?(max_cycles = 1_000_000) g f =
+  let n = Digraph.n g in
+  let blocked = Array.make n false in
+  let block_list = Array.make n [] in
+  let emitted = ref 0 in
+  let emit cycle =
+    if !emitted >= max_cycles then raise Limit_reached;
+    incr emitted;
+    f cycle
+  in
+  let rec unblock v =
+    blocked.(v) <- false;
+    let waiters = block_list.(v) in
+    block_list.(v) <- [];
+    List.iter (fun w -> if blocked.(w) then unblock w) waiters
+  in
+  let truncated = ref false in
+  (try
+     for s = 0 to n - 1 do
+       (* reset state touched by the previous root *)
+       for v = s to n - 1 do
+         blocked.(v) <- false;
+         block_list.(v) <- []
+       done;
+       let rec circuit v path =
+         let found = ref false in
+         blocked.(v) <- true;
+         Digraph.iter_out g v (fun a ->
+             let w = Digraph.dst g a in
+             if w >= s then
+               if w = s then begin
+                 emit (List.rev (a :: path));
+                 found := true
+               end
+               else if not blocked.(w) then
+                 if circuit w (a :: path) then found := true);
+         if !found then unblock v
+         else
+           Digraph.iter_out g v (fun a ->
+               let w = Digraph.dst g a in
+               if w >= s && not (List.mem v block_list.(w)) then
+                 block_list.(w) <- v :: block_list.(w));
+         !found
+       in
+       ignore (circuit s [])
+     done
+   with Limit_reached -> truncated := true);
+  if !truncated then `Truncated else `Complete
+
+let count ?max_cycles g =
+  let k = ref 0 in
+  ignore (iter_cycles ?max_cycles g (fun _ -> incr k));
+  !k
+
+let list ?max_cycles g =
+  let acc = ref [] in
+  ignore (iter_cycles ?max_cycles g (fun c -> acc := c :: !acc));
+  List.rev !acc

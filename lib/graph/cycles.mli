@@ -1,0 +1,22 @@
+(** Enumeration of elementary (simple) cycles — Johnson's algorithm.
+
+    Intended as a {e test oracle} and for small critical subgraphs; the
+    number of elementary cycles can be exponential, so every entry point
+    takes a hard cap. *)
+
+exception Limit_reached
+(** Raised internally when the cap is hit; callers of [iter_cycles] see
+    a normal return with [`Truncated]. *)
+
+val iter_cycles :
+  ?max_cycles:int -> Digraph.t -> (int list -> unit) -> [ `Complete | `Truncated ]
+(** [iter_cycles g f] calls [f] with the arc ids of every elementary
+    cycle of [g], each in path order.  Parallel arcs yield distinct
+    cycles; self-loops are cycles of length 1.  Stops after
+    [max_cycles] (default [1_000_000]) and reports [`Truncated]. *)
+
+val count : ?max_cycles:int -> Digraph.t -> int
+(** Number of elementary cycles (capped). *)
+
+val list : ?max_cycles:int -> Digraph.t -> int list list
+(** All elementary cycles (capped), as arc-id lists. *)

@@ -1,0 +1,216 @@
+type t = {
+  n : int;
+  m : int;
+  arc_src : int array;
+  arc_dst : int array;
+  arc_weight : int array;
+  arc_transit : int array;
+  out_start : int array; (* length n+1 *)
+  out_arcs : int array;  (* arc ids grouped by source *)
+  in_start : int array;
+  in_arcs : int array;
+}
+
+type builder = {
+  bn : int;
+  mutable closed : bool;
+  srcs : int Vec.t;
+  dsts : int Vec.t;
+  weights : int Vec.t;
+  transits : int Vec.t;
+}
+
+let create_builder ?(expected_arcs = 16) n =
+  if n < 0 then invalid_arg "Digraph.create_builder: negative node count";
+  ignore expected_arcs;
+  {
+    bn = n;
+    closed = false;
+    srcs = Vec.create ();
+    dsts = Vec.create ();
+    weights = Vec.create ();
+    transits = Vec.create ();
+  }
+
+let add_arc b ~src ~dst ~weight ?(transit = 1) () =
+  if b.closed then invalid_arg "Digraph.add_arc: builder already built";
+  if src < 0 || src >= b.bn || dst < 0 || dst >= b.bn then
+    invalid_arg "Digraph.add_arc: endpoint out of range";
+  if transit < 0 then invalid_arg "Digraph.add_arc: negative transit time";
+  let id = Vec.length b.srcs in
+  Vec.push b.srcs src;
+  Vec.push b.dsts dst;
+  Vec.push b.weights weight;
+  Vec.push b.transits transit;
+  id
+
+(* Builds both CSR adjacency structures with counting sort. *)
+let csr n m key =
+  let start = Array.make (n + 1) 0 in
+  for a = 0 to m - 1 do
+    let k = key a in
+    start.(k + 1) <- start.(k + 1) + 1
+  done;
+  for v = 1 to n do
+    start.(v) <- start.(v) + start.(v - 1)
+  done;
+  let cursor = Array.copy start in
+  let arcs = Array.make m 0 in
+  for a = 0 to m - 1 do
+    let k = key a in
+    arcs.(cursor.(k)) <- a;
+    cursor.(k) <- cursor.(k) + 1
+  done;
+  (start, arcs)
+
+let build b =
+  if b.closed then invalid_arg "Digraph.build: builder already built";
+  b.closed <- true;
+  let m = Vec.length b.srcs in
+  let arc_src = Array.init m (Vec.get b.srcs) in
+  let arc_dst = Array.init m (Vec.get b.dsts) in
+  let arc_weight = Array.init m (Vec.get b.weights) in
+  let arc_transit = Array.init m (Vec.get b.transits) in
+  let out_start, out_arcs = csr b.bn m (fun a -> arc_src.(a)) in
+  let in_start, in_arcs = csr b.bn m (fun a -> arc_dst.(a)) in
+  { n = b.bn; m; arc_src; arc_dst; arc_weight; arc_transit;
+    out_start; out_arcs; in_start; in_arcs }
+
+let of_arcs n arcs =
+  let b = create_builder ~expected_arcs:(List.length arcs) n in
+  let add (src, dst, weight, transit) =
+    ignore (add_arc b ~src ~dst ~weight ~transit ()) in
+  List.iter add arcs;
+  build b
+
+let of_weighted_arcs n arcs =
+  of_arcs n (List.map (fun (u, v, w) -> (u, v, w, 1)) arcs)
+
+let n g = g.n
+let m g = g.m
+let src g a = g.arc_src.(a)
+let dst g a = g.arc_dst.(a)
+let weight g a = g.arc_weight.(a)
+let transit g a = g.arc_transit.(a)
+
+let out_degree g u = g.out_start.(u + 1) - g.out_start.(u)
+let in_degree g v = g.in_start.(v + 1) - g.in_start.(v)
+
+let extremum_weight name better g =
+  if g.m = 0 then invalid_arg ("Digraph." ^ name ^ ": graph has no arcs");
+  let best = ref g.arc_weight.(0) in
+  for a = 1 to g.m - 1 do
+    if better g.arc_weight.(a) !best then best := g.arc_weight.(a)
+  done;
+  !best
+
+let min_weight g = extremum_weight "min_weight" ( < ) g
+let max_weight g = extremum_weight "max_weight" ( > ) g
+
+let total_transit g = Array.fold_left ( + ) 0 g.arc_transit
+
+let iter_out g u f =
+  for i = g.out_start.(u) to g.out_start.(u + 1) - 1 do
+    f g.out_arcs.(i)
+  done
+
+let iter_in g v f =
+  for i = g.in_start.(v) to g.in_start.(v + 1) - 1 do
+    f g.in_arcs.(i)
+  done
+
+let fold_out g u f init =
+  let acc = ref init in
+  iter_out g u (fun a -> acc := f !acc a);
+  !acc
+
+let fold_in g v f init =
+  let acc = ref init in
+  iter_in g v (fun a -> acc := f !acc a);
+  !acc
+
+let iter_arcs g f =
+  for a = 0 to g.m - 1 do
+    f a
+  done
+
+let fold_arcs g f init =
+  let acc = ref init in
+  iter_arcs g (fun a -> acc := f !acc a);
+  !acc
+
+let reverse g =
+  {
+    g with
+    arc_src = g.arc_dst;
+    arc_dst = g.arc_src;
+    out_start = g.in_start;
+    out_arcs = g.in_arcs;
+    in_start = g.out_start;
+    in_arcs = g.out_arcs;
+  }
+
+let map_weights g f = { g with arc_weight = Array.init g.m f }
+let negate_weights g = map_weights g (fun a -> -g.arc_weight.(a))
+
+let induced g nodes =
+  let new_id = Array.make g.n (-1) in
+  let k = ref 0 in
+  let assign u =
+    if u < 0 || u >= g.n then invalid_arg "Digraph.induced: node out of range";
+    if new_id.(u) >= 0 then invalid_arg "Digraph.induced: duplicate node";
+    new_id.(u) <- !k;
+    incr k
+  in
+  List.iter assign nodes;
+  let node_of_sub = Array.of_list nodes in
+  let b = create_builder !k in
+  let arc_of_sub = Vec.create () in
+  iter_arcs g (fun a ->
+      let u = new_id.(g.arc_src.(a)) and v = new_id.(g.arc_dst.(a)) in
+      if u >= 0 && v >= 0 then begin
+        ignore
+          (add_arc b ~src:u ~dst:v ~weight:g.arc_weight.(a)
+             ~transit:g.arc_transit.(a) ());
+        Vec.push arc_of_sub a
+      end);
+  (build b, node_of_sub, Vec.to_array arc_of_sub)
+
+let arc_between g u v =
+  let found = ref None in
+  iter_out g u (fun a -> if !found = None && g.arc_dst.(a) = v then found := Some a);
+  !found
+
+let is_cycle g arcs =
+  match arcs with
+  | [] -> false
+  | first :: _ ->
+    let ok = ref true in
+    let last =
+      List.fold_left
+        (fun prev a ->
+          (match prev with
+          | Some p -> if g.arc_dst.(p) <> g.arc_src.(a) then ok := false
+          | None -> ());
+          Some a)
+        None arcs
+    in
+    (match last with
+    | Some l -> if g.arc_dst.(l) <> g.arc_src.(first) then ok := false
+    | None -> ok := false);
+    !ok
+
+let cycle_weight g arcs = List.fold_left (fun s a -> s + g.arc_weight.(a)) 0 arcs
+let cycle_transit g arcs = List.fold_left (fun s a -> s + g.arc_transit.(a)) 0 arcs
+
+let equal_structure g h =
+  g.n = h.n && g.m = h.m
+  && g.arc_src = h.arc_src && g.arc_dst = h.arc_dst
+  && g.arc_weight = h.arc_weight && g.arc_transit = h.arc_transit
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph: %d nodes, %d arcs" g.n g.m;
+  iter_arcs g (fun a ->
+      Format.fprintf ppf "@,  #%d: %d -> %d  w=%d t=%d" a g.arc_src.(a)
+        g.arc_dst.(a) g.arc_weight.(a) g.arc_transit.(a));
+  Format.fprintf ppf "@]"

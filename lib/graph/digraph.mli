@@ -1,0 +1,113 @@
+(** Immutable directed multigraphs in compressed sparse row form.
+
+    Nodes are integers [0 .. n-1].  Arcs are integers [0 .. m-1] and carry
+    an integer weight (cost) and a non-negative integer transit time, as in
+    the minimum cycle mean / cost-to-time ratio setting of Dasdan, Irani &
+    Gupta (DAC 1999).  Parallel arcs and self-loops are allowed. *)
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val create_builder : ?expected_arcs:int -> int -> builder
+(** [create_builder n] starts a graph on nodes [0 .. n-1].
+    @raise Invalid_argument if [n < 0]. *)
+
+val add_arc : builder -> src:int -> dst:int -> weight:int -> ?transit:int -> unit -> int
+(** Adds an arc and returns its id (ids are dense, in insertion order).
+    [transit] defaults to [1].
+    @raise Invalid_argument on out-of-range endpoints or negative transit. *)
+
+val build : builder -> t
+(** Freezes the builder.  The builder must not be reused afterwards. *)
+
+val of_arcs : int -> (int * int * int * int) list -> t
+(** [of_arcs n arcs] builds a graph from [(src, dst, weight, transit)]
+    tuples; arc ids follow list order. *)
+
+val of_weighted_arcs : int -> (int * int * int) list -> t
+(** Like {!of_arcs} with every transit time equal to [1]. *)
+
+(** {1 Accessors} *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of arcs. *)
+
+val src : t -> int -> int
+val dst : t -> int -> int
+val weight : t -> int -> int
+val transit : t -> int -> int
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val min_weight : t -> int
+(** Minimum arc weight.  @raise Invalid_argument on arcless graphs. *)
+
+val max_weight : t -> int
+(** Maximum arc weight.  @raise Invalid_argument on arcless graphs. *)
+
+val total_transit : t -> int
+(** Sum of all transit times (the quantity [T] of the paper). *)
+
+(** {1 Iteration}
+
+    All iterators pass {e arc ids}; use {!src}/{!dst}/{!weight} to
+    inspect them. *)
+
+val iter_out : t -> int -> (int -> unit) -> unit
+(** [iter_out g u f] applies [f] to every arc leaving [u]. *)
+
+val iter_in : t -> int -> (int -> unit) -> unit
+(** [iter_in g v f] applies [f] to every arc entering [v]. *)
+
+val fold_out : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val fold_in : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val iter_arcs : t -> (int -> unit) -> unit
+val fold_arcs : t -> ('a -> int -> 'a) -> 'a -> 'a
+
+(** {1 Transformations} *)
+
+val reverse : t -> t
+(** Graph with every arc flipped; arc ids are preserved. *)
+
+val map_weights : t -> (int -> int) -> t
+(** [map_weights g f] replaces the weight of arc [a] by [f a]; structure
+    and transit times are shared. *)
+
+val negate_weights : t -> t
+(** Negates every weight (used to turn maximization into minimization). *)
+
+val induced : t -> int list -> t * int array * int array
+(** [induced g nodes] is the subgraph induced by [nodes] with nodes
+    renumbered [0 .. k-1] (in the order given).  Returns
+    [(sub, node_of_sub, arc_of_sub)] mapping new ids back to originals.
+    @raise Invalid_argument if [nodes] contains duplicates or
+    out-of-range ids. *)
+
+(** {1 Predicates and checks} *)
+
+val arc_between : t -> int -> int -> int option
+(** Some arc id from [u] to [v] if one exists (any of the parallels). *)
+
+val is_cycle : t -> int list -> bool
+(** [is_cycle g arcs] checks that the arc-id list forms a closed walk:
+    consecutive arcs are head-to-tail and the last feeds the first.
+    The empty list is not a cycle. *)
+
+val cycle_weight : t -> int list -> int
+(** Sum of weights along an arc-id list. *)
+
+val cycle_transit : t -> int list -> int
+(** Sum of transit times along an arc-id list. *)
+
+val equal_structure : t -> t -> bool
+(** Same node count and identical (src, dst, weight, transit) per arc id. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: one line per arc. *)

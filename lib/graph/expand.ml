@@ -1,0 +1,43 @@
+type t = {
+  graph : Digraph.t;
+  orig_arc : int array;
+  orig_node : int array;
+}
+
+let transit_expand g =
+  let n = Digraph.n g in
+  Digraph.iter_arcs g (fun a ->
+      if Digraph.transit g a = 0 then
+        invalid_arg "Expand.transit_expand: zero transit time");
+  let extra = Digraph.fold_arcs g (fun s a -> s + Digraph.transit g a - 1) 0 in
+  let b = Digraph.create_builder (n + extra) in
+  let orig_arc = Vec.create () in
+  let next_fresh = ref n in
+  Digraph.iter_arcs g (fun a ->
+      let u = Digraph.src g a and v = Digraph.dst g a in
+      let t = Digraph.transit g a and w = Digraph.weight g a in
+      (* chain u -> x1 -> ... -> x_{t-1} -> v; weight rides the first arc *)
+      let cur = ref u in
+      for step = 1 to t do
+        let target =
+          if step = t then v
+          else begin
+            let x = !next_fresh in
+            incr next_fresh;
+            x
+          end
+        in
+        let weight = if step = 1 then w else 0 in
+        ignore (Digraph.add_arc b ~src:!cur ~dst:target ~weight ~transit:1 ());
+        Vec.push orig_arc (if step = 1 then a else -1);
+        cur := target
+      done);
+  let orig_node = Array.init (n + extra) (fun v -> if v < n then v else -1) in
+  { graph = Digraph.build b; orig_arc = Vec.to_array orig_arc; orig_node }
+
+let restrict_cycle t cycle =
+  List.filter_map
+    (fun a ->
+      let o = t.orig_arc.(a) in
+      if o >= 0 then Some o else None)
+    cycle

@@ -1,0 +1,23 @@
+(** Hartmann–Orlin transit-time expansion (Networks 1993, row 13 of the
+    paper's Table 1): turns a minimum cost-to-time {e ratio} instance
+    with small integral transit times into a minimum cycle {e mean}
+    instance, by replacing each arc of transit [t] with a chain of [t]
+    unit-transit arcs.  Cycle ratios are preserved:
+    [w(C)/t(C) = w(C')/|C'|] for the image cycle [C']. *)
+
+type t = {
+  graph : Digraph.t;  (** expanded graph, [T] extra nodes in total *)
+  orig_arc : int array;
+      (** expanded arc id -> original arc id ([-1] for chain padding) *)
+  orig_node : int array;
+      (** expanded node id -> original node id ([-1] for chain-interior
+          nodes) *)
+}
+
+val transit_expand : Digraph.t -> t
+(** @raise Invalid_argument if some arc has transit time [0]; the
+    transform requires strictly positive integral transit times. *)
+
+val restrict_cycle : t -> int list -> int list
+(** Maps a cycle of the expanded graph (arc ids in path order) back to
+    the original graph by dropping the padding arcs. *)

@@ -1,0 +1,34 @@
+(** Plain-text graph exchange format (DIMACS-flavoured) and DOT export.
+
+    Format, one record per line, [#]-comments allowed:
+    {v
+    p ocr <n> <m>
+    a <src> <dst> <weight> [<transit>]
+    v}
+    Nodes are 1-indexed in files (DIMACS convention) and 0-indexed in
+    the API.  A missing transit field means transit 1. *)
+
+val to_string : Digraph.t -> string
+val of_string : string -> Digraph.t
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val write_file : string -> Digraph.t -> unit
+val read_file : string -> Digraph.t
+
+val to_dot : ?name:string -> ?highlight:int list -> Digraph.t -> string
+(** GraphViz export; [highlight] arcs are drawn bold red (used for
+    critical cycles). *)
+
+(** {1 DIMACS shortest-path format}
+
+    The 9th DIMACS challenge [.gr] format that the original SPRAND
+    emits: a [p sp <n> <m>] problem line and [a <src> <dst> <weight>]
+    arc lines (1-indexed, no transit times — they default to 1 here).
+    [c]-comment lines are skipped. *)
+
+val of_dimacs : string -> Digraph.t
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val to_dimacs : Digraph.t -> string
+(** Transit times are not representable in [.gr] and are dropped; use
+    {!to_string} to keep them. *)

@@ -1,0 +1,84 @@
+type objective = Minimize | Maximize
+
+type answer = { num : int; den : int; cycle : int list }
+
+(* a/b < c/d with b, d > 0, exact in native ints. *)
+let ratio_lt a b c d = a * d < c * b
+
+let better objective a b c d =
+  match objective with
+  | Minimize -> ratio_lt a b c d
+  | Maximize -> ratio_lt c d a b
+
+let optimum ~denominator ~on_zero_den ?max_cycles objective g =
+  let best = ref None in
+  let consider cycle =
+    let num = Digraph.cycle_weight g cycle in
+    let den = denominator cycle in
+    if den = 0 then on_zero_den ()
+    else
+      match !best with
+      | None -> best := Some { num; den; cycle }
+      | Some b ->
+        if better objective num den b.num b.den then best := Some { num; den; cycle }
+  in
+  ignore (Cycles.iter_cycles ?max_cycles g consider);
+  !best
+
+let cycle_mean ?max_cycles objective g =
+  optimum ?max_cycles objective g
+    ~denominator:(fun c -> List.length c)
+    ~on_zero_den:(fun () -> assert false)
+
+let cycle_ratio ?max_cycles objective g =
+  optimum ?max_cycles objective g
+    ~denominator:(fun c -> Digraph.cycle_transit g c)
+    ~on_zero_den:(fun () ->
+      invalid_arg "Oracle.cycle_ratio: cycle with zero total transit time")
+
+let cycle_mean_matrix objective g =
+  let n = Digraph.n g in
+  let inf = max_int / 4 in
+  (* adjacency matrix in the (min,+) semiring; maximization negates *)
+  let sign = match objective with Minimize -> 1 | Maximize -> -1 in
+  let adj = Array.make_matrix n n inf in
+  Digraph.iter_arcs g (fun a ->
+      let u = Digraph.src g a and v = Digraph.dst g a in
+      let w = sign * Digraph.weight g a in
+      if w < adj.(u).(v) then adj.(u).(v) <- w);
+  let best = ref None in
+  let consider num den =
+    match !best with
+    | Some (bn, bd) when num * bd >= bn * den -> ()
+    | _ -> best := Some (num, den)
+  in
+  (* power = adj^k, built by repeated (min,+) multiplication *)
+  let power = Array.map Array.copy adj in
+  let scratch = Array.make_matrix n n inf in
+  for k = 1 to n do
+    if k > 1 then begin
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          scratch.(i).(j) <- inf
+        done
+      done;
+      for i = 0 to n - 1 do
+        for l = 0 to n - 1 do
+          if power.(i).(l) < inf then
+            for j = 0 to n - 1 do
+              if adj.(l).(j) < inf then begin
+                let cand = power.(i).(l) + adj.(l).(j) in
+                if cand < scratch.(i).(j) then scratch.(i).(j) <- cand
+              end
+            done
+        done
+      done;
+      for i = 0 to n - 1 do
+        Array.blit scratch.(i) 0 power.(i) 0 n
+      done
+    end;
+    for v = 0 to n - 1 do
+      if power.(v).(v) < inf then consider power.(v).(v) k
+    done
+  done;
+  Option.map (fun (num, den) -> (sign * num, den)) !best

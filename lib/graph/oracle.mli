@@ -1,0 +1,31 @@
+(** Brute-force optimum cycle mean / ratio by elementary-cycle
+    enumeration.  Exponential; use only on small graphs (tests) or on
+    small critical subgraphs.  Means and ratios are exact rationals
+    returned as an unnormalized [(numerator, denominator)] pair with a
+    witness cycle. *)
+
+type objective = Minimize | Maximize
+
+type answer = {
+  num : int;  (** cycle weight of the witness *)
+  den : int;  (** cycle length (mean) or cycle transit (ratio) of the witness *)
+  cycle : int list;  (** witness cycle, arc ids in path order *)
+}
+
+val cycle_mean : ?max_cycles:int -> objective -> Digraph.t -> answer option
+(** Optimum of [w(C)/|C|] over all elementary cycles; [None] if the
+    graph is acyclic. *)
+
+val cycle_ratio : ?max_cycles:int -> objective -> Digraph.t -> answer option
+(** Optimum of [w(C)/t(C)] over elementary cycles with [t(C) > 0].
+    [None] if there is no such cycle.
+    @raise Invalid_argument if some cycle has [t(C) = 0] (the ratio
+    problem is ill-posed on such graphs). *)
+
+val cycle_mean_matrix : objective -> Digraph.t -> (int * int) option
+(** A second, structurally independent oracle: min-plus matrix powers.
+    [A^k(u,v)] is the minimum weight of a walk of exactly [k] arcs, so
+    the optimum cycle mean is [opt_{v,1<=k<=n} A^k(v,v)/k], returned as
+    an unnormalized [(weight, length)] pair.  O(n⁴) time and O(n²)
+    space — small graphs only; used to cross-validate the
+    cycle-enumeration oracle in the tests. *)

@@ -1,0 +1,26 @@
+(** Strongly connected components (iterative Tarjan). *)
+
+type t = {
+  count : int;             (** number of components *)
+  component : int array;   (** node -> component id *)
+  members : int list array; (** component id -> member nodes *)
+}
+
+val compute : Digraph.t -> t
+(** Component ids are numbered in {e reverse topological} order of the
+    condensation: every arc between distinct components goes from a
+    higher id to a lower id. *)
+
+val is_trivial : Digraph.t -> t -> int -> bool
+(** A component is trivial if it is a single node without a self-loop;
+    trivial components contain no cycle. *)
+
+val nontrivial_components : Digraph.t -> t -> int list list
+(** Member lists of all components that contain at least one cycle. *)
+
+val condensation : Digraph.t -> t -> Digraph.t
+(** The component DAG: one node per component (same ids as
+    [component]), one arc per original arc joining distinct components
+    (weights and transit times preserved; parallel arcs kept).  The
+    result is acyclic, with arcs flowing from higher component ids to
+    lower ones. *)

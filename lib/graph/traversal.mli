@@ -1,0 +1,25 @@
+(** Elementary graph traversals over {!Digraph}. *)
+
+val bfs_levels : Digraph.t -> int -> int array
+(** [bfs_levels g s] returns the arc-count distance from [s] to every
+    node ([-1] for unreachable nodes). *)
+
+val reachable : Digraph.t -> int -> bool array
+(** Nodes reachable from the given source (the source included). *)
+
+val co_reachable : Digraph.t -> int -> bool array
+(** Nodes from which the given node can be reached (the node included). *)
+
+val is_strongly_connected : Digraph.t -> bool
+(** Whether every node reaches every other node.  The empty graph and
+    the one-node graph are strongly connected. *)
+
+val topological_order : Digraph.t -> int array option
+(** Kahn's algorithm: [Some order] (a permutation of the nodes such that
+    every arc goes forward) if the graph is acyclic, [None] otherwise. *)
+
+val is_acyclic : Digraph.t -> bool
+
+val has_cycle_through : Digraph.t -> int -> bool
+(** Whether some (non-empty) cycle passes through the node; a self-loop
+    counts. *)

@@ -1,0 +1,56 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length v = v.len
+let is_empty v = v.len = 0
+
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let data' = Array.make cap' x in
+  Array.blit v.data 0 data' 0 v.len;
+  v.data <- data'
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let check v i name =
+  if i < 0 || i >= v.len then invalid_arg ("Vec." ^ name ^ ": index out of range")
+
+let get v i =
+  check v i "get";
+  v.data.(i)
+
+let set v i x =
+  check v i "set";
+  v.data.(i) <- x
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  v.data.(v.len)
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let fold_left f init v =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) v;
+  !acc
+
+let to_array v = Array.sub v.data 0 v.len
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
+  go (v.len - 1) []
+
+let of_list l =
+  let v = create () in
+  List.iter (push v) l;
+  v

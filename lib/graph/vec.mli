@@ -1,0 +1,28 @@
+(** Growable arrays (the stdlib gained [Dynarray] only in OCaml 5.2;
+    this is the small subset the library needs, for OCaml 5.1). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Appends an element (amortized O(1)). *)
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-range index. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument on out-of-range index. *)
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element.
+    @raise Invalid_argument if empty. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t

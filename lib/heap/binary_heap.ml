@@ -1,0 +1,147 @@
+type 'k t = {
+  cmp : 'k -> 'k -> int;
+  stats : Heap_stats.t option;
+  elems : int array;          (* heap slot -> element *)
+  pos : int array;            (* element -> heap slot, or -1 *)
+  keys : 'k option array;     (* element -> current key *)
+  mutable len : int;
+}
+
+let create ?stats ~capacity ~cmp () =
+  if capacity < 0 then invalid_arg "Binary_heap.create: negative capacity";
+  {
+    cmp;
+    stats;
+    elems = Array.make (max capacity 1) (-1);
+    pos = Array.make (max capacity 1) (-1);
+    keys = Array.make (max capacity 1) None;
+    len = 0;
+  }
+
+let capacity h = Array.length h.pos
+let size h = h.len
+let is_empty h = h.len = 0
+
+let check_elem h e name =
+  if e < 0 || e >= Array.length h.pos then
+    invalid_arg ("Binary_heap." ^ name ^ ": element out of range")
+
+let mem h e =
+  check_elem h e "mem";
+  h.pos.(e) >= 0
+
+let get_key h e name =
+  match h.keys.(e) with
+  | Some k -> k
+  | None -> invalid_arg ("Binary_heap." ^ name ^ ": element not in heap")
+
+let key h e =
+  check_elem h e "key";
+  get_key h e "key"
+
+let swap h i j =
+  let a = h.elems.(i) and b = h.elems.(j) in
+  h.elems.(i) <- b;
+  h.elems.(j) <- a;
+  h.pos.(b) <- i;
+  h.pos.(a) <- j
+
+let key_at h i = get_key h h.elems.(i) "internal"
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp (key_at h i) (key_at h parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.cmp (key_at h l) (key_at h !smallest) < 0 then smallest := l;
+  if r < h.len && h.cmp (key_at h r) (key_at h !smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let bump f h = match h.stats with Some s -> f s | None -> ()
+
+let insert h e k =
+  check_elem h e "insert";
+  if h.pos.(e) >= 0 then invalid_arg "Binary_heap.insert: element already present";
+  bump (fun s -> s.inserts <- s.inserts + 1) h;
+  h.elems.(h.len) <- e;
+  h.pos.(e) <- h.len;
+  h.keys.(e) <- Some k;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let find_min h =
+  if h.len = 0 then invalid_arg "Binary_heap.find_min: empty";
+  let e = h.elems.(0) in
+  (e, get_key h e "find_min")
+
+let extract_min h =
+  if h.len = 0 then invalid_arg "Binary_heap.extract_min: empty";
+  bump (fun s -> s.extract_mins <- s.extract_mins + 1) h;
+  let e = h.elems.(0) in
+  let k = get_key h e "extract_min" in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    let last = h.elems.(h.len) in
+    h.elems.(0) <- last;
+    h.pos.(last) <- 0
+  end;
+  h.pos.(e) <- -1;
+  h.keys.(e) <- None;
+  if h.len > 0 then sift_down h 0;
+  (e, k)
+
+let decrease_key h e k =
+  check_elem h e "decrease_key";
+  let cur = get_key h e "decrease_key" in
+  if h.cmp k cur > 0 then
+    invalid_arg "Binary_heap.decrease_key: new key larger than current";
+  bump (fun s -> s.decrease_keys <- s.decrease_keys + 1) h;
+  h.keys.(e) <- Some k;
+  sift_up h h.pos.(e)
+
+let update_key h e k =
+  check_elem h e "update_key";
+  if h.pos.(e) < 0 then insert h e k
+  else begin
+    let cur = get_key h e "update_key" in
+    bump (fun s -> s.decrease_keys <- s.decrease_keys + 1) h;
+    h.keys.(e) <- Some k;
+    if h.cmp k cur < 0 then sift_up h h.pos.(e) else sift_down h h.pos.(e)
+  end
+
+let remove h e =
+  check_elem h e "remove";
+  let i = h.pos.(e) in
+  if i >= 0 then begin
+    bump (fun s -> s.deletes <- s.deletes + 1) h;
+    h.len <- h.len - 1;
+    if i < h.len then begin
+      let last = h.elems.(h.len) in
+      h.elems.(i) <- last;
+      h.pos.(last) <- i
+    end;
+    h.pos.(e) <- -1;
+    h.keys.(e) <- None;
+    if i < h.len then begin
+      sift_down h i;
+      sift_up h i
+    end
+  end
+
+let clear h =
+  for i = 0 to h.len - 1 do
+    let e = h.elems.(i) in
+    h.pos.(e) <- -1;
+    h.keys.(e) <- None
+  done;
+  h.len <- 0

@@ -1,0 +1,45 @@
+(** Indexed binary min-heap.
+
+    Elements are integers in [0 .. capacity-1] (node or arc ids); each
+    element can be in the heap at most once, and an element's position
+    is tracked so that [decrease_key], [update_key] and [remove] run in
+    O(log n) without searching. *)
+
+type 'k t
+
+val create : ?stats:Heap_stats.t -> capacity:int -> cmp:('k -> 'k -> int) -> unit -> 'k t
+(** @raise Invalid_argument if [capacity < 0]. *)
+
+val capacity : 'k t -> int
+val size : 'k t -> int
+val is_empty : 'k t -> bool
+
+val mem : 'k t -> int -> bool
+(** Whether the element is currently in the heap.
+    @raise Invalid_argument on out-of-range element. *)
+
+val key : 'k t -> int -> 'k
+(** Current key of an element in the heap.
+    @raise Invalid_argument if absent. *)
+
+val insert : 'k t -> int -> 'k -> unit
+(** @raise Invalid_argument if the element is already present. *)
+
+val find_min : 'k t -> int * 'k
+(** @raise Invalid_argument if empty. *)
+
+val extract_min : 'k t -> int * 'k
+(** @raise Invalid_argument if empty. *)
+
+val decrease_key : 'k t -> int -> 'k -> unit
+(** @raise Invalid_argument if absent or if the new key is larger than
+    the current one. *)
+
+val update_key : 'k t -> int -> 'k -> unit
+(** Sets the key to any value, restoring heap order in O(log n);
+    inserts the element if absent. *)
+
+val remove : 'k t -> int -> unit
+(** Removes the element if present; no-op otherwise. *)
+
+val clear : 'k t -> unit

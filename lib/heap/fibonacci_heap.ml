@@ -1,0 +1,265 @@
+(* Classic CLRS-style Fibonacci heap with circular doubly-linked root
+   and child lists.  [delete] is implemented with a [forced] flag that
+   makes a node compare below every key, avoiding a -infinity key. *)
+
+type ('k, 'v) node = {
+  mutable key : 'k;
+  value : 'v;
+  mutable parent : ('k, 'v) node option;
+  mutable child : ('k, 'v) node option;
+  mutable left : ('k, 'v) node;   (* circular list; self-linked when alone *)
+  mutable right : ('k, 'v) node;
+  mutable degree : int;
+  mutable mark : bool;
+  mutable in_heap : bool;
+  mutable forced : bool;          (* treated as smaller than any key *)
+}
+
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  stats : Heap_stats.t option;
+  mutable min : ('k, 'v) node option;
+  mutable size : int;
+}
+
+let create ?stats ~cmp () = { cmp; stats; min = None; size = 0 }
+let size h = h.size
+let is_empty h = h.size = 0
+
+let bump f h = match h.stats with Some s -> f s | None -> ()
+
+let node_key n =
+  if not n.in_heap then invalid_arg "Fibonacci_heap.node_key: node removed";
+  n.key
+
+let node_value n = n.value
+let node_in_heap n = n.in_heap
+
+(* x strictly smaller than y under forced flags *)
+let less h x y =
+  if x.forced then true
+  else if y.forced then false
+  else h.cmp x.key y.key < 0
+
+(* Splice node [x] (self-linked or not) into the circular list of [y],
+   to the right of [y]. *)
+let splice_right y x =
+  let yr = y.right in
+  y.right <- x;
+  x.left <- y;
+  x.right <- yr;
+  yr.left <- x
+
+let remove_from_list x =
+  x.left.right <- x.right;
+  x.right.left <- x.left;
+  x.left <- x;
+  x.right <- x
+
+let add_root h x =
+  x.parent <- None;
+  match h.min with
+  | None ->
+    x.left <- x;
+    x.right <- x;
+    h.min <- Some x
+  | Some m ->
+    splice_right m x;
+    if less h x m then h.min <- Some x
+
+let insert h k v =
+  bump (fun s -> s.inserts <- s.inserts + 1) h;
+  let rec n =
+    { key = k; value = v; parent = None; child = None; left = n; right = n;
+      degree = 0; mark = false; in_heap = true; forced = false }
+  in
+  add_root h n;
+  h.size <- h.size + 1;
+  n
+
+let find_min h =
+  match h.min with
+  | None -> invalid_arg "Fibonacci_heap.find_min: empty"
+  | Some m -> (m.key, m.value)
+
+(* Make y a child of x. *)
+let link x y =
+  remove_from_list y;
+  y.parent <- Some x;
+  y.mark <- false;
+  (match x.child with
+  | None ->
+    y.left <- y;
+    y.right <- y;
+    x.child <- Some y
+  | Some c -> splice_right c y);
+  x.degree <- x.degree + 1
+
+let consolidate h =
+  match h.min with
+  | None -> ()
+  | Some start ->
+    (* Collect current roots into a list first: the ring is about to be
+       restructured. *)
+    let roots = ref [] in
+    let cur = ref start in
+    let continue = ref true in
+    while !continue do
+      roots := !cur :: !roots;
+      cur := !cur.right;
+      if !cur == start then continue := false
+    done;
+    let max_degree =
+      (* log_phi bound; 2 + log2(size) is a safe overapproximation *)
+      let rec bits k acc = if k = 0 then acc else bits (k lsr 1) (acc + 1) in
+      2 * (bits (max h.size 1) 0) + 2
+    in
+    let slots = Array.make (max_degree + 1) None in
+    let place x =
+      let x = ref x in
+      let continue = ref true in
+      while !continue do
+        let d = !x.degree in
+        match slots.(d) with
+        | None ->
+          slots.(d) <- Some !x;
+          continue := false
+        | Some y ->
+          slots.(d) <- None;
+          let smaller, larger = if less h y !x then (y, !x) else (!x, y) in
+          link smaller larger;
+          x := smaller
+      done
+    in
+    List.iter
+      (fun r ->
+        remove_from_list r;
+        r.parent <- None;
+        place r)
+      !roots;
+    h.min <- None;
+    Array.iter
+      (function
+        | None -> ()
+        | Some r -> add_root h r)
+      slots
+
+let extract_min_node h =
+  match h.min with
+  | None -> invalid_arg "Fibonacci_heap.extract_min: empty"
+  | Some m ->
+    bump (fun s -> s.extract_mins <- s.extract_mins + 1) h;
+    (* promote children to the root list *)
+    (match m.child with
+    | None -> ()
+    | Some c ->
+      let cur = ref c in
+      let stop = ref false in
+      let children = ref [] in
+      while not !stop do
+        children := !cur :: !children;
+        cur := !cur.right;
+        if !cur == c then stop := true
+      done;
+      List.iter
+        (fun ch ->
+          remove_from_list ch;
+          ch.parent <- None;
+          splice_right m ch)
+        !children;
+      m.child <- None);
+    let was_alone = m.right == m in
+    let next = m.right in
+    remove_from_list m;
+    if was_alone then h.min <- None else h.min <- Some next;
+    consolidate h;
+    h.size <- h.size - 1;
+    m.in_heap <- false;
+    m.forced <- false;
+    m
+
+let extract_min h =
+  let m = extract_min_node h in
+  (m.key, m.value)
+
+let cut h x parent =
+  (match parent.child with
+  | Some c when c == x ->
+    parent.child <- (if x.right == x then None else Some x.right)
+  | _ -> ());
+  remove_from_list x;
+  parent.degree <- parent.degree - 1;
+  x.mark <- false;
+  add_root h x
+
+let rec cascading_cut h x =
+  match x.parent with
+  | None -> ()
+  | Some p ->
+    if not x.mark then x.mark <- true
+    else begin
+      cut h x p;
+      cascading_cut h p
+    end
+
+let decrease_raw h x =
+  (match x.parent with
+  | Some p when less h x p ->
+    cut h x p;
+    cascading_cut h p
+  | _ -> ());
+  match h.min with
+  | Some m when less h x m -> h.min <- Some x
+  | Some _ -> ()
+  | None -> assert false
+
+let decrease_key h x k =
+  if not x.in_heap then invalid_arg "Fibonacci_heap.decrease_key: node removed";
+  if h.cmp k x.key > 0 then
+    invalid_arg "Fibonacci_heap.decrease_key: new key larger than current";
+  bump (fun s -> s.decrease_keys <- s.decrease_keys + 1) h;
+  x.key <- k;
+  decrease_raw h x
+
+let delete h x =
+  if not x.in_heap then invalid_arg "Fibonacci_heap.delete: node removed";
+  bump (fun s -> s.deletes <- s.deletes + 1) h;
+  x.forced <- true;
+  decrease_raw h x;
+  (* x is now the minimum *)
+  h.min <- Some x;
+  ignore (extract_min_node h)
+
+let meld dst src =
+  bump (fun s -> s.melds <- s.melds + 1) dst;
+  (match (dst.min, src.min) with
+  | _, None -> ()
+  | None, Some _ ->
+    dst.min <- src.min;
+    dst.size <- src.size
+  | Some dm, Some sm ->
+    (* concatenate the two circular root lists *)
+    let dr = dm.right and sr = sm.right in
+    dm.right <- sr;
+    sr.left <- dm;
+    sm.right <- dr;
+    dr.left <- sm;
+    if less dst sm dm then dst.min <- Some sm;
+    dst.size <- dst.size + src.size);
+  src.min <- None;
+  src.size <- 0
+
+let iter f h =
+  let rec visit n =
+    f n.key n.value;
+    (match n.child with Some c -> ring c | None -> ())
+  and ring start =
+    let cur = ref start in
+    let stop = ref false in
+    while not !stop do
+      visit !cur;
+      cur := !cur.right;
+      if !cur == start then stop := true
+    done
+  in
+  match h.min with None -> () | Some m -> ring m

@@ -1,0 +1,45 @@
+(** Fibonacci heaps (Fredman–Tarjan), the heap used by the paper's KO
+    and YTO implementations (LEDA's default, §4.2).
+
+    Handle-based interface: [insert] returns a node handle that can
+    later be passed to [decrease_key] or [delete].  Amortized costs:
+    insert O(1), find-min O(1), decrease-key O(1), extract-min and
+    delete O(log n). *)
+
+type ('k, 'v) t
+type ('k, 'v) node
+
+val create : ?stats:Heap_stats.t -> cmp:('k -> 'k -> int) -> unit -> ('k, 'v) t
+val size : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+
+val insert : ('k, 'v) t -> 'k -> 'v -> ('k, 'v) node
+
+val node_key : ('k, 'v) node -> 'k
+(** @raise Invalid_argument if the node was already removed. *)
+
+val node_value : ('k, 'v) node -> 'v
+val node_in_heap : ('k, 'v) node -> bool
+
+val find_min : ('k, 'v) t -> 'k * 'v
+(** @raise Invalid_argument if empty. *)
+
+val extract_min : ('k, 'v) t -> 'k * 'v
+(** @raise Invalid_argument if empty. *)
+
+val extract_min_node : ('k, 'v) t -> ('k, 'v) node
+(** Like {!extract_min} but returns the (now detached) handle. *)
+
+val decrease_key : ('k, 'v) t -> ('k, 'v) node -> 'k -> unit
+(** @raise Invalid_argument if the node is not in this heap or the new
+    key is larger than the current one. *)
+
+val delete : ('k, 'v) t -> ('k, 'v) node -> unit
+(** Removes an arbitrary node.  @raise Invalid_argument if absent. *)
+
+val meld : ('k, 'v) t -> ('k, 'v) t -> unit
+(** [meld dst src] moves all of [src] into [dst]; [src] becomes empty.
+    Both heaps must use compatible comparison functions. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Applies to every element, in no particular order. *)

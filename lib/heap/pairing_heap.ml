@@ -1,0 +1,145 @@
+(* Standard pairing heap: a multiway tree kept as first-child /
+   next-sibling links, with two-pass pairing on extract-min.
+   decrease_key detaches the node and melds it back at the root. *)
+
+type ('k, 'v) node = {
+  mutable key : 'k;
+  value : 'v;
+  mutable child : ('k, 'v) node option;
+  mutable sibling : ('k, 'v) node option;
+  mutable parent : ('k, 'v) node option; (* or previous sibling *)
+  mutable in_heap : bool;
+}
+
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  stats : Heap_stats.t option;
+  mutable root : ('k, 'v) node option;
+  mutable size : int;
+}
+
+let create ?stats ~cmp () = { cmp; stats; root = None; size = 0 }
+let size h = h.size
+let is_empty h = h.size = 0
+let bump f h = match h.stats with Some s -> f s | None -> ()
+
+let node_key n =
+  if not n.in_heap then invalid_arg "Pairing_heap.node_key: node removed";
+  n.key
+
+let node_value n = n.value
+let node_in_heap n = n.in_heap
+
+(* meld two root nodes, returning the smaller as the new root *)
+let meld_nodes h a b =
+  if h.cmp a.key b.key <= 0 then begin
+    b.parent <- Some a;
+    b.sibling <- a.child;
+    (match a.child with Some c -> c.parent <- Some b | None -> ());
+    a.child <- Some b;
+    a
+  end
+  else begin
+    a.parent <- Some b;
+    a.sibling <- b.child;
+    (match b.child with Some c -> c.parent <- Some a | None -> ());
+    b.child <- Some a;
+    b
+  end
+
+let insert h k v =
+  bump (fun s -> s.inserts <- s.inserts + 1) h;
+  let n =
+    { key = k; value = v; child = None; sibling = None; parent = None;
+      in_heap = true }
+  in
+  (match h.root with
+  | None -> h.root <- Some n
+  | Some r -> h.root <- Some (meld_nodes h r n));
+  h.size <- h.size + 1;
+  n
+
+let find_min h =
+  match h.root with
+  | None -> invalid_arg "Pairing_heap.find_min: empty"
+  | Some r -> (r.key, r.value)
+
+(* two-pass pairing of a sibling list *)
+let rec pair h = function
+  | None -> None
+  | Some n -> (
+    match n.sibling with
+    | None ->
+      n.parent <- None;
+      n.sibling <- None;
+      Some n
+    | Some next ->
+      let rest = next.sibling in
+      n.sibling <- None;
+      n.parent <- None;
+      next.sibling <- None;
+      next.parent <- None;
+      let merged = meld_nodes h n next in
+      (match pair h rest with
+      | None -> Some merged
+      | Some r -> Some (meld_nodes h merged r)))
+
+let extract_min h =
+  match h.root with
+  | None -> invalid_arg "Pairing_heap.extract_min: empty"
+  | Some r ->
+    bump (fun s -> s.extract_mins <- s.extract_mins + 1) h;
+    h.root <- pair h r.child;
+    r.child <- None;
+    r.in_heap <- false;
+    h.size <- h.size - 1;
+    (r.key, r.value)
+
+(* Detach n from its parent's child list. n must not be the root. *)
+let detach n =
+  match n.parent with
+  | None -> ()
+  | Some p ->
+    (match p.child with
+    | Some c when c == n ->
+      (* n is p's first child *)
+      p.child <- n.sibling;
+      (match n.sibling with Some s -> s.parent <- Some p | None -> ())
+    | _ ->
+      (* p is actually n's previous sibling *)
+      p.sibling <- n.sibling;
+      (match n.sibling with Some s -> s.parent <- Some p | None -> ()));
+    n.parent <- None;
+    n.sibling <- None
+
+let decrease_key h n k =
+  if not n.in_heap then invalid_arg "Pairing_heap.decrease_key: node removed";
+  if h.cmp k n.key > 0 then
+    invalid_arg "Pairing_heap.decrease_key: new key larger than current";
+  bump (fun s -> s.decrease_keys <- s.decrease_keys + 1) h;
+  n.key <- k;
+  match h.root with
+  | Some r when r == n -> ()
+  | Some r ->
+    detach n;
+    h.root <- Some (meld_nodes h r n)
+  | None -> assert false
+
+let delete h n =
+  if not n.in_heap then invalid_arg "Pairing_heap.delete: node removed";
+  bump (fun s -> s.deletes <- s.deletes + 1) h;
+  (match h.root with
+  | Some r when r == n ->
+    h.root <- pair h n.child;
+    n.child <- None
+  | Some _ ->
+    detach n;
+    let sub = pair h n.child in
+    n.child <- None;
+    (match (h.root, sub) with
+    | Some r, Some s -> h.root <- Some (meld_nodes h r s)
+    | Some _, None -> ()
+    | None, _ -> assert false)
+  | None -> assert false);
+  n.in_heap <- false;
+  h.size <- h.size - 1

@@ -1,0 +1,27 @@
+(** Pairing heaps — a simpler self-adjusting alternative to Fibonacci
+    heaps with excellent constants in practice; provided so the heap
+    choice of the parametric algorithms (KO/YTO) can be ablated. *)
+
+type ('k, 'v) t
+type ('k, 'v) node
+
+val create : ?stats:Heap_stats.t -> cmp:('k -> 'k -> int) -> unit -> ('k, 'v) t
+val size : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+
+val insert : ('k, 'v) t -> 'k -> 'v -> ('k, 'v) node
+val node_key : ('k, 'v) node -> 'k
+val node_value : ('k, 'v) node -> 'v
+val node_in_heap : ('k, 'v) node -> bool
+
+val find_min : ('k, 'v) t -> 'k * 'v
+(** @raise Invalid_argument if empty. *)
+
+val extract_min : ('k, 'v) t -> 'k * 'v
+(** @raise Invalid_argument if empty. *)
+
+val decrease_key : ('k, 'v) t -> ('k, 'v) node -> 'k -> unit
+(** @raise Invalid_argument if the node was removed or the key grows. *)
+
+val delete : ('k, 'v) t -> ('k, 'v) node -> unit
+(** @raise Invalid_argument if the node was removed. *)

@@ -1,0 +1,112 @@
+The CLI drives the whole pipeline: generate, inspect, solve, certify.
+
+Generate a small SPRAND instance (deterministic for a fixed seed):
+
+  $ ocr gen sprand 8 16 --seed 5 --output g.ocr
+  wrote 8 nodes, 16 arcs to g.ocr
+
+  $ ocr info g.ocr
+  nodes: 8
+  arcs: 16
+  weights: [376, 9874]
+  total transit: 16
+  strongly connected components: 1 (1 cyclic)
+  strongly connected: true
+
+Solve it with the default algorithm (Howard) and certify the result:
+
+  $ ocr solve g.ocr --verify
+  lambda = 4677/4 (1169.250000)
+  certificate: OK
+
+Every algorithm gives the same optimum:
+
+  $ for a in burns ko yto howard ho karp dg lawler karp2 oa1 oa2; do
+  >   ocr solve g.ocr -a $a | head -1
+  > done
+  lambda = 4677/4 (1169.250000)
+  lambda = 4677/4 (1169.250000)
+  lambda = 4677/4 (1169.250000)
+  lambda = 4677/4 (1169.250000)
+  lambda = 4677/4 (1169.250000)
+  lambda = 4677/4 (1169.250000)
+  lambda = 4677/4 (1169.250000)
+  lambda = 4677/4 (1169.250000)
+  lambda = 4677/4 (1169.250000)
+  lambda = 4677/4 (1169.250000)
+  lambda = 4677/4 (1169.250000)
+
+The witness cycle and operation counts are available on demand:
+
+  $ ocr solve g.ocr -a yto --cycle | tail -1
+  cycle: 2->3 3->7 7->4 4->2
+
+Maximization and the cost-to-time ratio problem:
+
+  $ ocr solve g.ocr -o max | head -1
+  lambda = 7834 (7834.000000)
+  $ ocr solve g.ocr -p ratio | head -1
+  lambda = 4677/4 (1169.250000)
+
+The critical subgraph:
+
+  $ ocr critical g.ocr | head -2
+  lambda = 4677/4
+  critical arcs (4):
+
+Acyclic inputs are reported, not crashed on:
+
+  $ cat > dag.ocr <<EOD
+  > p ocr 3 2
+  > a 1 2 5
+  > a 2 3 5
+  > EOD
+  $ ocr solve dag.ocr
+  acyclic graph: no cycle to optimize
+  [2]
+
+Unknown algorithms are rejected with the valid choices:
+
+  $ ocr solve g.ocr -a dijkstra 2>&1 | head -1 | cut -c1-40
+  ocr: option '-a': unknown algorithm "dij
+
+Circuit benchmark stand-ins can be listed and generated:
+
+  $ ocr gen circuit list | head -3
+  s27          3 registers
+  s208         8 registers
+  s298        14 registers
+  $ ocr gen circuit s344 --output s344.ocr
+  wrote 15 nodes, 27 arcs to s344.ocr
+  $ ocr solve s344.ocr --verify | tail -1
+  certificate: OK
+
+Ratio instances with transit times:
+
+  $ ocr gen sprand 8 16 --seed 5 --transits 1,4 --output r.ocr
+  wrote 8 nodes, 16 arcs to r.ocr
+  $ ocr solve r.ocr -p ratio -a yto --verify | tail -1
+  certificate: OK
+  $ ocr solve r.ocr -p ratio -a karp | head -1 > karp_ratio.txt
+  $ ocr solve r.ocr -p ratio -a howard | head -1 > howard_ratio.txt
+  $ diff karp_ratio.txt howard_ratio.txt
+
+DIMACS .gr interchange (the format SPRAND itself emits):
+
+  $ cat > g.gr <<EOD
+  > c a 3-cycle
+  > p sp 3 3
+  > a 1 2 4
+  > a 2 3 5
+  > a 3 1 6
+  > EOD
+  $ ocr solve g.gr
+  lambda = 5 (5.000000)
+  $ ocr info g.gr | head -2
+  nodes: 3
+  arcs: 3
+
+Comparing all algorithms on one instance:
+
+  $ ocr compare g.ocr | tail -1
+  all algorithms agree

@@ -1,0 +1,78 @@
+(* Shared test utilities: Alcotest testables and QCheck generators. *)
+
+let ratio = Alcotest.testable Ratio.pp Ratio.equal
+
+let check_ratio = Alcotest.check ratio
+
+let r = Ratio.make
+
+(* ------------------------------------------------------------------ *)
+(* QCheck generators                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A strongly connected graph: permutation ring + extra random arcs.
+   Weights may be negative; transit times in [1, tmax]. *)
+let gen_strongly_connected ?(max_n = 10) ?(max_extra = 20) ?(wlo = -20)
+    ?(whi = 20) ?(tmax = 1) () =
+  let open QCheck.Gen in
+  let* n = int_range 1 max_n in
+  let* extra = int_range 0 max_extra in
+  let* seed = int_range 0 1_000_000 in
+  let rng = Rng.create seed in
+  let perm = Array.init n Fun.id in
+  Rng.shuffle rng perm;
+  let arcs = ref [] in
+  for i = 0 to n - 1 do
+    arcs :=
+      (perm.(i), perm.((i + 1) mod n), Rng.in_range rng wlo whi,
+       Rng.in_range rng 1 tmax)
+      :: !arcs
+  done;
+  for _ = 1 to extra do
+    arcs :=
+      (Rng.int rng n, Rng.int rng n, Rng.in_range rng wlo whi,
+       Rng.in_range rng 1 tmax)
+      :: !arcs
+  done;
+  return (Digraph.of_arcs n !arcs)
+
+(* Arbitrary digraph, possibly disconnected or acyclic. *)
+let gen_any_graph ?(max_n = 8) ?(max_m = 16) ?(wlo = -20) ?(whi = 20)
+    ?(tmax = 1) () =
+  let open QCheck.Gen in
+  let* n = int_range 0 max_n in
+  if n = 0 then return (Digraph.of_arcs 0 [])
+  else
+    let* m = int_range 0 max_m in
+    let* seed = int_range 0 1_000_000 in
+    let rng = Rng.create seed in
+    let arcs = ref [] in
+    for _ = 1 to m do
+      arcs :=
+        (Rng.int rng n, Rng.int rng n, Rng.in_range rng wlo whi,
+         Rng.in_range rng 1 tmax)
+        :: !arcs
+    done;
+    return (Digraph.of_arcs n !arcs)
+
+let print_graph g = Graph_io.to_string g
+
+let arb_strongly_connected ?max_n ?max_extra ?wlo ?whi ?tmax () =
+  QCheck.make ~print:print_graph
+    (gen_strongly_connected ?max_n ?max_extra ?wlo ?whi ?tmax ())
+
+let arb_any_graph ?max_n ?max_m ?wlo ?whi ?tmax () =
+  QCheck.make ~print:print_graph (gen_any_graph ?max_n ?max_m ?wlo ?whi ?tmax ())
+
+let qtests cases = List.map QCheck_alcotest.to_alcotest cases
+
+(* The oracle value as a Ratio, for cross-checking. *)
+let oracle_mean objective g =
+  Option.map
+    (fun (a : Oracle.answer) -> Ratio.make a.Oracle.num a.Oracle.den)
+    (Oracle.cycle_mean objective g)
+
+let oracle_ratio objective g =
+  Option.map
+    (fun (a : Oracle.answer) -> Ratio.make a.Oracle.num a.Oracle.den)
+    (Oracle.cycle_ratio objective g)

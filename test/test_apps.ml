@@ -1,0 +1,602 @@
+(* ------------------------------------------------------------------ *)
+(* dataflow iteration bound                                             *)
+(* ------------------------------------------------------------------ *)
+
+let biquad_full () =
+  let d = Dataflow.create () in
+  let add1 = Dataflow.add_op d ~name:"add1" ~time:1 in
+  let m1 = Dataflow.add_op d ~name:"mul1" ~time:2 in
+  let m2 = Dataflow.add_op d ~name:"mul2" ~time:2 in
+  Dataflow.add_edge d ~delays:1 add1 m1;
+  Dataflow.add_edge d m1 add1;
+  Dataflow.add_edge d ~delays:2 add1 m2;
+  Dataflow.add_edge d m2 add1;
+  (d, add1)
+
+let biquad () = fst (biquad_full ())
+
+let test_iteration_bound () =
+  match Dataflow.iteration_bound (biquad ()) with
+  | Some (bound, loop) ->
+    Helpers.check_ratio "bound (1+2)/1" (Helpers.r 3 1) bound;
+    Alcotest.(check int) "critical loop length" 2 (List.length loop)
+  | None -> Alcotest.fail "recursive graph has a bound"
+
+let test_feedforward_no_bound () =
+  let d = Dataflow.create () in
+  let a = Dataflow.add_op d ~name:"a" ~time:1 in
+  let b = Dataflow.add_op d ~name:"b" ~time:1 in
+  Dataflow.add_edge d a b;
+  Alcotest.(check bool) "no bound" true (Dataflow.iteration_bound d = None)
+
+let test_delay_free_loop_rejected () =
+  let d = Dataflow.create () in
+  let a = Dataflow.add_op d ~name:"a" ~time:1 in
+  let b = Dataflow.add_op d ~name:"b" ~time:1 in
+  Dataflow.add_edge d a b;
+  Dataflow.add_edge d b a;
+  match Dataflow.iteration_bound d with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "delay-free loop must be rejected"
+
+let test_dataflow_accessors () =
+  let d, add1 = biquad_full () in
+  Alcotest.(check string) "name" "add1" (Dataflow.op_name d add1);
+  Alcotest.(check int) "time" 1 (Dataflow.op_time d add1);
+  Alcotest.(check int) "graph nodes" 3 (Digraph.n (Dataflow.to_graph d))
+
+let test_dataflow_bound_dominates_all_loops () =
+  (* adding a slower loop raises the bound *)
+  let d, add1 = biquad_full () in
+  let slow = Dataflow.add_op d ~name:"slow" ~time:9 in
+  Dataflow.add_edge d ~delays:1 add1 slow;
+  Dataflow.add_edge d slow add1;
+  match Dataflow.iteration_bound d with
+  | Some (bound, _) -> Helpers.check_ratio "new bound (1+9)/1" (Helpers.r 10 1) bound
+  | None -> Alcotest.fail "bound exists"
+
+(* ------------------------------------------------------------------ *)
+(* retiming                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let correlator () =
+  let c = Retiming.create () in
+  let host = Retiming.add_block c ~name:"host" ~delay:0 in
+  let cmp = Array.init 4 (fun i ->
+      Retiming.add_block c ~name:(Printf.sprintf "cmp%d" i) ~delay:3)
+  in
+  let add = Array.init 3 (fun i ->
+      Retiming.add_block c ~name:(Printf.sprintf "add%d" i) ~delay:7)
+  in
+  Retiming.add_wire c ~registers:1 host cmp.(0);
+  Retiming.add_wire c ~registers:1 cmp.(0) cmp.(1);
+  Retiming.add_wire c ~registers:1 cmp.(1) cmp.(2);
+  Retiming.add_wire c ~registers:1 cmp.(2) cmp.(3);
+  Retiming.add_wire c cmp.(3) add.(2);
+  Retiming.add_wire c add.(2) add.(1);
+  Retiming.add_wire c add.(1) add.(0);
+  Retiming.add_wire c add.(0) host;
+  Retiming.add_wire c cmp.(0) add.(0);
+  Retiming.add_wire c cmp.(1) add.(1);
+  Retiming.add_wire c cmp.(2) add.(2);
+  c
+
+let test_correlator_period () =
+  let c = correlator () in
+  Alcotest.(check int) "period as designed" 24 (Retiming.clock_period c);
+  let period, labels = Retiming.min_period c in
+  Alcotest.(check int) "Leiserson-Saxe optimum" 13 period;
+  let retimed = Retiming.retime c labels in
+  Alcotest.(check int) "retimed period matches" 13 (Retiming.clock_period retimed)
+
+let test_lower_bound_respected () =
+  let c = correlator () in
+  match Retiming.period_lower_bound c with
+  | Some b ->
+    let period, _ = Retiming.min_period c in
+    Alcotest.(check bool) "bound <= optimum" true
+      (Ratio.to_float b <= float_of_int period)
+  | None -> Alcotest.fail "cyclic circuit has a bound"
+
+let test_combinational_loop_detected () =
+  let c = Retiming.create () in
+  let a = Retiming.add_block c ~name:"a" ~delay:2 in
+  let b = Retiming.add_block c ~name:"b" ~delay:2 in
+  Retiming.add_wire c a b;
+  Retiming.add_wire c b a;
+  Alcotest.check_raises "combinational loop"
+    (Invalid_argument
+       "Retiming.clock_period: register-free cycle (combinational loop)")
+    (fun () -> ignore (Retiming.clock_period c))
+
+let test_retime_validation () =
+  let c = correlator () in
+  Alcotest.(check bool) "bad label count" true
+    (match Retiming.retime c [| 0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* labels that would push a register count negative *)
+  let n = Retiming.block_count c in
+  let bad = Array.make n 0 in
+  bad.(0) <- 5;
+  Alcotest.(check bool) "negative register count" true
+    (match Retiming.retime c bad with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_acyclic_pipeline () =
+  let c = Retiming.create () in
+  let a = Retiming.add_block c ~name:"a" ~delay:4 in
+  let b = Retiming.add_block c ~name:"b" ~delay:6 in
+  Retiming.add_wire c ~registers:0 a b;
+  Alcotest.(check bool) "no cycle, no bound" true
+    (Retiming.period_lower_bound c = None);
+  Alcotest.(check int) "period = path delay" 10 (Retiming.clock_period c);
+  (* a pipeline register can cut the critical path *)
+  let period, _ = Retiming.min_period c in
+  Alcotest.(check bool) "optimum no worse than designed" true (period <= 10)
+
+let qcheck_min_period_realizable =
+  (* random small circuits: the period claimed by min_period must be
+     realized by the returned labels *)
+  let arb =
+    QCheck.make
+      ~print:(fun (blocks, wires) ->
+        Printf.sprintf "blocks=%s wires=%s"
+          (String.concat ","
+             (List.map string_of_int blocks))
+          (String.concat ","
+             (List.map
+                (fun (u, v, r) -> Printf.sprintf "(%d,%d,%d)" u v r)
+                wires)))
+      QCheck.Gen.(
+        let* nb = int_range 2 6 in
+        let* blocks = list_repeat nb (int_range 0 9) in
+        let* seed = int_range 0 100000 in
+        let rng = Rng.create seed in
+        (* ring with registers guarantees no combinational loop *)
+        let wires = ref [] in
+        for i = 0 to nb - 1 do
+          wires := (i, (i + 1) mod nb, 1 + Rng.int rng 2) :: !wires
+        done;
+        let extra = Rng.int rng 5 in
+        for _ = 1 to extra do
+          let u = Rng.int rng nb and v = Rng.int rng nb in
+          wires := (u, v, 1 + Rng.int rng 2) :: !wires
+        done;
+        return (blocks, !wires))
+  in
+  QCheck.Test.make ~name:"retiming: min_period labels realize the period"
+    ~count:100 arb
+    (fun (blocks, wires) ->
+      let c = Retiming.create () in
+      let ids =
+        List.mapi
+          (fun i d -> Retiming.add_block c ~name:(string_of_int i) ~delay:d)
+          blocks
+      in
+      let arr = Array.of_list ids in
+      List.iter
+        (fun (u, v, r) -> Retiming.add_wire c ~registers:r arr.(u) arr.(v))
+        wires;
+      let period, labels = Retiming.min_period c in
+      let retimed = Retiming.retime c labels in
+      Retiming.clock_period retimed <= period
+      && period <= Retiming.clock_period c)
+
+(* ------------------------------------------------------------------ *)
+(* max-plus                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let production () =
+  Maxplus.of_entries 3
+    [ (0, 2, 8); (1, 0, 3); (2, 1, 4); (1, 1, 5); (0, 0, 2); (2, 0, 6) ]
+
+let test_eigenvalue () =
+  match Maxplus.eigenvalue (production ()) with
+  | Some l -> Helpers.check_ratio "known eigenvalue" (Helpers.r 7 1) l
+  | None -> Alcotest.fail "irreducible system has an eigenvalue"
+
+let test_eigenvector_equation () =
+  let a = production () in
+  match Maxplus.eigenvector a with
+  | None -> Alcotest.fail "irreducible"
+  | Some (l, v) ->
+    (* check A ⊗ v = λ + v exactly, in rationals *)
+    let n = Maxplus.dim a in
+    for i = 0 to n - 1 do
+      let best = ref None in
+      for j = 0 to n - 1 do
+        match Maxplus.get a i j with
+        | None -> ()
+        | Some w ->
+          let cand = Ratio.add (Ratio.of_int w) v.(j) in
+          best :=
+            Some
+              (match !best with
+              | None -> cand
+              | Some b -> Ratio.max b cand)
+      done;
+      match !best with
+      | None -> Alcotest.fail "irreducible matrix has entries in every row"
+      | Some b -> Helpers.check_ratio "eigen equation row" (Ratio.add l v.(i)) b
+    done
+
+let test_power_iteration_growth () =
+  let a = production () in
+  let l = Maxplus.eigenvalue a |> Option.get in
+  let x0 = Array.make 3 (Some 0) in
+  let k = 24 in
+  let xk = Maxplus.cycle_time a ~x0 ~rounds:k in
+  let xk1 = Maxplus.cycle_time a ~x0 ~rounds:(k + 2) in
+  (* the critical cycle has length 2, so after the transient the
+     sequence is 2-periodic: growth over 2 steps is exactly 2λ *)
+  (match (xk.(0), xk1.(0)) with
+  | Some u, Some w ->
+    Alcotest.(check int) "asymptotic growth rate" (2 * Ratio.num l) (w - u)
+  | _ -> Alcotest.fail "entries must stay finite")
+
+let test_matrix_ops () =
+  let a = Maxplus.of_entries 2 [ (0, 1, 3); (1, 0, 4) ] in
+  let sq = Maxplus.mul a a in
+  Alcotest.(check (option int)) "A²(0,0) = 3+4" (Some 7) (Maxplus.get sq 0 0);
+  Alcotest.(check (option int)) "A²(0,1) stays -inf" None (Maxplus.get sq 0 1);
+  let x = Maxplus.vec_mul a [| Some 0; Some 10 |] in
+  Alcotest.(check (option int)) "vec mul" (Some 13) x.(0)
+
+let test_reducible () =
+  let a = Maxplus.of_entries 2 [ (0, 0, 1) ] in
+  Alcotest.(check bool) "not irreducible" false (Maxplus.is_irreducible a);
+  Alcotest.(check bool) "no eigenvector" true (Maxplus.eigenvector a = None);
+  (* eigenvalue still defined as max cycle mean *)
+  match Maxplus.eigenvalue a with
+  | Some l -> Helpers.check_ratio "self loop" (Helpers.r 1 1) l
+  | None -> Alcotest.fail "cycle exists"
+
+let test_graph_roundtrip () =
+  let a = production () in
+  let b = Maxplus.of_graph (Maxplus.to_graph a) in
+  let same = ref true in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      if Maxplus.get a i j <> Maxplus.get b i j then same := false
+    done
+  done;
+  Alcotest.(check bool) "roundtrip" true !same
+
+let qcheck_eigenvector_property =
+  QCheck.Test.make
+    ~name:"maxplus: eigenvector satisfies A⊗v = λ+v on random irreducible"
+    ~count:100
+    (Helpers.arb_strongly_connected ~max_n:6 ~max_extra:8 ~wlo:0 ~whi:12 ())
+    (fun g ->
+      let a = Maxplus.of_graph g in
+      match Maxplus.eigenvector a with
+      | None -> false (* strongly connected -> irreducible *)
+      | Some (l, v) ->
+        let n = Maxplus.dim a in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          let best = ref None in
+          for j = 0 to n - 1 do
+            match Maxplus.get a i j with
+            | None -> ()
+            | Some w ->
+              let cand = Ratio.add (Ratio.of_int w) v.(j) in
+              best :=
+                Some (match !best with None -> cand | Some b -> Ratio.max b cand)
+          done;
+          match !best with
+          | None -> ok := false
+          | Some b -> if not (Ratio.equal b (Ratio.add l v.(i))) then ok := false
+        done;
+        !ok)
+
+let suite =
+  [
+    Alcotest.test_case "dataflow: iteration bound" `Quick test_iteration_bound;
+    Alcotest.test_case "dataflow: feed-forward" `Quick test_feedforward_no_bound;
+    Alcotest.test_case "dataflow: delay-free loop" `Quick
+      test_delay_free_loop_rejected;
+    Alcotest.test_case "dataflow: accessors" `Quick test_dataflow_accessors;
+    Alcotest.test_case "dataflow: slowest loop dominates" `Quick
+      test_dataflow_bound_dominates_all_loops;
+    Alcotest.test_case "retiming: correlator 24 -> 13" `Quick
+      test_correlator_period;
+    Alcotest.test_case "retiming: ratio bound respected" `Quick
+      test_lower_bound_respected;
+    Alcotest.test_case "retiming: combinational loop" `Quick
+      test_combinational_loop_detected;
+    Alcotest.test_case "retiming: label validation" `Quick test_retime_validation;
+    Alcotest.test_case "retiming: acyclic pipeline" `Quick test_acyclic_pipeline;
+    Alcotest.test_case "maxplus: eigenvalue" `Quick test_eigenvalue;
+    Alcotest.test_case "maxplus: eigenvector equation" `Quick
+      test_eigenvector_equation;
+    Alcotest.test_case "maxplus: power iteration growth" `Quick
+      test_power_iteration_growth;
+    Alcotest.test_case "maxplus: matrix operations" `Quick test_matrix_ops;
+    Alcotest.test_case "maxplus: reducible matrix" `Quick test_reducible;
+    Alcotest.test_case "maxplus: graph roundtrip" `Quick test_graph_roundtrip;
+  ]
+  @ Helpers.qtests [ qcheck_min_period_realizable; qcheck_eigenvector_property ]
+
+(* ------------------------------------------------------------------ *)
+(* event-rule systems                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let self_timed_ring ~stages ~tokens ~forward ~backward =
+  let er = Eventrule.create () in
+  let e =
+    Array.init stages (fun i ->
+        Eventrule.add_event er ~name:(Printf.sprintf "e%d" i))
+  in
+  for i = 0 to stages - 1 do
+    let succ = (i + 1) mod stages in
+    let f_offset = if i < tokens then 1 else 0 in
+    Eventrule.add_rule er ~offset:f_offset ~delay:forward e.(i) e.(succ);
+    Eventrule.add_rule er ~offset:(1 - f_offset) ~delay:backward e.(succ) e.(i)
+  done;
+  (er, e)
+
+let test_eventrule_period () =
+  (* forward-limited: 4 stages, 2 tokens, d_f=10: period 40/2 = 20 *)
+  let er, _ = self_timed_ring ~stages:4 ~tokens:2 ~forward:10 ~backward:1 in
+  (match Eventrule.cycle_period er with
+  | Some (p, _) -> Helpers.check_ratio "token-limited" (Helpers.r 20 1) p
+  | None -> Alcotest.fail "ring is repetitive");
+  (* bubble-limited: 3 tokens in 4 stages, d_b=6: period 24/1 = 24 *)
+  let er, _ = self_timed_ring ~stages:4 ~tokens:3 ~forward:10 ~backward:6 in
+  match Eventrule.cycle_period er with
+  | Some (p, _) -> Helpers.check_ratio "bubble-limited" (Helpers.r 24 1) p
+  | None -> Alcotest.fail "ring is repetitive"
+
+let test_eventrule_simulation_matches_period () =
+  let er, e = self_timed_ring ~stages:5 ~tokens:2 ~forward:7 ~backward:3 in
+  let p =
+    match Eventrule.cycle_period er with
+    | Some (p, _) -> Ratio.to_float p
+    | None -> Alcotest.fail "repetitive"
+  in
+  let k = 400 in
+  let times = Eventrule.simulate er ~occurrences:k in
+  let e0 = (e.(0) :> int) in
+  let rate =
+    float_of_int (times.(k - 1).(e0) - times.((k / 2) - 1).(e0))
+    /. float_of_int (k / 2)
+  in
+  Alcotest.(check (float 0.2)) "simulated rate ~ period" p rate
+
+let test_eventrule_deadlock () =
+  let er = Eventrule.create () in
+  let a = Eventrule.add_event er ~name:"a" in
+  let b = Eventrule.add_event er ~name:"b" in
+  Eventrule.add_rule er ~delay:1 a b;
+  Eventrule.add_rule er ~delay:1 b a;
+  Alcotest.(check bool) "cycle_period rejects zero-offset cycle" true
+    (match Eventrule.cycle_period er with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "simulate rejects zero-offset cycle" true
+    (match Eventrule.simulate er ~occurrences:3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_eventrule_acyclic () =
+  let er = Eventrule.create () in
+  let a = Eventrule.add_event er ~name:"a" in
+  let b = Eventrule.add_event er ~name:"b" in
+  Eventrule.add_rule er ~delay:5 a b;
+  Alcotest.(check bool) "no period" true (Eventrule.cycle_period er = None);
+  let times = Eventrule.simulate er ~occurrences:3 in
+  Alcotest.(check int) "b waits for a" 5 times.(0).((b :> int));
+  Alcotest.(check int) "stable across occurrences" 5 times.(2).((b :> int))
+
+let test_eventrule_validation () =
+  let er = Eventrule.create () in
+  let a = Eventrule.add_event er ~name:"a" in
+  Alcotest.(check bool) "negative delay" true
+    (match Eventrule.add_rule er ~delay:(-1) a a with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "negative offset" true
+    (match Eventrule.add_rule er ~offset:(-1) ~delay:1 a a with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check string) "event name" "a" (Eventrule.event_name er a)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "eventrule: ring periods" `Quick test_eventrule_period;
+      Alcotest.test_case "eventrule: simulation matches period" `Quick
+        test_eventrule_simulation_matches_period;
+      Alcotest.test_case "eventrule: deadlock detection" `Quick
+        test_eventrule_deadlock;
+      Alcotest.test_case "eventrule: acyclic system" `Quick
+        test_eventrule_acyclic;
+      Alcotest.test_case "eventrule: validation" `Quick
+        test_eventrule_validation;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* clock schedules (Szymanski)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let latch_ring () =
+  (* 3 latches, delays 5, 1, 3 around the loop: max cycle mean = 3 *)
+  let c = Clock_schedule.create () in
+  let l = Array.init 3 (fun i ->
+      Clock_schedule.add_latch c ~name:(Printf.sprintf "L%d" i))
+  in
+  Clock_schedule.add_path c ~delay:5 l.(0) l.(1);
+  Clock_schedule.add_path c ~delay:1 l.(1) l.(2);
+  Clock_schedule.add_path c ~delay:3 l.(2) l.(0);
+  c
+
+let test_clock_min_period () =
+  match Clock_schedule.min_period (latch_ring ()) with
+  | Some p -> Helpers.check_ratio "mean (5+1+3)/3" (Helpers.r 3 1) p
+  | None -> Alcotest.fail "cyclic circuit"
+
+let test_clock_schedule_at_optimum () =
+  let c = latch_ring () in
+  let p = Clock_schedule.min_period c |> Option.get in
+  (match Clock_schedule.schedule c ~period:p with
+  | Some x ->
+    Alcotest.(check bool) "schedule verifies" true
+      (Clock_schedule.verify_schedule c ~period:p x)
+  | None -> Alcotest.fail "optimum period must be feasible");
+  (* slack: any larger period also feasible *)
+  let p' = Ratio.add p Ratio.one in
+  Alcotest.(check bool) "larger period feasible" true
+    (Clock_schedule.schedule c ~period:p' <> None)
+
+let test_clock_below_optimum_infeasible () =
+  let c = latch_ring () in
+  Alcotest.(check bool) "period below the cycle mean" true
+    (Clock_schedule.schedule c ~period:(Helpers.r 5 2) = None)
+
+let test_clock_level_sensitive_beats_longest_path () =
+  (* the longest single path is 5, but borrowing lets the ring clock at
+     3 — the essence of level-clocked scheduling *)
+  let c = latch_ring () in
+  let p = Clock_schedule.min_period c |> Option.get in
+  Alcotest.(check bool) "period < max path delay" true
+    (Ratio.lt p (Helpers.r 5 1))
+
+let test_clock_acyclic () =
+  let c = Clock_schedule.create () in
+  let a = Clock_schedule.add_latch c ~name:"a" in
+  let b = Clock_schedule.add_latch c ~name:"b" in
+  Clock_schedule.add_path c ~delay:9 a b;
+  Alcotest.(check bool) "no period bound" true
+    (Clock_schedule.min_period c = None);
+  (* even tiny periods are feasible by borrowing into offsets *)
+  match Clock_schedule.schedule c ~period:(Helpers.r 1 2) with
+  | Some x ->
+    Alcotest.(check bool) "schedule verifies" true
+      (Clock_schedule.verify_schedule c ~period:(Helpers.r 1 2) x)
+  | None -> Alcotest.fail "acyclic circuits always schedulable"
+
+let qcheck_clock_schedule_feasible_iff =
+  QCheck.Test.make
+    ~name:"clock_schedule: feasible exactly above the max cycle mean"
+    ~count:100
+    (QCheck.pair
+       (Helpers.arb_strongly_connected ~max_n:6 ~max_extra:8 ~wlo:0 ~whi:15 ())
+       (QCheck.int_range 0 20))
+    (fun (g, num) ->
+      let c = Clock_schedule.create () in
+      let handles =
+        Array.init (Digraph.n g) (fun v ->
+            Clock_schedule.add_latch c ~name:(string_of_int v))
+      in
+      Digraph.iter_arcs g (fun a ->
+          Clock_schedule.add_path c ~delay:(Digraph.weight g a)
+            handles.(Digraph.src g a) handles.(Digraph.dst g a));
+      let period = Ratio.make num 2 in
+      let opt = Clock_schedule.min_period c |> Option.get in
+      let feasible = Clock_schedule.schedule c ~period <> None in
+      feasible = Ratio.leq opt period)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "clock: min period = max cycle mean" `Quick
+        test_clock_min_period;
+      Alcotest.test_case "clock: schedule at the optimum" `Quick
+        test_clock_schedule_at_optimum;
+      Alcotest.test_case "clock: infeasible below optimum" `Quick
+        test_clock_below_optimum_infeasible;
+      Alcotest.test_case "clock: borrowing beats longest path" `Quick
+        test_clock_level_sensitive_beats_longest_path;
+      Alcotest.test_case "clock: acyclic circuit" `Quick test_clock_acyclic;
+    ]
+  @ Helpers.qtests [ qcheck_clock_schedule_feasible_iff ]
+
+(* ------------------------------------------------------------------ *)
+(* rate analysis                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let producer_consumer () =
+  (* producer -> consumer -> (ack) producer, one token on the ack *)
+  let r = Rate_analysis.create () in
+  let p = Rate_analysis.add_process r ~name:"producer" in
+  let c = Rate_analysis.add_process r ~name:"consumer" in
+  Rate_analysis.add_dependency r ~dmin:2 ~dmax:5 p c;
+  Rate_analysis.add_dependency r ~offset:1 ~dmin:1 ~dmax:3 c p;
+  r
+
+let test_rate_period_interval () =
+  match Rate_analysis.period_interval (producer_consumer ()) with
+  | Some (best, worst) ->
+    (* one cycle with offset 1: periods [2+1, 5+3] *)
+    Helpers.check_ratio "best case" (Helpers.r 3 1) best;
+    Helpers.check_ratio "worst case" (Helpers.r 8 1) worst
+  | None -> Alcotest.fail "cyclic system"
+
+let test_rate_interval () =
+  match Rate_analysis.rate_interval (producer_consumer ()) with
+  | Some (Some lowest, Some highest) ->
+    Helpers.check_ratio "lowest rate 1/8" (Helpers.r 1 8) lowest;
+    Helpers.check_ratio "highest rate 1/3" (Helpers.r 1 3) highest
+  | _ -> Alcotest.fail "both ends bounded here"
+
+let test_rate_zero_best_case () =
+  let r = Rate_analysis.create () in
+  let a = Rate_analysis.add_process r ~name:"a" in
+  Rate_analysis.add_dependency r ~offset:1 ~dmin:0 ~dmax:4 a a;
+  match Rate_analysis.rate_interval r with
+  | Some (Some lowest, None) ->
+    Helpers.check_ratio "lowest rate" (Helpers.r 1 4) lowest
+  | _ -> Alcotest.fail "zero best-case period means unbounded top rate"
+
+let test_rate_acyclic () =
+  let r = Rate_analysis.create () in
+  let a = Rate_analysis.add_process r ~name:"a" in
+  let b = Rate_analysis.add_process r ~name:"b" in
+  Rate_analysis.add_dependency r ~dmin:1 ~dmax:2 a b;
+  Alcotest.(check bool) "no intrinsic period" true
+    (Rate_analysis.period_interval r = None)
+
+let test_rate_validation () =
+  let r = Rate_analysis.create () in
+  let a = Rate_analysis.add_process r ~name:"a" in
+  Alcotest.(check bool) "dmax < dmin rejected" true
+    (match Rate_analysis.add_dependency r ~dmin:5 ~dmax:2 a a with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check string) "name" "a" (Rate_analysis.process_name r a);
+  Alcotest.(check int) "count" 1 (Rate_analysis.process_count r)
+
+let qcheck_rate_interval_ordered =
+  QCheck.Test.make
+    ~name:"rate_analysis: best period <= worst period on random systems"
+    ~count:100
+    (Helpers.arb_strongly_connected ~max_n:6 ~max_extra:8 ~wlo:1 ~whi:9 ())
+    (fun g ->
+      let r = Rate_analysis.create () in
+      let handles =
+        Array.init (Digraph.n g) (fun v ->
+            Rate_analysis.add_process r ~name:(string_of_int v))
+      in
+      Digraph.iter_arcs g (fun a ->
+          let d = Digraph.weight g a in
+          Rate_analysis.add_dependency r ~offset:1 ~dmin:d ~dmax:(d + 3)
+            handles.(Digraph.src g a)
+            handles.(Digraph.dst g a));
+      match Rate_analysis.period_interval r with
+      | Some (best, worst) -> Ratio.leq best worst
+      | None -> false)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "rate: period interval" `Quick
+        test_rate_period_interval;
+      Alcotest.test_case "rate: rate interval" `Quick test_rate_interval;
+      Alcotest.test_case "rate: zero best case" `Quick test_rate_zero_best_case;
+      Alcotest.test_case "rate: acyclic" `Quick test_rate_acyclic;
+      Alcotest.test_case "rate: validation" `Quick test_rate_validation;
+    ]
+  @ Helpers.qtests [ qcheck_rate_interval_ordered ]

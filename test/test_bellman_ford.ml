@@ -1,0 +1,126 @@
+let w g = Digraph.weight g
+
+let test_feasible () =
+  let g = Digraph.of_weighted_arcs 3 [ (0, 1, 2); (1, 2, 3); (2, 0, -4) ] in
+  match Bellman_ford.run ~cost:(w g) g with
+  | Bellman_ford.Negative_cycle _ -> Alcotest.fail "cycle weight is +1, not negative"
+  | Bellman_ford.Feasible d ->
+    Digraph.iter_arcs g (fun a ->
+        Alcotest.(check bool) "potential inequality" true
+          (d.(Digraph.dst g a) <= d.(Digraph.src g a) + Digraph.weight g a))
+
+let test_negative_cycle () =
+  let g =
+    Digraph.of_weighted_arcs 4
+      [ (0, 1, 1); (1, 2, -2); (2, 1, -1); (2, 3, 5) ]
+  in
+  match Bellman_ford.negative_cycle ~cost:(w g) g with
+  | None -> Alcotest.fail "cycle 1->2->1 has weight -3"
+  | Some c ->
+    Alcotest.(check bool) "is a cycle" true (Digraph.is_cycle g c);
+    Alcotest.(check bool) "negative weight" true (Digraph.cycle_weight g c < 0)
+
+let test_negative_self_loop () =
+  let g = Digraph.of_weighted_arcs 2 [ (0, 1, 3); (1, 1, -1) ] in
+  match Bellman_ford.negative_cycle ~cost:(w g) g with
+  | Some [ a ] ->
+    Alcotest.(check int) "the self loop" 1 a
+  | Some _ -> Alcotest.fail "expected a length-1 cycle"
+  | None -> Alcotest.fail "missed negative self loop"
+
+let test_zero_cycle_not_negative () =
+  let g = Digraph.of_weighted_arcs 2 [ (0, 1, 5); (1, 0, -5) ] in
+  Alcotest.(check bool) "zero cycle is not negative" true
+    (Bellman_ford.negative_cycle ~cost:(w g) g = None)
+
+let test_custom_cost () =
+  (* recost so the cycle becomes negative *)
+  let g = Digraph.of_weighted_arcs 2 [ (0, 1, 5); (1, 0, -5) ] in
+  let cost a = Digraph.weight g a - 1 in
+  Alcotest.(check bool) "shifted costs reveal a cycle" true
+    (Bellman_ford.negative_cycle ~cost g <> None)
+
+let test_shortest_from () =
+  let g =
+    Digraph.of_weighted_arcs 5
+      [ (0, 1, 4); (0, 2, 1); (2, 1, 1); (1, 3, 1); (2, 3, 5) ]
+  in
+  match Bellman_ford.shortest_from ~cost:(w g) g 0 with
+  | Error _ -> Alcotest.fail "no negative cycle here"
+  | Ok (dist, pred) ->
+    Alcotest.(check int) "d(1) via 2" 2 dist.(1);
+    Alcotest.(check int) "d(3)" 3 dist.(3);
+    Alcotest.(check int) "unreachable" max_int dist.(4);
+    Alcotest.(check int) "pred of 1 is arc 2->1" 2 pred.(1)
+
+let test_disconnected_potentials () =
+  (* virtual-source form must cover disconnected graphs *)
+  let g = Digraph.of_weighted_arcs 4 [ (0, 1, -7); (2, 3, -7) ] in
+  match Bellman_ford.potentials ~cost:(w g) g with
+  | None -> Alcotest.fail "acyclic graph has potentials"
+  | Some d ->
+    Alcotest.(check bool) "both components constrained" true
+      (d.(1) <= d.(0) - 7 && d.(3) <= d.(2) - 7)
+
+let test_relax_counting () =
+  (* negative costs force relaxations even from the all-zero virtual
+     source start *)
+  let g = Sprand.generate ~seed:2 ~n:30 ~m:90 () in
+  let cost a = Digraph.weight g a - 10001 in
+  let count = ref 0 in
+  ignore (Bellman_ford.run ~on_relax:(fun () -> incr count) ~cost g);
+  Alcotest.(check bool) "some relaxations happen" true (!count > 0)
+
+let test_float_variant () =
+  let g = Digraph.of_weighted_arcs 3 [ (0, 1, 3); (1, 2, 3); (2, 0, 3) ] in
+  (* mean is 3: negative iff lambda > 3 *)
+  let cost lambda a = float_of_int (Digraph.weight g a) -. lambda in
+  Alcotest.(check bool) "no cycle below the mean" true
+    (Bellman_ford.negative_cycle_float ~cost:(cost 2.9) g = None);
+  (match Bellman_ford.negative_cycle_float ~cost:(cost 3.1) g with
+  | Some c -> Alcotest.(check bool) "cycle found above the mean" true (Digraph.is_cycle g c)
+  | None -> Alcotest.fail "lambda=3.1 must reveal the cycle")
+
+(* property: outcome matches the oracle's minimum cycle weight sign *)
+let qcheck_negative_cycle_iff =
+  QCheck.Test.make
+    ~name:"bellman-ford: negative cycle found iff some cycle is negative"
+    ~count:300
+    (Helpers.arb_any_graph ~max_n:7 ~max_m:18 ~wlo:(-10) ~whi:10 ())
+    (fun g ->
+      let has_neg = ref false in
+      ignore
+        (Cycles.iter_cycles g (fun c ->
+             if Digraph.cycle_weight g c < 0 then has_neg := true));
+      let found = Bellman_ford.negative_cycle ~cost:(w g) g in
+      (match found with
+      | Some c ->
+        Digraph.is_cycle g c && Digraph.cycle_weight g c < 0 && !has_neg
+      | None -> not !has_neg))
+
+let qcheck_potentials_feasible =
+  QCheck.Test.make ~name:"bellman-ford: returned potentials are feasible"
+    ~count:300
+    (Helpers.arb_any_graph ~max_n:8 ~max_m:16 ~wlo:0 ~whi:15 ())
+    (fun g ->
+      match Bellman_ford.potentials ~cost:(w g) g with
+      | None -> false (* non-negative weights: no negative cycle *)
+      | Some d ->
+        Digraph.fold_arcs g
+          (fun ok a ->
+            ok && d.(Digraph.dst g a) <= d.(Digraph.src g a) + Digraph.weight g a)
+          true)
+
+let suite =
+  [
+    Alcotest.test_case "feasible potentials" `Quick test_feasible;
+    Alcotest.test_case "negative cycle extraction" `Quick test_negative_cycle;
+    Alcotest.test_case "negative self loop" `Quick test_negative_self_loop;
+    Alcotest.test_case "zero cycle not negative" `Quick test_zero_cycle_not_negative;
+    Alcotest.test_case "custom cost callback" `Quick test_custom_cost;
+    Alcotest.test_case "single-source distances" `Quick test_shortest_from;
+    Alcotest.test_case "disconnected potentials" `Quick test_disconnected_potentials;
+    Alcotest.test_case "relaxation counter" `Quick test_relax_counting;
+    Alcotest.test_case "float variant" `Quick test_float_variant;
+  ]
+  @ Helpers.qtests [ qcheck_negative_cycle_iff; qcheck_potentials_feasible ]

@@ -1,0 +1,154 @@
+(* Number of directed elementary cycles of the complete digraph on n
+   nodes (no self loops): sum over k=2..n of n!/((n-k)!·k). *)
+let complete_digraph_cycles n =
+  let fact k =
+    let r = ref 1 in
+    for i = 2 to k do
+      r := !r * i
+    done;
+    !r
+  in
+  let total = ref 0 in
+  for k = 2 to n do
+    total := !total + (fact n / (fact (n - k) * k))
+  done;
+  !total
+
+let complete n =
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then arcs := (u, v, 1) :: !arcs
+    done
+  done;
+  Digraph.of_weighted_arcs n !arcs
+
+let test_counts_on_known_graphs () =
+  Alcotest.(check int) "ring has one cycle" 1 (Cycles.count (Families.ring 7));
+  Alcotest.(check int) "K3" (complete_digraph_cycles 3) (Cycles.count (complete 3));
+  Alcotest.(check int) "K4" (complete_digraph_cycles 4) (Cycles.count (complete 4));
+  Alcotest.(check int) "K5" (complete_digraph_cycles 5) (Cycles.count (complete 5));
+  Alcotest.(check int) "DAG has none" 0
+    (Cycles.count (Digraph.of_weighted_arcs 3 [ (0, 1, 1); (1, 2, 1); (0, 2, 1) ]))
+
+let test_self_loops_and_parallels () =
+  let g = Digraph.of_weighted_arcs 2 [ (0, 0, 1); (0, 1, 1); (0, 1, 2); (1, 0, 1) ] in
+  (* cycles: the self loop, and two 2-cycles through the parallel arcs *)
+  Alcotest.(check int) "count with parallels" 3 (Cycles.count g)
+
+let test_cycles_are_valid () =
+  let g = Sprand.generate ~seed:11 ~n:7 ~m:18 () in
+  let all = Cycles.list g in
+  List.iter
+    (fun c -> Alcotest.(check bool) "valid cycle" true (Digraph.is_cycle g c))
+    all;
+  let sorted = List.map (List.sort compare) all in
+  Alcotest.(check int) "all distinct" (List.length sorted)
+    (List.length (List.sort_uniq compare sorted))
+
+let test_truncation () =
+  let g = complete 6 in
+  let k = ref 0 in
+  let status = Cycles.iter_cycles ~max_cycles:10 g (fun _ -> incr k) in
+  Alcotest.(check int) "stopped at cap" 10 !k;
+  Alcotest.(check bool) "reported truncated" true (status = `Truncated);
+  let status2 = Cycles.iter_cycles g (fun _ -> ()) in
+  Alcotest.(check bool) "complete without cap" true (status2 = `Complete)
+
+let test_oracle_mean () =
+  let g = Families.two_cycles ~len1:3 ~w1:5 ~len2:4 ~w2:2 in
+  (match Oracle.cycle_mean Oracle.Minimize g with
+  | Some a ->
+    Helpers.check_ratio "min mean" (Helpers.r 2 1)
+      (Ratio.make a.Oracle.num a.Oracle.den)
+  | None -> Alcotest.fail "cycles exist");
+  match Oracle.cycle_mean Oracle.Maximize g with
+  | Some a ->
+    Helpers.check_ratio "max mean" (Helpers.r 5 1)
+      (Ratio.make a.Oracle.num a.Oracle.den)
+  | None -> Alcotest.fail "cycles exist"
+
+let test_oracle_acyclic () =
+  let g = Digraph.of_weighted_arcs 2 [ (0, 1, 1) ] in
+  Alcotest.(check bool) "no cycle" true (Oracle.cycle_mean Oracle.Minimize g = None)
+
+let test_oracle_ratio () =
+  let g =
+    Digraph.of_arcs 2 [ (0, 1, 6, 2); (1, 0, 2, 2); (0, 0, 3, 1) ]
+  in
+  (* cycles: 0->1->0 ratio 8/4 = 2; self loop 3/1 = 3 *)
+  (match Oracle.cycle_ratio Oracle.Minimize g with
+  | Some a -> Helpers.check_ratio "min ratio" (Helpers.r 2 1) (Ratio.make a.num a.den)
+  | None -> Alcotest.fail "cycles exist");
+  match Oracle.cycle_ratio Oracle.Maximize g with
+  | Some a -> Helpers.check_ratio "max ratio" (Helpers.r 3 1) (Ratio.make a.num a.den)
+  | None -> Alcotest.fail "cycles exist"
+
+let test_oracle_zero_transit () =
+  let g = Digraph.of_arcs 1 [ (0, 0, 5, 0) ] in
+  Alcotest.check_raises "ill-posed ratio"
+    (Invalid_argument "Oracle.cycle_ratio: cycle with zero total transit time")
+    (fun () -> ignore (Oracle.cycle_ratio Oracle.Minimize g))
+
+let qcheck_witness_achieves_optimum =
+  QCheck.Test.make ~name:"oracle: witness cycle achieves the reported mean"
+    ~count:200
+    (Helpers.arb_any_graph ~max_n:7 ~max_m:16 ())
+    (fun g ->
+      match Oracle.cycle_mean Oracle.Minimize g with
+      | None -> Cycles.count g = 0
+      | Some a ->
+        Digraph.is_cycle g a.Oracle.cycle
+        && Digraph.cycle_weight g a.Oracle.cycle = a.Oracle.num
+        && List.length a.Oracle.cycle = a.Oracle.den)
+
+let suite =
+  [
+    Alcotest.test_case "counts on known graphs" `Quick test_counts_on_known_graphs;
+    Alcotest.test_case "self loops and parallel arcs" `Quick
+      test_self_loops_and_parallels;
+    Alcotest.test_case "emitted cycles are valid and distinct" `Quick
+      test_cycles_are_valid;
+    Alcotest.test_case "truncation cap" `Quick test_truncation;
+    Alcotest.test_case "oracle: two cycles fixture" `Quick test_oracle_mean;
+    Alcotest.test_case "oracle: acyclic" `Quick test_oracle_acyclic;
+    Alcotest.test_case "oracle: ratio problem" `Quick test_oracle_ratio;
+    Alcotest.test_case "oracle: zero transit rejected" `Quick
+      test_oracle_zero_transit;
+  ]
+  @ Helpers.qtests [ qcheck_witness_achieves_optimum ]
+
+(* the two oracles are structurally independent (cycle enumeration vs
+   min-plus matrix powers); they must agree everywhere *)
+let qcheck_oracles_agree =
+  QCheck.Test.make ~name:"oracle: enumeration and matrix powers agree"
+    ~count:200
+    (Helpers.arb_any_graph ~max_n:7 ~max_m:16 ())
+    (fun g ->
+      List.for_all
+        (fun objective ->
+          let a = Helpers.oracle_mean objective g in
+          let b =
+            Option.map
+              (fun (num, den) -> Ratio.make num den)
+              (Oracle.cycle_mean_matrix objective g)
+          in
+          match (a, b) with
+          | None, None -> true
+          | Some x, Some y -> Ratio.equal x y
+          | _ -> false)
+        [ Oracle.Minimize; Oracle.Maximize ])
+
+let test_matrix_oracle_fixture () =
+  let g = Families.two_cycles ~len1:2 ~w1:6 ~len2:5 ~w2:2 in
+  (match Oracle.cycle_mean_matrix Oracle.Minimize g with
+  | Some (num, den) -> Helpers.check_ratio "min" (Helpers.r 2 1) (Ratio.make num den)
+  | None -> Alcotest.fail "cycles exist");
+  match Oracle.cycle_mean_matrix Oracle.Maximize g with
+  | Some (num, den) -> Helpers.check_ratio "max" (Helpers.r 6 1) (Ratio.make num den)
+  | None -> Alcotest.fail "cycles exist"
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "matrix oracle fixture" `Quick test_matrix_oracle_fixture ]
+  @ Helpers.qtests [ qcheck_oracles_agree ]

@@ -1,0 +1,74 @@
+let test_sizes () =
+  let g = Digraph.of_arcs 2 [ (0, 1, 5, 3); (1, 0, 2, 1) ] in
+  let ex = Expand.transit_expand g in
+  (* total transit 4, so 4 arcs; 2 original + 2 chain nodes *)
+  Alcotest.(check int) "expanded arcs" 4 (Digraph.m ex.Expand.graph);
+  Alcotest.(check int) "expanded nodes" 4 (Digraph.n ex.Expand.graph);
+  Digraph.iter_arcs ex.Expand.graph (fun a ->
+      Alcotest.(check int) "unit transit" 1 (Digraph.transit ex.Expand.graph a))
+
+let test_weight_placement () =
+  let g = Digraph.of_arcs 2 [ (0, 1, 7, 3) ] in
+  let ex = Expand.transit_expand g in
+  let total =
+    Digraph.fold_arcs ex.Expand.graph
+      (fun s a -> s + Digraph.weight ex.Expand.graph a)
+      0
+  in
+  Alcotest.(check int) "total weight preserved" 7 total
+
+let test_mapping () =
+  let g = Digraph.of_arcs 2 [ (0, 1, 5, 2); (1, 0, 2, 2) ] in
+  let ex = Expand.transit_expand g in
+  let weight_bearing =
+    Array.to_list ex.Expand.orig_arc |> List.filter (fun o -> o >= 0)
+  in
+  Alcotest.(check (list int)) "each original arc appears once" [ 0; 1 ]
+    (List.sort compare weight_bearing);
+  Alcotest.(check int) "original nodes keep ids" 0 ex.Expand.orig_node.(0);
+  Alcotest.(check int) "chain node marked" (-1) ex.Expand.orig_node.(2)
+
+let test_zero_transit_rejected () =
+  let g = Digraph.of_arcs 2 [ (0, 1, 5, 0); (1, 0, 2, 1) ] in
+  Alcotest.check_raises "zero transit"
+    (Invalid_argument "Expand.transit_expand: zero transit time") (fun () ->
+      ignore (Expand.transit_expand g))
+
+let test_restrict_cycle () =
+  let g = Digraph.of_arcs 2 [ (0, 1, 5, 2); (1, 0, 2, 3) ] in
+  let ex = Expand.transit_expand g in
+  (* the expanded graph is one big ring; its only cycle maps back *)
+  let cycle = Cycles.list ex.Expand.graph |> List.hd in
+  let back = Expand.restrict_cycle ex cycle in
+  Alcotest.(check (list int)) "mapped back" [ 0; 1 ] (List.sort compare back);
+  Alcotest.(check bool) "a real cycle of g" true (Digraph.is_cycle g back)
+
+let qcheck_ratio_preserved =
+  QCheck.Test.make
+    ~name:"expand: min ratio of g = min mean of expanded g" ~count:150
+    (Helpers.arb_strongly_connected ~max_n:6 ~max_extra:8 ~wlo:(-9) ~whi:9
+       ~tmax:3 ())
+    (fun g ->
+      let ex = Expand.transit_expand g in
+      let ratio = Helpers.oracle_ratio Oracle.Minimize g in
+      let mean = Helpers.oracle_mean Oracle.Minimize ex.Expand.graph in
+      match (ratio, mean) with
+      | Some a, Some b -> Ratio.equal a b
+      | None, None -> true
+      | _ -> false)
+
+let qcheck_strong_connectivity_preserved =
+  QCheck.Test.make ~name:"expand: preserves strong connectivity" ~count:100
+    (Helpers.arb_strongly_connected ~max_n:6 ~max_extra:6 ~tmax:4 ())
+    (fun g ->
+      Traversal.is_strongly_connected (Expand.transit_expand g).Expand.graph)
+
+let suite =
+  [
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "weight on first chain arc" `Quick test_weight_placement;
+    Alcotest.test_case "arc/node mapping" `Quick test_mapping;
+    Alcotest.test_case "zero transit rejected" `Quick test_zero_transit_rejected;
+    Alcotest.test_case "restrict_cycle" `Quick test_restrict_cycle;
+  ]
+  @ Helpers.qtests [ qcheck_ratio_preserved; qcheck_strong_connectivity_preserved ]

@@ -1,0 +1,150 @@
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Rng.create 43 in
+  let zs = List.init 20 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed, different stream" true (xs <> zs)
+
+let test_rng_ranges () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.in_range r (-5) 5 in
+    Alcotest.(check bool) "in range" true (x >= -5 && x <= 5)
+  done;
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Rng.in_range: empty range") (fun () ->
+      ignore (Rng.in_range r 3 2));
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: non-positive bound")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 1 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  Alcotest.(check (list int)) "is a permutation" (List.init 50 Fun.id)
+    (List.sort compare (Array.to_list a))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_sprand_shape () =
+  let g = Sprand.generate ~seed:3 ~n:100 ~m:250 () in
+  Alcotest.(check int) "n" 100 (Digraph.n g);
+  Alcotest.(check int) "m" 250 (Digraph.m g);
+  Alcotest.(check bool) "strongly connected" true
+    (Traversal.is_strongly_connected g);
+  Alcotest.(check bool) "weights in [1,10000]" true
+    (Digraph.min_weight g >= 1 && Digraph.max_weight g <= 10000)
+
+let test_sprand_determinism () =
+  let a = Sprand.generate ~seed:8 ~n:50 ~m:120 () in
+  let b = Sprand.generate ~seed:8 ~n:50 ~m:120 () in
+  Alcotest.(check bool) "same seed, same graph" true (Digraph.equal_structure a b);
+  let c = Sprand.generate ~seed:9 ~n:50 ~m:120 () in
+  Alcotest.(check bool) "different seed differs" false (Digraph.equal_structure a c)
+
+let test_sprand_options () =
+  let g = Sprand.generate ~seed:1 ~weights:(5, 5) ~transits:(2, 4) ~n:20 ~m:60 () in
+  Digraph.iter_arcs g (fun a ->
+      Alcotest.(check int) "fixed weight" 5 (Digraph.weight g a);
+      Alcotest.(check bool) "transit range" true
+        (Digraph.transit g a >= 2 && Digraph.transit g a <= 4));
+  Alcotest.check_raises "m < n"
+    (Invalid_argument "Sprand.generate: m must be at least n") (fun () ->
+      ignore (Sprand.generate ~n:10 ~m:5 ()))
+
+let test_sprand_minimum_density () =
+  (* m = n is exactly the Hamiltonian cycle *)
+  let g = Sprand.generate ~seed:2 ~n:30 ~m:30 () in
+  Alcotest.(check int) "pure cycle arcs" 30 (Digraph.m g);
+  for v = 0 to 29 do
+    Alcotest.(check int) "out degree 1" 1 (Digraph.out_degree g v)
+  done
+
+let test_circuit_shape () =
+  let g = Circuit.generate ~seed:4 ~registers:200 () in
+  Alcotest.(check int) "n" 200 (Digraph.n g);
+  Alcotest.(check bool) "strongly connected" true
+    (Traversal.is_strongly_connected g);
+  let density = float_of_int (Digraph.m g) /. float_of_int (Digraph.n g) in
+  Alcotest.(check bool) "sparse like a circuit" true
+    (density >= 1.0 && density <= 3.0)
+
+let test_circuit_benchmarks () =
+  Alcotest.(check bool) "suite covers the ISCAS'89 list" true
+    (List.length Circuit.benchmark_suite >= 25);
+  let g = Circuit.benchmark "s344" in
+  Alcotest.(check int) "register count respected" 15 (Digraph.n g);
+  Alcotest.(check bool) "unknown name" true
+    (match Circuit.benchmark "sXXX" with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_families_ring () =
+  let g = Families.ring ~weight:(fun i -> i) 5 in
+  Alcotest.(check int) "m" 5 (Digraph.m g);
+  let r = Solver.minimum_cycle_mean g |> Option.get in
+  Helpers.check_ratio "mean of 0..4" (Helpers.r 10 5) r.Solver.lambda
+
+let test_families_complete () =
+  let g = Families.complete ~seed:3 10 in
+  Alcotest.(check int) "m = n(n-1)" 90 (Digraph.m g);
+  Alcotest.(check bool) "SC" true (Traversal.is_strongly_connected g)
+
+let test_families_grid () =
+  let g = Families.grid_torus 4 5 in
+  Alcotest.(check int) "n" 20 (Digraph.n g);
+  Alcotest.(check int) "m = 2n" 40 (Digraph.m g);
+  Alcotest.(check bool) "SC" true (Traversal.is_strongly_connected g)
+
+let test_families_layered () =
+  let g = Families.layered_dataflow ~seed:2 ~layers:5 ~width:4 () in
+  Alcotest.(check int) "n" 20 (Digraph.n g);
+  Alcotest.(check bool) "SC" true (Traversal.is_strongly_connected g)
+
+let test_families_two_cycles () =
+  let g = Families.two_cycles ~len1:4 ~w1:8 ~len2:5 ~w2:3 in
+  Alcotest.(check int) "nodes" 8 (Digraph.n g);
+  Alcotest.(check int) "arcs" 9 (Digraph.m g);
+  Alcotest.(check int) "exactly two cycles" 2 (Cycles.count g)
+
+let qcheck_sprand_always_sc =
+  QCheck.Test.make ~name:"sprand: always strongly connected" ~count:50
+    QCheck.(pair (int_range 1 40) (int_range 0 80))
+    (fun (n, extra) ->
+      Traversal.is_strongly_connected
+        (Sprand.generate ~seed:(n + extra) ~n ~m:(n + extra) ()))
+
+let qcheck_circuit_always_sc =
+  QCheck.Test.make ~name:"circuit: always strongly connected" ~count:50
+    QCheck.(pair (int_range 2 60) (int_range 0 10_000))
+    (fun (registers, seed) ->
+      (* clamp: QCheck shrinking can step outside the declared range *)
+      let registers = max 2 registers in
+      Traversal.is_strongly_connected (Circuit.generate ~seed ~registers ()))
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "rng float" `Quick test_rng_float_bounds;
+    Alcotest.test_case "sprand shape" `Quick test_sprand_shape;
+    Alcotest.test_case "sprand determinism" `Quick test_sprand_determinism;
+    Alcotest.test_case "sprand options + errors" `Quick test_sprand_options;
+    Alcotest.test_case "sprand minimum density" `Quick test_sprand_minimum_density;
+    Alcotest.test_case "circuit shape" `Quick test_circuit_shape;
+    Alcotest.test_case "circuit benchmark table" `Quick test_circuit_benchmarks;
+    Alcotest.test_case "families: ring" `Quick test_families_ring;
+    Alcotest.test_case "families: complete" `Quick test_families_complete;
+    Alcotest.test_case "families: grid torus" `Quick test_families_grid;
+    Alcotest.test_case "families: layered dataflow" `Quick test_families_layered;
+    Alcotest.test_case "families: two cycles" `Quick test_families_two_cycles;
+  ]
+  @ Helpers.qtests [ qcheck_sprand_always_sc; qcheck_circuit_always_sc ]

@@ -1,0 +1,298 @@
+(* All three heaps are exercised against the same reference model: a
+   sorted association list.  The binary heap is indexed (int elements),
+   the Fibonacci and pairing heaps are handle-based. *)
+
+let int_cmp = compare
+
+(* ------------------------------------------------------------------ *)
+(* binary heap                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_binary_basics () =
+  let h = Binary_heap.create ~capacity:10 ~cmp:int_cmp () in
+  Alcotest.(check bool) "empty" true (Binary_heap.is_empty h);
+  Binary_heap.insert h 3 30;
+  Binary_heap.insert h 1 10;
+  Binary_heap.insert h 2 20;
+  Alcotest.(check int) "size" 3 (Binary_heap.size h);
+  Alcotest.(check (pair int int)) "min" (1, 10) (Binary_heap.find_min h);
+  Alcotest.(check (pair int int)) "extract" (1, 10) (Binary_heap.extract_min h);
+  Alcotest.(check (pair int int)) "next" (2, 20) (Binary_heap.extract_min h);
+  Alcotest.(check int) "size after" 1 (Binary_heap.size h)
+
+let test_binary_decrease_update () =
+  let h = Binary_heap.create ~capacity:5 ~cmp:int_cmp () in
+  for e = 0 to 4 do
+    Binary_heap.insert h e (100 + e)
+  done;
+  Binary_heap.decrease_key h 4 1;
+  Alcotest.(check (pair int int)) "decreased to front" (4, 1)
+    (Binary_heap.find_min h);
+  Binary_heap.update_key h 4 500;
+  Alcotest.(check (pair int int)) "increased to back" (0, 100)
+    (Binary_heap.find_min h);
+  Alcotest.(check int) "key readback" 500 (Binary_heap.key h 4);
+  Alcotest.check_raises "decrease with larger key"
+    (Invalid_argument "Binary_heap.decrease_key: new key larger than current")
+    (fun () -> Binary_heap.decrease_key h 0 1000)
+
+let test_binary_remove () =
+  let h = Binary_heap.create ~capacity:4 ~cmp:int_cmp () in
+  Binary_heap.insert h 0 5;
+  Binary_heap.insert h 1 1;
+  Binary_heap.insert h 2 9;
+  Binary_heap.remove h 1;
+  Alcotest.(check bool) "removed" false (Binary_heap.mem h 1);
+  Alcotest.(check (pair int int)) "min after removal" (0, 5)
+    (Binary_heap.find_min h);
+  Binary_heap.remove h 1;
+  (* second removal is a no-op *)
+  Alcotest.(check int) "size" 2 (Binary_heap.size h);
+  Binary_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Binary_heap.is_empty h)
+
+let test_binary_errors () =
+  let h = Binary_heap.create ~capacity:2 ~cmp:int_cmp () in
+  Alcotest.check_raises "find_min empty"
+    (Invalid_argument "Binary_heap.find_min: empty") (fun () ->
+      ignore (Binary_heap.find_min h));
+  Binary_heap.insert h 0 1;
+  Alcotest.check_raises "duplicate insert"
+    (Invalid_argument "Binary_heap.insert: element already present") (fun () ->
+      Binary_heap.insert h 0 2);
+  Alcotest.check_raises "element out of range"
+    (Invalid_argument "Binary_heap.insert: element out of range") (fun () ->
+      Binary_heap.insert h 5 2)
+
+let test_binary_stats () =
+  let stats = Heap_stats.create () in
+  let h = Binary_heap.create ~stats ~capacity:8 ~cmp:int_cmp () in
+  for e = 0 to 7 do
+    Binary_heap.insert h e e
+  done;
+  ignore (Binary_heap.extract_min h);
+  Binary_heap.decrease_key h 7 (-1);
+  Alcotest.(check int) "inserts" 8 stats.Heap_stats.inserts;
+  Alcotest.(check int) "extracts" 1 stats.Heap_stats.extract_mins;
+  Alcotest.(check int) "decreases" 1 stats.Heap_stats.decrease_keys
+
+(* ------------------------------------------------------------------ *)
+(* fibonacci heap                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fib_basics () =
+  let h = Fibonacci_heap.create ~cmp:int_cmp () in
+  let _ = Fibonacci_heap.insert h 5 "five" in
+  let n3 = Fibonacci_heap.insert h 3 "three" in
+  let _ = Fibonacci_heap.insert h 8 "eight" in
+  Alcotest.(check int) "size" 3 (Fibonacci_heap.size h);
+  Alcotest.(check (pair int string)) "min" (3, "three") (Fibonacci_heap.find_min h);
+  Alcotest.(check bool) "handle alive" true (Fibonacci_heap.node_in_heap n3);
+  Alcotest.(check (pair int string)) "extract" (3, "three")
+    (Fibonacci_heap.extract_min h);
+  Alcotest.(check bool) "handle dead" false (Fibonacci_heap.node_in_heap n3);
+  Alcotest.(check (pair int string)) "next" (5, "five")
+    (Fibonacci_heap.extract_min h)
+
+let test_fib_decrease () =
+  let h = Fibonacci_heap.create ~cmp:int_cmp () in
+  let nodes = Array.init 20 (fun i -> Fibonacci_heap.insert h (100 + i) i) in
+  (* force some consolidation first *)
+  ignore (Fibonacci_heap.extract_min h);
+  Fibonacci_heap.decrease_key h nodes.(15) 1;
+  Alcotest.(check (pair int int)) "decreased node surfaces" (1, 15)
+    (Fibonacci_heap.find_min h);
+  Alcotest.check_raises "cannot increase"
+    (Invalid_argument "Fibonacci_heap.decrease_key: new key larger than current")
+    (fun () -> Fibonacci_heap.decrease_key h nodes.(10) 10_000)
+
+let test_fib_delete () =
+  let h = Fibonacci_heap.create ~cmp:int_cmp () in
+  let nodes = Array.init 10 (fun i -> Fibonacci_heap.insert h i i) in
+  Fibonacci_heap.delete h nodes.(0);
+  Alcotest.(check (pair int int)) "min gone" (1, 1) (Fibonacci_heap.find_min h);
+  Fibonacci_heap.delete h nodes.(5);
+  Alcotest.(check int) "size" 8 (Fibonacci_heap.size h);
+  (* draining yields the remaining keys in order *)
+  let drained = List.init 8 (fun _ -> fst (Fibonacci_heap.extract_min h)) in
+  Alcotest.(check (list int)) "drain order" [ 1; 2; 3; 4; 6; 7; 8; 9 ] drained
+
+let test_fib_meld () =
+  let h1 = Fibonacci_heap.create ~cmp:int_cmp () in
+  let h2 = Fibonacci_heap.create ~cmp:int_cmp () in
+  List.iter (fun k -> ignore (Fibonacci_heap.insert h1 k k)) [ 5; 9 ];
+  List.iter (fun k -> ignore (Fibonacci_heap.insert h2 k k)) [ 2; 7 ];
+  Fibonacci_heap.meld h1 h2;
+  Alcotest.(check int) "melded size" 4 (Fibonacci_heap.size h1);
+  Alcotest.(check int) "source empty" 0 (Fibonacci_heap.size h2);
+  let drained = List.init 4 (fun _ -> fst (Fibonacci_heap.extract_min h1)) in
+  Alcotest.(check (list int)) "drain order" [ 2; 5; 7; 9 ] drained
+
+let test_fib_iter () =
+  let h = Fibonacci_heap.create ~cmp:int_cmp () in
+  List.iter (fun k -> ignore (Fibonacci_heap.insert h k k)) [ 4; 1; 3 ];
+  ignore (Fibonacci_heap.extract_min h);
+  let seen = ref [] in
+  Fibonacci_heap.iter (fun k _ -> seen := k :: !seen) h;
+  Alcotest.(check (list int)) "iter sees all" [ 3; 4 ] (List.sort compare !seen)
+
+(* ------------------------------------------------------------------ *)
+(* pairing heap                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_pairing_basics () =
+  let h = Pairing_heap.create ~cmp:int_cmp () in
+  let n7 = Pairing_heap.insert h 7 () in
+  let _ = Pairing_heap.insert h 2 () in
+  let _ = Pairing_heap.insert h 5 () in
+  Alcotest.(check int) "size" 3 (Pairing_heap.size h);
+  Alcotest.(check int) "min key" 2 (fst (Pairing_heap.find_min h));
+  Pairing_heap.decrease_key h n7 1;
+  Alcotest.(check int) "after decrease" 1 (fst (Pairing_heap.extract_min h));
+  Alcotest.(check int) "next" 2 (fst (Pairing_heap.extract_min h))
+
+let test_pairing_delete () =
+  let h = Pairing_heap.create ~cmp:int_cmp () in
+  let nodes = Array.init 12 (fun i -> Pairing_heap.insert h i i) in
+  Pairing_heap.delete h nodes.(0);
+  Pairing_heap.delete h nodes.(6);
+  let drained = List.init 10 (fun _ -> snd (Pairing_heap.extract_min h)) in
+  Alcotest.(check (list int)) "drain order"
+    [ 1; 2; 3; 4; 5; 7; 8; 9; 10; 11 ] drained;
+  Alcotest.check_raises "double delete"
+    (Invalid_argument "Pairing_heap.delete: node removed") (fun () ->
+      Pairing_heap.delete h nodes.(0))
+
+(* ------------------------------------------------------------------ *)
+(* model-based property: random operation sequences                    *)
+(* ------------------------------------------------------------------ *)
+
+(* operations: 0 = insert, 1 = extract-min, 2 = decrease-key *)
+let arb_ops = QCheck.(list (pair (int_range 0 2) (int_range 0 1000)))
+
+(* Reference model: list of (element, key), element = insertion index. *)
+let model_run ops ~insert ~extract ~decrease ~key_of_min =
+  let model = ref [] in
+  let next = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun (op, x) ->
+      match op with
+      | 0 ->
+        insert !next x;
+        model := (!next, x) :: !model;
+        incr next
+      | 1 ->
+        if !model <> [] then begin
+          let mk = List.fold_left (fun acc (_, k) -> min acc k) max_int !model in
+          if key_of_min () <> mk then ok := false;
+          let e, k = extract () in
+          (* the heap may break ties arbitrarily; remove that entry *)
+          if k <> mk then ok := false;
+          let rec remove = function
+            | [] -> []
+            | (e', _) :: tl when e' = e -> tl
+            | hd :: tl -> hd :: remove tl
+          in
+          model := remove !model
+        end
+      | _ ->
+        (match !model with
+        | [] -> ()
+        | (e, k) :: tl ->
+          let k' = min k (k - (x mod 50)) in
+          decrease e k';
+          model := (e, k') :: tl))
+    ops;
+  !ok
+
+let qcheck_binary_model =
+  QCheck.Test.make ~name:"binary heap: model-based random ops" ~count:300
+    arb_ops
+    (fun ops ->
+      let h = Binary_heap.create ~capacity:(List.length ops + 1) ~cmp:int_cmp () in
+      model_run ops
+        ~insert:(fun e k -> Binary_heap.insert h e k)
+        ~extract:(fun () -> Binary_heap.extract_min h)
+        ~decrease:(fun e k -> Binary_heap.decrease_key h e k)
+        ~key_of_min:(fun () -> snd (Binary_heap.find_min h)))
+
+let qcheck_fib_model =
+  QCheck.Test.make ~name:"fibonacci heap: model-based random ops" ~count:300
+    arb_ops
+    (fun ops ->
+      let h = Fibonacci_heap.create ~cmp:int_cmp () in
+      let handles = Hashtbl.create 16 in
+      model_run ops
+        ~insert:(fun e k -> Hashtbl.replace handles e (Fibonacci_heap.insert h k e))
+        ~extract:(fun () ->
+          let k, e = Fibonacci_heap.extract_min h in
+          (e, k))
+        ~decrease:(fun e k ->
+          Fibonacci_heap.decrease_key h (Hashtbl.find handles e) k)
+        ~key_of_min:(fun () -> fst (Fibonacci_heap.find_min h)))
+
+let qcheck_pairing_model =
+  QCheck.Test.make ~name:"pairing heap: model-based random ops" ~count:300
+    arb_ops
+    (fun ops ->
+      let h = Pairing_heap.create ~cmp:int_cmp () in
+      let handles = Hashtbl.create 16 in
+      model_run ops
+        ~insert:(fun e k -> Hashtbl.replace handles e (Pairing_heap.insert h k e))
+        ~extract:(fun () ->
+          let k, e = Pairing_heap.extract_min h in
+          (e, k))
+        ~decrease:(fun e k ->
+          Pairing_heap.decrease_key h (Hashtbl.find handles e) k)
+        ~key_of_min:(fun () -> fst (Pairing_heap.find_min h)))
+
+let qcheck_heapsort each =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: drains in sorted order" each)
+    ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let sorted = List.sort compare keys in
+      let drained =
+        match each with
+        | "fibonacci" ->
+          let h = Fibonacci_heap.create ~cmp:int_cmp () in
+          List.iter (fun k -> ignore (Fibonacci_heap.insert h k ())) keys;
+          List.init (List.length keys) (fun _ -> fst (Fibonacci_heap.extract_min h))
+        | "pairing" ->
+          let h = Pairing_heap.create ~cmp:int_cmp () in
+          List.iter (fun k -> ignore (Pairing_heap.insert h k ())) keys;
+          List.init (List.length keys) (fun _ -> fst (Pairing_heap.extract_min h))
+        | _ ->
+          let h = Binary_heap.create ~capacity:(List.length keys) ~cmp:int_cmp () in
+          List.iteri (fun e k -> Binary_heap.insert h e k) keys;
+          List.init (List.length keys) (fun _ -> snd (Binary_heap.extract_min h))
+      in
+      drained = sorted)
+
+let suite =
+  [
+    Alcotest.test_case "binary: basics" `Quick test_binary_basics;
+    Alcotest.test_case "binary: decrease/update key" `Quick
+      test_binary_decrease_update;
+    Alcotest.test_case "binary: remove/clear" `Quick test_binary_remove;
+    Alcotest.test_case "binary: errors" `Quick test_binary_errors;
+    Alcotest.test_case "binary: stats counters" `Quick test_binary_stats;
+    Alcotest.test_case "fibonacci: basics" `Quick test_fib_basics;
+    Alcotest.test_case "fibonacci: decrease key" `Quick test_fib_decrease;
+    Alcotest.test_case "fibonacci: delete" `Quick test_fib_delete;
+    Alcotest.test_case "fibonacci: meld" `Quick test_fib_meld;
+    Alcotest.test_case "fibonacci: iter" `Quick test_fib_iter;
+    Alcotest.test_case "pairing: basics" `Quick test_pairing_basics;
+    Alcotest.test_case "pairing: delete" `Quick test_pairing_delete;
+  ]
+  @ Helpers.qtests
+      [
+        qcheck_binary_model;
+        qcheck_fib_model;
+        qcheck_pairing_model;
+        qcheck_heapsort "binary";
+        qcheck_heapsort "fibonacci";
+        qcheck_heapsort "pairing";
+      ]

@@ -1,0 +1,75 @@
+(* The shared Karp-recurrence machinery, tested directly. *)
+
+let triangle () =
+  Digraph.of_weighted_arcs 3 [ (0, 1, 2); (1, 2, 4); (2, 0, 3) ]
+
+let test_alloc_table () =
+  let g = triangle () in
+  let d = Karp_core.alloc_table g in
+  Alcotest.(check int) "size (n+1)*n" 12 (Array.length d);
+  Alcotest.(check int) "source at 0" 0 d.(0);
+  Alcotest.(check bool) "others infinite" true
+    (d.(1) = Karp_core.inf && d.(2) = Karp_core.inf)
+
+let test_relax_level () =
+  let g = triangle () in
+  let d = Karp_core.alloc_table g in
+  Karp_core.relax_level g d 1;
+  Alcotest.(check int) "D_1(1) = w(0,1)" 2 d.(3 + 1);
+  Alcotest.(check bool) "D_1(2) unreachable in one step" true
+    (d.(3 + 2) = Karp_core.inf);
+  Karp_core.relax_level g d 2;
+  Karp_core.relax_level g d 3;
+  Alcotest.(check int) "D_3(0) = full cycle" 9 d.(9 + 0)
+
+let test_lambda_of_table () =
+  let g = triangle () in
+  let d = Karp_core.alloc_table g in
+  for k = 1 to 3 do
+    Karp_core.relax_level g d k
+  done;
+  Helpers.check_ratio "lambda = 9/3" (Helpers.r 3 1)
+    (Karp_core.lambda_of_table g d)
+
+let test_witness_checks_optimality () =
+  let g = triangle () in
+  Alcotest.(check bool) "non-optimal lambda rejected" true
+    (match Karp_core.witness g (Helpers.r 5 1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let w = Karp_core.witness g (Helpers.r 3 1) in
+  Alcotest.(check bool) "witness is the triangle" true (Digraph.is_cycle g w)
+
+let test_arc_visit_accounting () =
+  let g = triangle () in
+  let d = Karp_core.alloc_table g in
+  let stats = Stats.create () in
+  Karp_core.relax_level ~stats g d 1;
+  Alcotest.(check int) "one visit per arc per level" 3 stats.Stats.arcs_visited
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  s.Stats.iterations <- 3;
+  s.Stats.level <- 7;
+  s.Stats.heap.Heap_stats.inserts <- 11;
+  let acc = Stats.create () in
+  acc.Stats.level <- 9;
+  Stats.add acc s;
+  Alcotest.(check int) "iterations add" 3 acc.Stats.iterations;
+  Alcotest.(check int) "level maxes" 9 acc.Stats.level;
+  Alcotest.(check int) "heap stats add" 11 acc.Stats.heap.Heap_stats.inserts;
+  Stats.reset s;
+  Alcotest.(check int) "reset" 0 s.Stats.iterations;
+  Alcotest.(check int) "reset heap" 0 s.Stats.heap.Heap_stats.inserts;
+  Alcotest.(check int) "heap_stats total" 11 (Heap_stats.total acc.Stats.heap)
+
+let suite =
+  [
+    Alcotest.test_case "alloc_table" `Quick test_alloc_table;
+    Alcotest.test_case "relax_level" `Quick test_relax_level;
+    Alcotest.test_case "lambda_of_table" `Quick test_lambda_of_table;
+    Alcotest.test_case "witness checks optimality" `Quick
+      test_witness_checks_optimality;
+    Alcotest.test_case "arc visit accounting" `Quick test_arc_visit_accounting;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "ocr"
+    [
+      ("vec", Test_vec.suite);
+      ("digraph", Test_digraph.suite);
+      ("traversal", Test_traversal.suite);
+      ("scc", Test_scc.suite);
+      ("bellman-ford", Test_bellman_ford.suite);
+      ("cycles+oracle", Test_cycles.suite);
+      ("expand", Test_expand.suite);
+      ("io", Test_io.suite);
+      ("heaps", Test_heaps.suite);
+      ("ratio", Test_ratio.suite);
+      ("critical", Test_critical.suite);
+      ("karp-core", Test_karp_core.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("solver", Test_solver.suite);
+      ("verify", Test_verify.suite);
+      ("generators", Test_gen.suite);
+      ("applications", Test_apps.suite);
+    ]

@@ -1,0 +1,86 @@
+let r = Helpers.r
+
+let test_normalization () =
+  Helpers.check_ratio "reduced" (r 1 2) (r 4 8);
+  Helpers.check_ratio "sign in numerator" (r (-1) 3) (r 1 (-3));
+  Helpers.check_ratio "double negative" (r 1 3) (r (-1) (-3));
+  Helpers.check_ratio "zero" Ratio.zero (r 0 17);
+  Alcotest.(check int) "den positive" 3 (Ratio.den (r 2 (-3)));
+  Alcotest.(check int) "num carries sign" (-2) (Ratio.num (r 2 (-3)))
+
+let test_zero_denominator () =
+  Alcotest.check_raises "make 1/0" Division_by_zero (fun () -> ignore (r 1 0));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Ratio.div Ratio.one Ratio.zero))
+
+let test_comparisons () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Ratio.lt (r 1 3) (r 1 2));
+  Alcotest.(check bool) "-1/2 < 1/3" true (Ratio.lt (r (-1) 2) (r 1 3));
+  Alcotest.(check bool) "equal cross forms" true (Ratio.equal (r 2 4) (r 3 6));
+  Alcotest.(check bool) "leq reflexive" true (Ratio.leq (r 5 7) (r 5 7));
+  Helpers.check_ratio "min" (r 1 3) (Ratio.min (r 1 2) (r 1 3));
+  Helpers.check_ratio "max" (r 1 2) (Ratio.max (r 1 2) (r 1 3))
+
+let test_arithmetic () =
+  Helpers.check_ratio "add" (r 5 6) (Ratio.add (r 1 2) (r 1 3));
+  Helpers.check_ratio "sub" (r 1 6) (Ratio.sub (r 1 2) (r 1 3));
+  Helpers.check_ratio "mul" (r 1 6) (Ratio.mul (r 1 2) (r 1 3));
+  Helpers.check_ratio "div" (r 3 2) (Ratio.div (r 1 2) (r 1 3));
+  Helpers.check_ratio "neg" (r (-1) 2) (Ratio.neg (r 1 2));
+  Helpers.check_ratio "add to zero" Ratio.zero (Ratio.add (r 1 2) (r (-1) 2))
+
+let test_conversions () =
+  Alcotest.(check (float 1e-12)) "to_float" 0.5 (Ratio.to_float (r 1 2));
+  Alcotest.(check string) "print integral" "7" (Ratio.to_string (r 14 2));
+  Alcotest.(check string) "print fraction" "-3/4" (Ratio.to_string (r 3 (-4)));
+  Helpers.check_ratio "of_int" (r 5 1) (Ratio.of_int 5)
+
+let arb_ratio =
+  QCheck.(
+    map
+      (fun (n, d) -> Ratio.make n (if d = 0 then 1 else d))
+      (pair (int_range (-1000) 1000) (int_range (-50) 50)))
+
+let qcheck_compare_antisym =
+  QCheck.Test.make ~name:"ratio: compare is antisymmetric" ~count:500
+    (QCheck.pair arb_ratio arb_ratio)
+    (fun (a, b) -> Ratio.compare a b = -Ratio.compare b a)
+
+let qcheck_add_commutes =
+  QCheck.Test.make ~name:"ratio: addition commutes and respects floats"
+    ~count:500
+    (QCheck.pair arb_ratio arb_ratio)
+    (fun (a, b) ->
+      let s = Ratio.add a b in
+      Ratio.equal s (Ratio.add b a)
+      && abs_float (Ratio.to_float s -. (Ratio.to_float a +. Ratio.to_float b))
+         < 1e-9)
+
+let qcheck_mul_div_inverse =
+  QCheck.Test.make ~name:"ratio: (a*b)/b = a for b<>0" ~count:500
+    (QCheck.pair arb_ratio arb_ratio)
+    (fun (a, b) ->
+      QCheck.assume (Ratio.num b <> 0);
+      Ratio.equal a (Ratio.div (Ratio.mul a b) b))
+
+let qcheck_normalized =
+  QCheck.Test.make ~name:"ratio: always normalized" ~count:500 arb_ratio
+    (fun a ->
+      let rec gcd x y = if y = 0 then x else gcd y (x mod y) in
+      Ratio.den a > 0 && (Ratio.num a = 0 || gcd (abs (Ratio.num a)) (Ratio.den a) = 1))
+
+let suite =
+  [
+    Alcotest.test_case "normalization" `Quick test_normalization;
+    Alcotest.test_case "zero denominator" `Quick test_zero_denominator;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "conversions" `Quick test_conversions;
+  ]
+  @ Helpers.qtests
+      [
+        qcheck_compare_antisym;
+        qcheck_add_commutes;
+        qcheck_mul_div_inverse;
+        qcheck_normalized;
+      ]

@@ -1,0 +1,125 @@
+let test_two_triangles () =
+  (* two triangles joined by a one-way bridge *)
+  let g =
+    Digraph.of_weighted_arcs 6
+      [
+        (0, 1, 1); (1, 2, 1); (2, 0, 1);
+        (2, 3, 1);
+        (3, 4, 1); (4, 5, 1); (5, 3, 1);
+      ]
+  in
+  let scc = Scc.compute g in
+  Alcotest.(check int) "count" 2 scc.Scc.count;
+  Alcotest.(check bool) "0,1,2 together" true
+    (scc.Scc.component.(0) = scc.Scc.component.(1)
+    && scc.Scc.component.(1) = scc.Scc.component.(2));
+  Alcotest.(check bool) "3,4,5 together" true
+    (scc.Scc.component.(3) = scc.Scc.component.(4)
+    && scc.Scc.component.(4) = scc.Scc.component.(5));
+  Alcotest.(check bool) "separated" true
+    (scc.Scc.component.(0) <> scc.Scc.component.(3))
+
+let test_reverse_topological_numbering () =
+  (* arcs between distinct components must go from higher id to lower *)
+  let g =
+    Digraph.of_weighted_arcs 5
+      [ (0, 1, 1); (1, 0, 1); (1, 2, 1); (2, 3, 1); (3, 2, 1); (3, 4, 1) ]
+  in
+  let scc = Scc.compute g in
+  Digraph.iter_arcs g (fun a ->
+      let cu = scc.Scc.component.(Digraph.src g a)
+      and cv = scc.Scc.component.(Digraph.dst g a) in
+      if cu <> cv then
+        Alcotest.(check bool) "reverse topological" true (cu > cv))
+
+let test_members () =
+  let g = Digraph.of_weighted_arcs 3 [ (0, 1, 1); (1, 0, 1) ] in
+  let scc = Scc.compute g in
+  Alcotest.(check int) "count" 2 scc.Scc.count;
+  let comp01 = scc.Scc.component.(0) in
+  Alcotest.(check (list int)) "members of {0,1}" [ 0; 1 ]
+    (List.sort compare scc.Scc.members.(comp01));
+  Alcotest.(check (list int)) "members of {2}" [ 2 ]
+    scc.Scc.members.(scc.Scc.component.(2))
+
+let test_trivial () =
+  let g = Digraph.of_weighted_arcs 2 [ (0, 0, 1) ] in
+  let scc = Scc.compute g in
+  Alcotest.(check bool) "self loop is not trivial" false
+    (Scc.is_trivial g scc scc.Scc.component.(0));
+  Alcotest.(check bool) "isolated node is trivial" true
+    (Scc.is_trivial g scc scc.Scc.component.(1));
+  Alcotest.(check int) "one nontrivial component" 1
+    (List.length (Scc.nontrivial_components g scc))
+
+let test_single_big_scc () =
+  let g = Sprand.generate ~seed:5 ~n:100 ~m:300 () in
+  let scc = Scc.compute g in
+  Alcotest.(check int) "sprand graphs are strongly connected" 1 scc.Scc.count
+
+let test_empty_and_singleton () =
+  let scc0 = Scc.compute (Digraph.of_arcs 0 []) in
+  Alcotest.(check int) "empty graph" 0 scc0.Scc.count;
+  let scc1 = Scc.compute (Digraph.of_arcs 1 []) in
+  Alcotest.(check int) "singleton" 1 scc1.Scc.count
+
+(* Reference implementation: u ~ v iff v reachable from u and u from v. *)
+let qcheck_matches_reachability =
+  QCheck.Test.make ~name:"scc: agrees with pairwise reachability" ~count:150
+    (Helpers.arb_any_graph ~max_n:8 ~max_m:20 ())
+    (fun g ->
+      let n = Digraph.n g in
+      let scc = Scc.compute g in
+      let reach = Array.init n (Traversal.reachable g) in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let same = scc.Scc.component.(u) = scc.Scc.component.(v) in
+          let mutually = reach.(u).(v) && reach.(v).(u) in
+          if same <> mutually then ok := false
+        done
+      done;
+      !ok)
+
+let qcheck_members_partition =
+  QCheck.Test.make ~name:"scc: members form a partition" ~count:150
+    (Helpers.arb_any_graph ~max_n:10 ~max_m:25 ())
+    (fun g ->
+      let scc = Scc.compute g in
+      let all = Array.to_list scc.Scc.members |> List.concat in
+      List.sort compare all = List.init (Digraph.n g) Fun.id)
+
+let suite =
+  [
+    Alcotest.test_case "two triangles" `Quick test_two_triangles;
+    Alcotest.test_case "reverse topological ids" `Quick
+      test_reverse_topological_numbering;
+    Alcotest.test_case "members" `Quick test_members;
+    Alcotest.test_case "trivial components" `Quick test_trivial;
+    Alcotest.test_case "sprand is one SCC" `Quick test_single_big_scc;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+  ]
+  @ Helpers.qtests [ qcheck_matches_reachability; qcheck_members_partition ]
+
+let test_condensation () =
+  let g =
+    Digraph.of_weighted_arcs 5
+      [ (0, 1, 1); (1, 0, 2); (1, 2, 7); (2, 3, 3); (3, 2, 4); (3, 4, 9) ]
+  in
+  let scc = Scc.compute g in
+  let dag = Scc.condensation g scc in
+  Alcotest.(check int) "one node per component" scc.Scc.count (Digraph.n dag);
+  Alcotest.(check int) "cross arcs kept" 2 (Digraph.m dag);
+  Alcotest.(check bool) "condensation is acyclic" true (Traversal.is_acyclic dag)
+
+let qcheck_condensation_acyclic =
+  QCheck.Test.make ~name:"scc: condensation is always acyclic" ~count:150
+    (Helpers.arb_any_graph ~max_n:10 ~max_m:25 ())
+    (fun g ->
+      let scc = Scc.compute g in
+      Traversal.is_acyclic (Scc.condensation g scc))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "condensation" `Quick test_condensation ]
+  @ Helpers.qtests [ qcheck_condensation_acyclic ]

@@ -1,0 +1,155 @@
+let test_acyclic_returns_none () =
+  let g = Digraph.of_weighted_arcs 3 [ (0, 1, 5); (1, 2, 5) ] in
+  Alcotest.(check bool) "None on DAG" true (Solver.minimum_cycle_mean g = None);
+  Alcotest.(check bool) "None on arcless" true
+    (Solver.minimum_cycle_mean (Digraph.of_arcs 4 []) = None);
+  Alcotest.(check bool) "None on empty" true
+    (Solver.minimum_cycle_mean (Digraph.of_arcs 0 []) = None)
+
+let test_multiple_components () =
+  (* two cyclic components with different means, joined one-way, plus an
+     acyclic tail *)
+  let g =
+    Digraph.of_weighted_arcs 6
+      [
+        (0, 1, 10); (1, 0, 10);   (* mean 10 *)
+        (1, 2, 1);
+        (2, 3, 2); (3, 2, 4);     (* mean 3 *)
+        (3, 4, 99); (4, 5, 99);   (* tail *)
+      ]
+  in
+  let r = Solver.minimum_cycle_mean g |> Option.get in
+  Helpers.check_ratio "global minimum across components" (Helpers.r 3 1)
+    r.Solver.lambda;
+  Alcotest.(check int) "two cyclic components" 2 r.Solver.components;
+  Alcotest.(check bool) "witness in the right component" true
+    (Digraph.is_cycle g r.Solver.cycle);
+  Helpers.check_ratio "witness mean" (Helpers.r 3 1)
+    (Critical.ratio_of_cycle g ~den:(fun _ -> 1) r.Solver.cycle)
+
+let test_cycle_ids_map_back () =
+  (* the witness must use the ORIGINAL graph's arc ids even though the
+     algorithm ran on a renumbered SCC *)
+  let g =
+    Digraph.of_weighted_arcs 4
+      [ (0, 1, 1); (2, 3, 5); (3, 2, 7) ]
+  in
+  let r = Solver.minimum_cycle_mean g |> Option.get in
+  Alcotest.(check (list int)) "arc ids from the input graph" [ 1; 2 ]
+    (List.sort compare r.Solver.cycle)
+
+let test_maximize () =
+  let g = Families.two_cycles ~len1:2 ~w1:9 ~len2:3 ~w2:1 in
+  let mx = Solver.maximum_cycle_mean g |> Option.get in
+  Helpers.check_ratio "max mean" (Helpers.r 9 1) mx.Solver.lambda;
+  let mn = Solver.minimum_cycle_mean g |> Option.get in
+  Helpers.check_ratio "min mean" (Helpers.r 1 1) mn.Solver.lambda
+
+let test_ratio_problem () =
+  let g = Digraph.of_arcs 2 [ (0, 1, 6, 2); (1, 0, 2, 2); (0, 0, 30, 3) ] in
+  let mn = Solver.minimum_cycle_ratio g |> Option.get in
+  Helpers.check_ratio "min ratio" (Helpers.r 2 1) mn.Solver.lambda;
+  let mx = Solver.maximum_cycle_ratio g |> Option.get in
+  Helpers.check_ratio "max ratio" (Helpers.r 10 1) mx.Solver.lambda
+
+let test_zero_transit_cycle_rejected () =
+  let g = Digraph.of_arcs 2 [ (0, 1, 1, 0); (1, 0, 1, 0) ] in
+  Alcotest.check_raises "ill-posed"
+    (Invalid_argument
+       "Solver: cycle with zero total transit time (cost-to-time ratio \
+        undefined)") (fun () -> ignore (Solver.minimum_cycle_ratio g))
+
+let test_zero_transit_arc_ok_if_no_zero_cycle () =
+  (* individual zero-transit arcs are fine as long as every cycle has
+     positive total transit (native ratio algorithms only) *)
+  let g = Digraph.of_arcs 2 [ (0, 1, 3, 0); (1, 0, 5, 2) ] in
+  let r =
+    Solver.solve ~problem:Solver.Cycle_ratio ~algorithm:Registry.Howard g
+    |> Option.get
+  in
+  Helpers.check_ratio "ratio 8/2" (Helpers.r 4 1) r.Solver.lambda
+
+let test_stats_accumulate () =
+  let g =
+    Digraph.of_weighted_arcs 4 [ (0, 1, 1); (1, 0, 2); (2, 3, 3); (3, 2, 4) ]
+  in
+  let r =
+    Solver.solve ~algorithm:Registry.Howard g |> Option.get
+  in
+  Alcotest.(check bool) "iterations from both components" true
+    (r.Solver.stats.Stats.iterations >= 2)
+
+let all_algorithms_on_general_graphs =
+  List.map
+    (fun alg ->
+      QCheck.Test.make
+        ~name:
+          (Printf.sprintf "solver(%s) = oracle on arbitrary graphs"
+             (Registry.name alg))
+        ~count:100
+        (Helpers.arb_any_graph ~max_n:8 ~max_m:18 ())
+        (fun g ->
+          match (Solver.solve ~algorithm:alg g, Helpers.oracle_mean Oracle.Minimize g) with
+          | None, None -> true
+          | Some r, Some opt ->
+            Ratio.equal r.Solver.lambda opt
+            && Digraph.is_cycle g r.Solver.cycle
+          | _ -> false))
+    Registry.all
+
+let qcheck_max_is_negated_min =
+  QCheck.Test.make ~name:"solver: maximize = -minimize(negated)" ~count:150
+    (Helpers.arb_any_graph ~max_n:8 ~max_m:18 ())
+    (fun g ->
+      let mx = Solver.maximum_cycle_mean g in
+      let mn = Solver.minimum_cycle_mean (Digraph.negate_weights g) in
+      match (mx, mn) with
+      | None, None -> true
+      | Some a, Some b -> Ratio.equal a.Solver.lambda (Ratio.neg b.Solver.lambda)
+      | _ -> false)
+
+let qcheck_ratio_solver_vs_oracle =
+  QCheck.Test.make ~name:"solver: ratio problem = oracle" ~count:100
+    (Helpers.arb_any_graph ~max_n:7 ~max_m:14 ~tmax:3 ())
+    (fun g ->
+      match
+        (Solver.minimum_cycle_ratio g, Helpers.oracle_ratio Oracle.Minimize g)
+      with
+      | None, None -> true
+      | Some r, Some opt -> Ratio.equal r.Solver.lambda opt
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "acyclic returns None" `Quick test_acyclic_returns_none;
+    Alcotest.test_case "multiple components" `Quick test_multiple_components;
+    Alcotest.test_case "cycle ids map back" `Quick test_cycle_ids_map_back;
+    Alcotest.test_case "maximize" `Quick test_maximize;
+    Alcotest.test_case "ratio problem" `Quick test_ratio_problem;
+    Alcotest.test_case "zero-transit cycle rejected" `Quick
+      test_zero_transit_cycle_rejected;
+    Alcotest.test_case "zero-transit arc tolerated" `Quick
+      test_zero_transit_arc_ok_if_no_zero_cycle;
+    Alcotest.test_case "stats accumulate across components" `Quick
+      test_stats_accumulate;
+  ]
+  @ Helpers.qtests
+      (all_algorithms_on_general_graphs
+      @ [ qcheck_max_is_negated_min; qcheck_ratio_solver_vs_oracle ])
+
+let test_overflow_guard () =
+  (* weights far beyond the exact-arithmetic envelope are refused
+     up front instead of silently overflowing *)
+  let huge = max_int / 4 in
+  let g = Digraph.of_weighted_arcs 2 [ (0, 1, huge); (1, 0, huge) ] in
+  Alcotest.(check bool) "guard fires" true
+    (match Solver.minimum_cycle_mean g with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* paper-scale weights at a realistic size pass *)
+  let g = Sprand.generate ~seed:1 ~n:64 ~m:128 () in
+  Alcotest.(check bool) "normal weights fine" true
+    (Solver.minimum_cycle_mean g <> None)
+
+let suite =
+  suite @ [ Alcotest.test_case "overflow guard" `Quick test_overflow_guard ]

@@ -1,0 +1,75 @@
+let diamond () =
+  (* 0 -> 1 -> 3, 0 -> 2 -> 3 : a DAG *)
+  Digraph.of_weighted_arcs 4 [ (0, 1, 1); (0, 2, 1); (1, 3, 1); (2, 3, 1) ]
+
+let ring n = Families.ring n
+
+let test_bfs_levels () =
+  let g = diamond () in
+  Alcotest.(check (array int)) "levels from 0" [| 0; 1; 1; 2 |]
+    (Traversal.bfs_levels g 0);
+  Alcotest.(check (array int)) "levels from 3 (sinks)" [| -1; -1; -1; 0 |]
+    (Traversal.bfs_levels g 3)
+
+let test_reachable () =
+  let g = diamond () in
+  Alcotest.(check (array bool)) "from 1" [| false; true; false; true |]
+    (Traversal.reachable g 1);
+  Alcotest.(check (array bool)) "co-reach of 1" [| true; true; false; false |]
+    (Traversal.co_reachable g 1)
+
+let test_strong_connectivity () =
+  Alcotest.(check bool) "ring is SC" true
+    (Traversal.is_strongly_connected (ring 5));
+  Alcotest.(check bool) "dag is not SC" false
+    (Traversal.is_strongly_connected (diamond ()));
+  Alcotest.(check bool) "single node is SC" true
+    (Traversal.is_strongly_connected (Digraph.of_arcs 1 []));
+  Alcotest.(check bool) "empty graph is SC" true
+    (Traversal.is_strongly_connected (Digraph.of_arcs 0 []))
+
+let test_topological () =
+  let g = diamond () in
+  (match Traversal.topological_order g with
+  | None -> Alcotest.fail "diamond is acyclic"
+  | Some order ->
+    let pos = Array.make 4 0 in
+    Array.iteri (fun i v -> pos.(v) <- i) order;
+    Digraph.iter_arcs g (fun a ->
+        Alcotest.(check bool) "arc goes forward" true
+          (pos.(Digraph.src g a) < pos.(Digraph.dst g a))));
+  Alcotest.(check bool) "ring has no topo order" true
+    (Traversal.topological_order (ring 3) = None)
+
+let test_acyclicity () =
+  Alcotest.(check bool) "diamond acyclic" true (Traversal.is_acyclic (diamond ()));
+  Alcotest.(check bool) "ring cyclic" false (Traversal.is_acyclic (ring 4));
+  let self = Digraph.of_weighted_arcs 1 [ (0, 0, 1) ] in
+  Alcotest.(check bool) "self loop cyclic" false (Traversal.is_acyclic self)
+
+let test_cycle_through () =
+  let g =
+    Digraph.of_weighted_arcs 4 [ (0, 1, 1); (1, 2, 1); (2, 1, 1); (2, 3, 1) ]
+  in
+  Alcotest.(check bool) "node 1 on cycle" true (Traversal.has_cycle_through g 1);
+  Alcotest.(check bool) "node 0 not on cycle" false
+    (Traversal.has_cycle_through g 0);
+  Alcotest.(check bool) "node 3 not on cycle" false
+    (Traversal.has_cycle_through g 3)
+
+let qcheck_topo_iff_no_cycle =
+  QCheck.Test.make ~name:"traversal: topo order exists iff oracle finds no cycle"
+    ~count:200
+    (Helpers.arb_any_graph ~max_n:7 ~max_m:14 ())
+    (fun g -> Traversal.is_acyclic g = (Cycles.count g = 0))
+
+let suite =
+  [
+    Alcotest.test_case "bfs levels" `Quick test_bfs_levels;
+    Alcotest.test_case "reachable / co_reachable" `Quick test_reachable;
+    Alcotest.test_case "strong connectivity" `Quick test_strong_connectivity;
+    Alcotest.test_case "topological order" `Quick test_topological;
+    Alcotest.test_case "acyclicity" `Quick test_acyclicity;
+    Alcotest.test_case "has_cycle_through" `Quick test_cycle_through;
+  ]
+  @ Helpers.qtests [ qcheck_topo_iff_no_cycle ]

@@ -1,0 +1,57 @@
+let test_empty () =
+  let v = Vec.create () in
+  Alcotest.(check int) "length" 0 (Vec.length v);
+  Alcotest.(check bool) "is_empty" true (Vec.is_empty v);
+  Alcotest.(check (list int)) "to_list" [] (Vec.to_list v)
+
+let test_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 0" 0 (Vec.get v 0);
+  Alcotest.(check int) "get 99" 9801 (Vec.get v 99);
+  Vec.set v 50 (-1);
+  Alcotest.(check int) "set/get" (-1) (Vec.get v 50)
+
+let test_pop () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "pop" 3 (Vec.pop v);
+  Alcotest.(check int) "pop" 2 (Vec.pop v);
+  Alcotest.(check int) "length after pops" 1 (Vec.length v);
+  Vec.push v 9;
+  Alcotest.(check (list int)) "after push" [ 1; 9 ] (Vec.to_list v)
+
+let test_bounds () =
+  let v = Vec.of_list [ 0 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of range")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set: index out of range")
+    (fun () -> Vec.set v (-1) 0);
+  Vec.clear v;
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty")
+    (fun () -> ignore (Vec.pop v))
+
+let test_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sum" 10 (Vec.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iter (fun x -> acc := x :: !acc) v;
+  Alcotest.(check (list int)) "iter order" [ 4; 3; 2; 1 ] !acc;
+  Alcotest.(check (array int)) "to_array" [| 1; 2; 3; 4 |] (Vec.to_array v)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"vec: of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "push/get/set" `Quick test_push_get;
+    Alcotest.test_case "pop" `Quick test_pop;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "iter/fold/to_array" `Quick test_iter_fold;
+  ]
+  @ Helpers.qtests [ qcheck_roundtrip ]

@@ -1,0 +1,77 @@
+let g () = Families.two_cycles ~len1:2 ~w1:6 ~len2:3 ~w2:3
+
+let good_cycle g =
+  (Solver.minimum_cycle_mean g |> Option.get).Solver.cycle
+
+let test_accepts_correct_result () =
+  let g = g () in
+  let r = Solver.minimum_cycle_mean g |> Option.get in
+  Alcotest.(check bool) "Ok" true (Verify.certify_report g r = Ok ())
+
+let expect_error got =
+  match got with
+  | Ok () -> Alcotest.fail "expected the certificate to fail"
+  | Error _ -> ()
+
+let test_rejects_wrong_lambda () =
+  let g = g () in
+  expect_error (Verify.certify g (Helpers.r 2 1) (good_cycle g));
+  expect_error (Verify.certify g (Helpers.r 6 1) (good_cycle g))
+
+let test_rejects_bad_witness () =
+  let g = g () in
+  expect_error (Verify.certify g (Helpers.r 3 1) []);
+  expect_error (Verify.certify g (Helpers.r 3 1) [ 0 ])
+
+let test_rejects_suboptimal_cycle () =
+  let g = g () in
+  (* the weight-6 cycle: a genuine cycle with the WRONG (non-optimal) mean *)
+  let heavy =
+    List.filter (fun a -> Digraph.weight g a = 6) (List.init (Digraph.m g) Fun.id)
+  in
+  (* claiming its own mean (6) must fail the optimality step *)
+  expect_error (Verify.certify g (Helpers.r 6 1) heavy)
+
+let test_maximize_certification () =
+  let g = g () in
+  let r = Solver.maximum_cycle_mean g |> Option.get in
+  Alcotest.(check bool) "max certificate" true
+    (Verify.certify_report ~objective:Solver.Maximize g r = Ok ());
+  (* the same report fails under the wrong objective *)
+  expect_error (Verify.certify_report ~objective:Solver.Minimize g r)
+
+let test_ratio_certification () =
+  let g = Digraph.of_arcs 2 [ (0, 1, 6, 2); (1, 0, 2, 2); (0, 0, 30, 3) ] in
+  let r = Solver.minimum_cycle_ratio g |> Option.get in
+  Alcotest.(check bool) "ratio certificate" true
+    (Verify.certify_report ~problem:Solver.Cycle_ratio g r = Ok ())
+
+let qcheck_all_reports_certify =
+  QCheck.Test.make ~name:"verify: every solver report certifies" ~count:150
+    (Helpers.arb_any_graph ~max_n:8 ~max_m:18 ())
+    (fun g ->
+      match Solver.minimum_cycle_mean g with
+      | None -> true
+      | Some r -> Verify.certify_report g r = Ok ())
+
+let qcheck_shifted_lambda_rejected =
+  QCheck.Test.make ~name:"verify: perturbed lambda is rejected" ~count:150
+    (Helpers.arb_strongly_connected ~max_n:7 ~max_extra:10 ())
+    (fun g ->
+      match Solver.minimum_cycle_mean g with
+      | None -> true
+      | Some r ->
+        let shifted = Ratio.add r.Solver.lambda Ratio.one in
+        Verify.certify g shifted r.Solver.cycle <> Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "accepts correct result" `Quick test_accepts_correct_result;
+    Alcotest.test_case "rejects wrong lambda" `Quick test_rejects_wrong_lambda;
+    Alcotest.test_case "rejects bad witness" `Quick test_rejects_bad_witness;
+    Alcotest.test_case "rejects suboptimal cycle" `Quick
+      test_rejects_suboptimal_cycle;
+    Alcotest.test_case "maximize certification" `Quick test_maximize_certification;
+    Alcotest.test_case "ratio certification" `Quick test_ratio_certification;
+  ]
+  @ Helpers.qtests [ qcheck_all_reports_certify; qcheck_shifted_lambda_rejected ]
