@@ -578,6 +578,100 @@ let e10 cfg =
         "pair ms"; "pair ops" ]
     (List.rev !rows)
 
+(* ------------------------------------------------------------------ *)
+(* E11: engine throughput — parallel batch solve and cache behavior    *)
+(* ------------------------------------------------------------------ *)
+
+let e11 cfg =
+  let n = match cfg.sizes with [] -> 256 | s :: _ -> min 512 s in
+  let density = 2.0 in
+  let n_requests = 24 in
+  let spec i = Request.default_spec (Printf.sprintf "inst-%03d" i) in
+  let distinct =
+    List.init n_requests (fun i -> instance ~n ~density ~seed:(i + 1))
+  in
+  let rows = ref [] in
+  (* distinct-instance workload: pure solve throughput across --jobs,
+     cache disabled; response lines must be byte-identical to jobs=1 *)
+  let base_ms = ref 0.0 in
+  let base_lines = ref [] in
+  List.iter
+    (fun jobs ->
+      let reqs =
+        List.mapi (fun i g -> Request.make ~id:(i + 1) ~graph:g (spec i))
+          distinct
+      in
+      let eng = Engine.create ~jobs ~cache_size:0 () in
+      let t0 = Unix.gettimeofday () in
+      let rs = Engine.run_batch eng reqs in
+      let dt = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      Engine.shutdown eng;
+      let lines = List.map (fun r -> Engine.response_line r) rs in
+      if jobs = 1 then begin
+        base_ms := dt;
+        base_lines := lines
+      end;
+      rows :=
+        [
+          "distinct";
+          string_of_int jobs;
+          string_of_int n_requests;
+          Tables.fmt_ms dt;
+          Printf.sprintf "%.1f" (1000.0 *. float_of_int n_requests /. dt);
+          Printf.sprintf "%.2fx" (!base_ms /. dt);
+          "-";
+          (if lines = !base_lines then "yes" else "NO");
+        ]
+        :: !rows)
+    [ 1; 2; 4 ];
+  (* repeated-instance workload: a small pool cycled many times through
+     the LRU — the target regime is a >= 90% hit rate *)
+  let pool = List.init 3 (fun i -> instance ~n ~density ~seed:(100 + i)) in
+  let repeats = 30 in
+  let reqs =
+    List.init repeats (fun i ->
+        let g = List.nth pool (i mod List.length pool) in
+        Request.make ~id:(i + 1) ~graph:g
+          { (spec (i mod List.length pool)) with Request.verify = true })
+  in
+  let eng = Engine.create ~jobs:1 ~cache_size:8 () in
+  let t0 = Unix.gettimeofday () in
+  let rs = Engine.run_batch eng reqs in
+  let dt = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  let tel = Engine.telemetry eng in
+  Engine.shutdown eng;
+  let all_certified =
+    List.for_all
+      (fun r ->
+        match r.Engine.outcome with
+        | Engine.Solved s -> s.certified
+        | _ -> false)
+      rs
+  in
+  rows :=
+    [
+      "repeated";
+      "1";
+      string_of_int repeats;
+      Tables.fmt_ms dt;
+      Printf.sprintf "%.1f" (1000.0 *. float_of_int repeats /. dt);
+      "-";
+      Printf.sprintf "%.2f" (Telemetry.hit_rate tel);
+      (if all_certified then "yes" else "NO");
+    ]
+    :: !rows;
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E11: engine throughput — batch of SPRAND n=%d m/n=%.1f across \
+          --jobs (identical = responses byte-equal to jobs=1; for the \
+          repeated workload, = every cached result re-certified)"
+         n density)
+    ~header:
+      [ "workload"; "jobs"; "reqs"; "wall"; "req/s"; "speedup"; "hit-rate";
+        "identical" ]
+    (List.rev !rows)
+
 let all : (string * (config -> unit)) list =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
-    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10) ]
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11) ]

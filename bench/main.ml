@@ -17,7 +17,7 @@ let () =
       ("--micro", Arg.Set micro, " also run the Bechamel microbenchmarks");
       ( "--only",
         Arg.String (fun s -> only := String.uppercase_ascii s :: !only),
-        "EK run only the given experiment (repeatable): E1..E8" );
+        "EK run only the given experiment (repeatable): E1..E11" );
       ("--seeds", Arg.Set_int seeds, "K number of random seeds per cell");
       ( "--csv",
         Arg.String (fun dir -> Tables.csv_dir := Some dir),
@@ -48,7 +48,7 @@ let () =
     | ids -> List.filter (fun (id, _) -> List.mem id ids) Experiments.all
   in
   if selected = [] then begin
-    prerr_endline "no experiment matches --only (expected E1..E8)";
+    prerr_endline "no experiment matches --only (expected E1..E11)";
     exit 1
   end;
   List.iter

@@ -145,9 +145,34 @@ let solve_cmd =
   let show_cycle =
     Arg.(value & flag & info [ "cycle" ] ~doc:"Print the witness cycle arcs.")
   in
-  let run file algorithm objective problem verify show_stats show_cycle =
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Abort after MS milliseconds of wall time; exits 5 with a \
+             timeout line (and the best partial bound, if any).")
+  in
+  let run file algorithm objective problem verify show_stats show_cycle
+      deadline_ms =
     let g = load_graph file in
-    match Solver.solve ~objective ~problem ~algorithm g with
+    let budget =
+      Option.map
+        (fun ms ->
+          Budget.create ~now:Unix.gettimeofday
+            ~deadline_at:(Unix.gettimeofday () +. (ms /. 1000.0))
+            ())
+        deadline_ms
+    in
+    match Solver.solve ~objective ~problem ?budget ~algorithm g with
+    | exception Solver.Deadline_exceeded { partial } ->
+      (match partial with
+      | None -> print_endline "timeout: deadline exceeded"
+      | Some r ->
+        Printf.printf "timeout: deadline exceeded (best partial lambda = %s)\n"
+          (Ratio.to_string r.Solver.lambda));
+      exit 5
     | None ->
       print_endline "acyclic graph: no cycle to optimize";
       exit 2
@@ -177,7 +202,7 @@ let solve_cmd =
        ~doc:"Compute the optimum cycle mean or cost-to-time ratio of a graph.")
     Term.(
       const run $ graph_file_arg $ algorithm_arg $ objective_arg $ problem_arg
-      $ verify $ show_stats $ show_cycle)
+      $ verify $ show_stats $ show_cycle $ deadline_ms)
 
 (* ----------------------------------------------------------------- *)
 (* info                                                               *)
@@ -239,6 +264,168 @@ let critical_cmd =
     Term.(const run $ graph_file_arg $ problem_arg $ dot)
 
 (* ----------------------------------------------------------------- *)
+(* batch / serve (the ocr_engine front-ends)                          *)
+(* ----------------------------------------------------------------- *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker parallelism: N-1 domains plus the driving thread.")
+
+let cache_size_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-size" ] ~docv:"K"
+        ~doc:"LRU result-cache capacity in entries; 0 disables caching.")
+
+let wall_arg =
+  Arg.(
+    value & flag
+    & info [ "wall" ]
+        ~doc:"Append per-request wall times (nondeterministic) to responses.")
+
+let check_jobs jobs =
+  if jobs < 1 then begin
+    prerr_endline "ocr: --jobs must be >= 1";
+    exit 1
+  end
+
+let print_telemetry_summary tel =
+  let s = Format.asprintf "@[<v>%a@]" Telemetry.pp_summary tel in
+  List.iter
+    (fun line -> print_endline ("# " ^ line))
+    (String.split_on_char '\n' s)
+
+let write_telemetry tel csv json =
+  let dump path contents =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents)
+  in
+  Option.iter (fun p -> dump p (Telemetry.to_csv tel)) csv;
+  Option.iter (fun p -> dump p (Telemetry.to_json tel)) json
+
+let batch_cmd =
+  let reqfile =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUESTS"
+          ~doc:
+            "Request file: one request per line, \
+             $(i,graph-file [key=value ...]); '-' reads stdin.  Keys: \
+             problem=mean|ratio, objective=min|max, algorithm=auto|<name>, \
+             deadline-ms=<float>, verify=true|false.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-csv" ] ~docv:"FILE" ~doc:"Write telemetry as CSV.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-json" ] ~docv:"FILE" ~doc:"Write telemetry as JSON.")
+  in
+  let run reqfile jobs cache_size wall csv json =
+    check_jobs jobs;
+    let lines =
+      if reqfile = "-" then (
+        let acc = ref [] in
+        (try
+           while true do
+             acc := input_line stdin :: !acc
+           done
+         with End_of_file -> ());
+        List.rev !acc)
+      else
+        String.split_on_char '\n'
+          (let ic = open_in reqfile in
+           Fun.protect
+             ~finally:(fun () -> close_in ic)
+             (fun () -> really_input_string ic (in_channel_length ic)))
+    in
+    let reqs =
+      lines
+      |> List.map String.trim
+      |> List.filter (fun line -> line <> "" && line.[0] <> '#')
+      |> List.mapi (fun i line ->
+             match Request.parse_spec line with
+             | Error msg ->
+               Printf.eprintf "request %d: %s\n" (i + 1) msg;
+               exit 1
+             | Ok spec -> (
+               match load_graph spec.Request.path with
+               | exception Sys_error e ->
+                 Printf.eprintf "request %d: %s\n" (i + 1) e;
+                 exit 1
+               | g -> Request.make ~id:(i + 1) ~graph:g spec))
+    in
+    let eng = Engine.create ~jobs ~cache_size () in
+    Fun.protect
+      ~finally:(fun () -> Engine.shutdown eng)
+      (fun () ->
+        let responses = Engine.run_batch eng reqs in
+        List.iter (fun r -> print_endline (Engine.response_line ~wall r)) responses;
+        let tel = Engine.telemetry eng in
+        print_telemetry_summary tel;
+        write_telemetry tel csv json)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Solve a batch of requests in parallel with result caching; \
+          responses come back in request order, byte-identical across \
+          $(b,--jobs) settings.")
+    Term.(
+      const run $ reqfile $ jobs_arg $ cache_size_arg $ wall_arg $ csv $ json)
+
+let serve_cmd =
+  let run jobs cache_size wall =
+    check_jobs jobs;
+    let eng = Engine.create ~jobs ~cache_size () in
+    let id = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> Engine.shutdown eng)
+      (fun () ->
+        try
+          while true do
+            let line = String.trim (input_line stdin) in
+            if line = "" || line.[0] = '#' then ()
+            else if line = "quit" then raise Exit
+            else if line = "telemetry" then
+              print_telemetry_summary (Engine.telemetry eng)
+            else begin
+              match Request.parse_spec line with
+              | Error msg -> Printf.printf "error msg=%S\n%!" msg
+              | Ok spec -> (
+                incr id;
+                match load_graph spec.Request.path with
+                | exception Sys_error e ->
+                  Printf.printf "req=%d file=%s status=error msg=%S\n%!" !id
+                    spec.Request.path e
+                | g ->
+                  let r = Engine.solve eng (Request.make ~id:!id ~graph:g spec) in
+                  print_endline (Engine.response_line ~wall r);
+                  flush stdout)
+            end
+          done
+        with End_of_file | Exit -> ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Line-protocol solve server on stdin/stdout.  Each input line is a \
+          request ($(i,graph-file [key=value ...])); responses are emitted \
+          as they complete.  'telemetry' prints counters, 'quit' or EOF \
+          exits.")
+    Term.(const run $ jobs_arg $ cache_size_arg $ wall_arg)
+
+(* ----------------------------------------------------------------- *)
 (* compare                                                            *)
 (* ----------------------------------------------------------------- *)
 
@@ -287,4 +474,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ocr" ~version:"1.0.0" ~doc)
-          [ gen_cmd; solve_cmd; info_cmd; critical_cmd; compare_cmd ]))
+          [
+            gen_cmd; solve_cmd; batch_cmd; serve_cmd; info_cmd; critical_cmd;
+            compare_cmd;
+          ]))

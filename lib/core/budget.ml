@@ -1,0 +1,32 @@
+type cause = Iterations | Deadline
+
+exception Exceeded of cause
+
+let cause_name = function Iterations -> "iterations" | Deadline -> "deadline"
+
+type t = {
+  mutable remaining : int; (* max_int when unbounded *)
+  now : (unit -> float) option;
+  deadline_at : float;
+}
+
+let create ?max_iterations ?now ?deadline_at () =
+  (match (now, deadline_at) with
+  | None, Some _ ->
+    invalid_arg "Budget.create: a deadline requires a clock (~now)"
+  | _ -> ());
+  {
+    remaining = (match max_iterations with Some k -> k | None -> max_int);
+    now;
+    deadline_at = (match deadline_at with Some d -> d | None -> infinity);
+  }
+
+let check t =
+  match t.now with
+  | Some f when f () >= t.deadline_at -> raise (Exceeded Deadline)
+  | _ -> ()
+
+let tick t =
+  if t.remaining <= 0 then raise (Exceeded Iterations);
+  if t.remaining < max_int then t.remaining <- t.remaining - 1;
+  check t

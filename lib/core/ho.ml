@@ -95,7 +95,7 @@ let proves_optimal g d k best =
 
 let check_level k n = k <= 8 || k land (k - 1) = 0 || k = n
 
-let minimum_cycle_mean ?stats g =
+let minimum_cycle_mean ?stats ?budget g =
   if Digraph.m g = 0 then invalid_arg "Ho: graph has no arcs";
   let n = Digraph.n g in
   let d = Karp_core.alloc_table g in
@@ -107,6 +107,7 @@ let minimum_cycle_mean ?stats g =
   let result = ref None in
   let k = ref 1 in
   while !result = None && !k <= n do
+    (match budget with Some b -> Budget.tick b | None -> ());
     relax_level_with_parents ?stats g d par !k;
     if check_level !k n then begin
       let base = !k * n in

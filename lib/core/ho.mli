@@ -16,4 +16,7 @@
 
     Precondition: strongly connected input with at least one arc. *)
 
-val minimum_cycle_mean : ?stats:Stats.t -> Digraph.t -> Ratio.t * int list
+val minimum_cycle_mean :
+  ?stats:Stats.t -> ?budget:Budget.t -> Digraph.t -> Ratio.t * int list
+(** [budget] is ticked once per table level.
+    @raise Budget.Exceeded when the budget runs out mid-solve. *)

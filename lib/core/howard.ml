@@ -52,7 +52,7 @@ let best_policy_cycle ?stats g den pi =
   | Some b -> b
   | None -> assert false (* every functional graph has a cycle *)
 
-let solve ?stats ?(init = `Cheapest_arc) ?policy ~den ~epsilon g =
+let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ~den ~epsilon g =
   if Digraph.m g = 0 then invalid_arg "Howard: graph has no arcs";
   let n = Digraph.n g in
   (* initial policy: cheapest out-arc (Figure 1, lines 1-4) by
@@ -129,6 +129,7 @@ let solve ?stats ?(init = `Cheapest_arc) ?policy ~den ~epsilon g =
   let result = ref None in
   while !result = None && !iter < cap do
     incr iter;
+    (match budget with Some b -> Budget.tick b | None -> ());
     (match stats with
     | Some s -> s.Stats.iterations <- s.Stats.iterations + 1
     | None -> ());
@@ -190,14 +191,16 @@ let solve ?stats ?(init = `Cheapest_arc) ?policy ~den ~epsilon g =
   let lambda, witness = Critical.improve_to_optimal ?stats ~den g cycle in
   (lambda, witness, pi)
 
-let minimum_cycle_mean ?stats ?(epsilon = 1e-9) ?init g =
-  let lambda, cycle, _ = solve ?stats ?init ~den:(fun _ -> 1) ~epsilon g in
+let minimum_cycle_mean ?stats ?budget ?(epsilon = 1e-9) ?init g =
+  let lambda, cycle, _ =
+    solve ?stats ?budget ?init ~den:(fun _ -> 1) ~epsilon g
+  in
   (lambda, cycle)
 
-let minimum_cycle_ratio ?stats ?(epsilon = 1e-9) ?init g =
+let minimum_cycle_ratio ?stats ?budget ?(epsilon = 1e-9) ?init g =
   Critical.assert_ratio_well_posed g;
   let lambda, cycle, _ =
-    solve ?stats ?init ~den:(Digraph.transit g) ~epsilon g
+    solve ?stats ?budget ?init ~den:(Digraph.transit g) ~epsilon g
   in
   (lambda, cycle)
 

@@ -25,14 +25,16 @@ type init = [ `Cheapest_arc | `First_arc | `Random of int ]
     a seeded random policy — ablated in bench E9. *)
 
 val minimum_cycle_mean :
-  ?stats:Stats.t -> ?epsilon:float -> ?init:init -> Digraph.t ->
-  Ratio.t * int list
+  ?stats:Stats.t -> ?budget:Budget.t -> ?epsilon:float -> ?init:init ->
+  Digraph.t -> Ratio.t * int list
 (** [epsilon] is the improvement threshold of Figure 1 (relative to the
-    weight scale; default [1e-9]). *)
+    weight scale; default [1e-9]).  [budget] is ticked once per policy
+    iteration; see {!Budget}.
+    @raise Budget.Exceeded when the budget runs out mid-solve. *)
 
 val minimum_cycle_ratio :
-  ?stats:Stats.t -> ?epsilon:float -> ?init:init -> Digraph.t ->
-  Ratio.t * int list
+  ?stats:Stats.t -> ?budget:Budget.t -> ?epsilon:float -> ?init:init ->
+  Digraph.t -> Ratio.t * int list
 (** Cost-to-time ratio form: policy values use [w − λ·t]. *)
 
 val minimum_cycle_mean_warm :

@@ -17,8 +17,9 @@ let step ?stats g prev cur =
         if cand < cur.(v) then cur.(v) <- cand
       end)
 
-let minimum_cycle_mean ?stats g =
+let minimum_cycle_mean ?stats ?budget g =
   if Digraph.m g = 0 then invalid_arg "Karp2: graph has no arcs";
+  let tick () = match budget with Some b -> Budget.tick b | None -> () in
   let n = Digraph.n g in
   let init () =
     let row = Array.make n inf in
@@ -28,6 +29,7 @@ let minimum_cycle_mean ?stats g =
   (* Pass 1: obtain D_n with two rolling rows. *)
   let prev = ref (init ()) and cur = ref (Array.make n inf) in
   for _ = 1 to n do
+    tick ();
     step ?stats g !prev !cur;
     let t = !prev in
     prev := !cur;
@@ -50,6 +52,7 @@ let minimum_cycle_mean ?stats g =
   let prev = ref (init ()) and cur = ref (Array.make n inf) in
   fold 0 !prev;
   for k = 1 to n - 1 do
+    tick ();
     step ?stats g !prev !cur;
     fold k !cur;
     let t = !prev in

@@ -8,4 +8,8 @@
 
     Precondition: strongly connected input with at least one arc. *)
 
-val minimum_cycle_mean : ?stats:Stats.t -> Digraph.t -> Ratio.t * int list
+val minimum_cycle_mean :
+  ?stats:Stats.t -> ?budget:Budget.t -> Digraph.t -> Ratio.t * int list
+(** [budget] is ticked once per relaxation pass (so up to [2n − 1]
+    ticks over the two passes).
+    @raise Budget.Exceeded when the budget runs out mid-solve. *)

@@ -47,24 +47,28 @@ let native_ratio = function
   | Burns | Howard | Lawler | Oa1 | Oa2 | Ko | Yto -> true
   | Ho | Karp | Dg | Karp2 -> false
 
-let minimum_cycle_mean alg ?stats g =
+let supports_budget = function
+  | Howard | Ho | Karp2 -> true
+  | Burns | Ko | Yto | Karp | Dg | Lawler | Oa1 | Oa2 -> false
+
+let minimum_cycle_mean alg ?stats ?budget g =
   match alg with
   | Burns -> Burns.minimum_cycle_mean ?stats g
   | Ko -> Ko.minimum_cycle_mean ?stats g
   | Yto -> Yto.minimum_cycle_mean ?stats g
-  | Howard -> Howard.minimum_cycle_mean ?stats g
-  | Ho -> Ho.minimum_cycle_mean ?stats g
+  | Howard -> Howard.minimum_cycle_mean ?stats ?budget g
+  | Ho -> Ho.minimum_cycle_mean ?stats ?budget g
   | Karp -> Karp.minimum_cycle_mean ?stats g
   | Dg -> Dg.minimum_cycle_mean ?stats g
   | Lawler -> Lawler.minimum_cycle_mean ?stats g
-  | Karp2 -> Karp2.minimum_cycle_mean ?stats g
+  | Karp2 -> Karp2.minimum_cycle_mean ?stats ?budget g
   | Oa1 -> Oa.oa1_minimum_cycle_mean ?stats g
   | Oa2 -> Oa.oa2_minimum_cycle_mean ?stats g
 
-let minimum_cycle_ratio alg ?stats g =
+let minimum_cycle_ratio alg ?stats ?budget g =
   match alg with
   | Burns -> Burns.minimum_cycle_ratio ?stats g
-  | Howard -> Howard.minimum_cycle_ratio ?stats g
+  | Howard -> Howard.minimum_cycle_ratio ?stats ?budget g
   | Lawler -> Lawler.minimum_cycle_ratio ?stats g
   | Oa1 -> Oa.oa1_minimum_cycle_ratio ?stats g
   | Oa2 -> Oa.oa2_minimum_cycle_ratio ?stats g
@@ -74,5 +78,5 @@ let minimum_cycle_ratio alg ?stats g =
     (* Hartmann-Orlin reduction: expand transit times, solve the mean
        problem, and map the witness back *)
     let ex = Expand.transit_expand g in
-    let lambda, cycle = minimum_cycle_mean alg ?stats ex.Expand.graph in
+    let lambda, cycle = minimum_cycle_mean alg ?stats ?budget ex.Expand.graph in
     (lambda, Expand.restrict_cycle ex cycle)

@@ -35,11 +35,21 @@ val native_ratio : algorithm -> bool
     goes through the Hartmann–Orlin transit-time expansion
     ({!Expand}). *)
 
+val supports_budget : algorithm -> bool
+(** Whether the algorithm honors a mid-solve {!Budget} (Howard per
+    policy iteration, HO per table level, Karp2 per relaxation pass).
+    For the others a supplied budget is only consulted between
+    strongly connected components by {!Solver}. *)
+
 val minimum_cycle_mean :
-  algorithm -> ?stats:Stats.t -> Digraph.t -> Ratio.t * int list
+  algorithm -> ?stats:Stats.t -> ?budget:Budget.t -> Digraph.t ->
+  Ratio.t * int list
+(** @raise Budget.Exceeded from budget-supporting algorithms when the
+    supplied budget runs out mid-solve. *)
 
 val minimum_cycle_ratio :
-  algorithm -> ?stats:Stats.t -> Digraph.t -> Ratio.t * int list
+  algorithm -> ?stats:Stats.t -> ?budget:Budget.t -> Digraph.t ->
+  Ratio.t * int list
 (** For non-[native_ratio] algorithms this expands transit times first,
     so it requires every transit time to be a positive integer; native
     algorithms only require every {e cycle} to have positive transit. *)

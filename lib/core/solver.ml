@@ -37,11 +37,17 @@ let check_arithmetic_range ~problem g =
             %d would overflow exact native-int arithmetic" w d)
   end
 
-let solve ?(objective = Minimize) ?(problem = Cycle_mean) ~algorithm g =
+let preflight ~problem g =
   check_arithmetic_range ~problem g;
-  (match problem with
+  match problem with
   | Cycle_ratio -> check_ratio_well_posed g
-  | Cycle_mean -> ());
+  | Cycle_mean -> ()
+
+exception Deadline_exceeded of { partial : report option }
+
+let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ~algorithm g
+    =
+  preflight ~problem g;
   let g_min =
     match objective with Minimize -> g | Maximize -> Digraph.negate_weights g
   in
@@ -50,29 +56,39 @@ let solve ?(objective = Minimize) ?(problem = Cycle_mean) ~algorithm g =
     | Cycle_mean -> Registry.minimum_cycle_mean algorithm
     | Cycle_ratio -> Registry.minimum_cycle_ratio algorithm
   in
-  let stats = Stats.create () in
+  let stats = ref (Stats.create ()) in
   let scc = Scc.compute g_min in
   let best = ref None in
   let components = ref 0 in
-  List.iter
-    (fun nodes ->
-      incr components;
-      let sub, _, arc_of_sub = Digraph.induced g_min nodes in
-      let sub_stats = Stats.create () in
-      let lambda, cycle = run ~stats:sub_stats sub in
-      Stats.add stats sub_stats;
-      let cycle = List.map (fun a -> arc_of_sub.(a)) cycle in
-      match !best with
-      | Some (bl, _) when Ratio.leq bl lambda -> ()
-      | _ -> best := Some (lambda, cycle))
-    (Scc.nontrivial_components g_min scc);
-  match !best with
-  | None -> None
-  | Some (lambda, cycle) ->
-    let lambda =
-      match objective with Minimize -> lambda | Maximize -> Ratio.neg lambda
-    in
-    Some { lambda; cycle; components = !components; stats }
+  (* best-so-far as a full report, with the objective sign restored —
+     this is both the happy-path return value and the partial result
+     carried by Deadline_exceeded *)
+  let current_report () =
+    match !best with
+    | None -> None
+    | Some (lambda, cycle) ->
+      let lambda =
+        match objective with Minimize -> lambda | Maximize -> Ratio.neg lambda
+      in
+      Some { lambda; cycle; components = !components; stats = !stats }
+  in
+  (try
+     List.iter
+       (fun nodes ->
+         (match budget with Some b -> Budget.check b | None -> ());
+         let sub, _, arc_of_sub = Digraph.induced g_min nodes in
+         let sub_stats = Stats.create () in
+         let lambda, cycle = run ~stats:sub_stats ?budget sub in
+         incr components;
+         stats := Stats.merge !stats sub_stats;
+         let cycle = List.map (fun a -> arc_of_sub.(a)) cycle in
+         match !best with
+         | Some (bl, _) when Ratio.leq bl lambda -> ()
+         | _ -> best := Some (lambda, cycle))
+       (Scc.nontrivial_components g_min scc)
+   with Budget.Exceeded _ ->
+     raise (Deadline_exceeded { partial = current_report () }));
+  current_report ()
 
 let minimum_cycle_mean ?(algorithm = Registry.Howard) g =
   solve ~objective:Minimize ~problem:Cycle_mean ~algorithm g

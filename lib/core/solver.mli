@@ -19,13 +19,33 @@ type report = {
   stats : Stats.t;   (** operation counts accumulated over components *)
 }
 
+val preflight : problem:problem -> Digraph.t -> unit
+(** The well-posedness checks of {!solve}, exposed for front-ends
+    (such as the batch engine) that drive the per-component loop
+    themselves.
+    @raise Invalid_argument under the conditions documented on
+    {!solve}. *)
+
+exception Deadline_exceeded of { partial : report option }
+(** Raised by {!solve} when the supplied budget runs out: [partial] is
+    the best optimum over the components solved so far (an upper bound
+    on the true optimum for minimization, lower for maximization), or
+    [None] if no component completed. *)
+
 val solve :
   ?objective:objective ->
   ?problem:problem ->
+  ?budget:Budget.t ->
   algorithm:Registry.algorithm ->
   Digraph.t ->
   report option
 (** [None] iff the graph is acyclic (no cycle to optimize).
+
+    [budget] bounds the work: the clock is checked before every
+    component and budget-supporting algorithms
+    ({!Registry.supports_budget}) tick it mid-solve; exhaustion raises
+    {!Deadline_exceeded} carrying the partial result.
+
     @raise Invalid_argument for [Cycle_ratio] if some cycle has zero
     total transit time (the ratio is then ill-defined), or when the
     weight magnitudes are so large that the exact native-int rational

@@ -37,6 +37,12 @@ let add acc x =
   acc.level <- max acc.level x.level;
   Heap_stats.add acc.heap x.heap
 
+let merge a b =
+  let t = create () in
+  add t a;
+  add t b;
+  t
+
 let pp ppf t =
   Format.fprintf ppf
     "iter=%d relax=%d arcs=%d cycles=%d oracle=%d level=%d heap:[%a]"

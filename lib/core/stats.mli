@@ -26,4 +26,11 @@ val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc]; [level] accumulates by
     [max]. *)
 
+val merge : t -> t -> t
+(** Functional combination of two counter records into a fresh one
+    ([level] by [max], everything else by sum); the arguments are left
+    untouched.  This is the only safe way to combine counters produced
+    on different domains: each solve gets its own [Stats.t] and the
+    join merges — counter records are never shared across domains. *)
+
 val pp : Format.formatter -> t -> unit

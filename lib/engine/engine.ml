@@ -1,0 +1,438 @@
+type cache_entry = {
+  e_lambda : Ratio.t;
+  e_cycle : int list;
+  e_components : int;
+  e_algorithm : Registry.algorithm;
+}
+
+type outcome =
+  | Solved of {
+      lambda : Ratio.t;
+      cycle : int list;
+      components : int;
+      algorithm : Registry.algorithm;
+      cached : bool;
+      fallbacks : int;
+      certified : bool;
+    }
+  | Acyclic
+  | Timeout of { partial : Ratio.t option; attempted : string list }
+  | Rejected of string
+
+type response = {
+  id : int;
+  path : string;
+  outcome : outcome;
+  wall_ms : float;
+}
+
+type t = {
+  exec : Executor.t;
+  cache : (Request.key, cache_entry) Lru.t;
+  telemetry : Telemetry.t; (* engine lifetime; coordinator-only access *)
+  now : unit -> float;
+}
+
+let create ?(jobs = 1) ?(cache_size = 256) ?(now = Unix.gettimeofday) () =
+  {
+    exec = Executor.create ~jobs;
+    cache = Lru.create ~capacity:cache_size;
+    telemetry = Telemetry.create ();
+    now;
+  }
+
+let jobs t = Executor.jobs t.exec
+
+let telemetry t = t.telemetry
+
+let shutdown t = Executor.shutdown t.exec
+
+(* ------------------------------------------------------------------ *)
+(* deadline / portfolio policy                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The Auto policy: Howard first (the study's overall winner) under an
+   iteration budget generous enough that it virtually always converges
+   (its average iteration count is conjectured O(lg n), see bench E7);
+   on a blowout fall back to HO under a level budget, and finally to
+   Karp2 — exact, Θ(n) space, bounded Θ(nm) work — with no iteration
+   budget, so the portfolio always terminates with an exact optimum
+   unless the request deadline fires first. *)
+let auto_portfolio g =
+  let n = Digraph.n g in
+  [
+    (Registry.Howard, Some (50 + (n / 16)));
+    (Registry.Ho, Some (max 64 (n / 8)));
+    (Registry.Karp2, None);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* fresh solve: per-SCC fan-out, portfolio, deadline                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors Solver.solve exactly (same component order, same
+   tie-breaking) so that engine results are indistinguishable from a
+   fresh [Solver.solve ~algorithm] — a property the test suite checks —
+   while fanning independent SCC subproblems across the executor. *)
+let solve_fresh t tel (req : Request.t) =
+  let spec = req.Request.spec in
+  let deadline_at =
+    Option.map (fun ms -> t.now () +. (ms /. 1000.0)) spec.Request.deadline_ms
+  in
+  match Solver.preflight ~problem:spec.Request.problem req.Request.graph with
+  | exception Invalid_argument msg -> Rejected msg
+  | () ->
+    let g_min =
+      match spec.Request.objective with
+      | Solver.Minimize -> req.Request.graph
+      | Solver.Maximize -> Digraph.negate_weights req.Request.graph
+    in
+    let restore lambda =
+      match spec.Request.objective with
+      | Solver.Minimize -> lambda
+      | Solver.Maximize -> Ratio.neg lambda
+    in
+    let scc = Scc.compute g_min in
+    let comps = Scc.nontrivial_components g_min scc in
+    if comps = [] then Acyclic
+    else begin
+      let attempts =
+        match spec.Request.algorithm with
+        | Request.Fixed a -> [ (a, None) ]
+        | Request.Auto -> auto_portfolio g_min
+      in
+      let run alg =
+        match spec.Request.problem with
+        | Solver.Cycle_mean -> Registry.minimum_cycle_mean alg
+        | Solver.Cycle_ratio -> Registry.minimum_cycle_ratio alg
+      in
+      (* each component task gets its own Stats.t and Budget.t — no
+         mutable state crosses a domain boundary *)
+      let solve_component alg iter_budget nodes =
+        let sub, _, arc_of_sub = Digraph.induced g_min nodes in
+        let sub_stats = Stats.create () in
+        let budget =
+          match (iter_budget, deadline_at) with
+          | None, None -> None
+          | _ ->
+            Some
+              (Budget.create ?max_iterations:iter_budget ~now:t.now
+                 ?deadline_at ())
+        in
+        let lambda, cycle = run alg ~stats:sub_stats ?budget sub in
+        (lambda, List.map (fun a -> arc_of_sub.(a)) cycle, sub_stats)
+      in
+      let attempt (alg, iter_budget) =
+        let results =
+          if List.length comps > 1 && Executor.jobs t.exec > 1 then
+            comps
+            |> List.map (fun nodes ->
+                   Executor.async t.exec (fun () ->
+                       solve_component alg iter_budget nodes))
+            |> List.map (fun fut ->
+                   try Ok (Executor.await t.exec fut)
+                   with Budget.Exceeded c -> Error c)
+          else
+            List.map
+              (fun nodes ->
+                try Ok (solve_component alg iter_budget nodes)
+                with Budget.Exceeded c -> Error c)
+              comps
+        in
+        (* join: fold in component order with Solver.solve's exact
+           tie-breaking; merge the per-domain counters *)
+        let best = ref None in
+        let stats = ref (Stats.create ()) in
+        let ncomp = ref 0 in
+        let err = ref None in
+        List.iter
+          (function
+            | Ok (lambda, cycle, s) ->
+              incr ncomp;
+              stats := Stats.merge !stats s;
+              (match !best with
+              | Some (bl, _) when Ratio.leq bl lambda -> ()
+              | _ -> best := Some (lambda, cycle))
+            | Error c -> (
+              match (!err, c) with
+              | Some Budget.Deadline, _ -> ()
+              | _, Budget.Deadline -> err := Some Budget.Deadline
+              | None, c -> err := Some c
+              | Some _, _ -> ()))
+          results;
+        Telemetry.record_ops tel !stats;
+        match !err with
+        | None -> `Ok (Option.get !best, !ncomp)
+        | Some Budget.Deadline -> `Deadline (Option.map fst !best)
+        | Some Budget.Iterations -> `Blowout
+      in
+      let rec go attempted fallbacks = function
+        | [] ->
+          (* unreachable with the shipped portfolios (the terminal
+             entry is unbudgeted) but a sound answer if one is built *)
+          Timeout { partial = None; attempted = List.rev attempted }
+        | ((alg, _) as step) :: rest -> (
+          let t0 = t.now () in
+          let verdict = attempt step in
+          let wall_ms = (t.now () -. t0) *. 1000.0 in
+          match verdict with
+          | `Ok ((lambda, cycle), ncomp) ->
+            Telemetry.record_run tel (Registry.name alg) ~wall_ms;
+            Solved
+              {
+                lambda = restore lambda;
+                cycle;
+                components = ncomp;
+                algorithm = alg;
+                cached = false;
+                fallbacks;
+                certified = false;
+              }
+          | `Blowout ->
+            Telemetry.record_blowout tel (Registry.name alg) ~wall_ms;
+            go (Registry.name alg :: attempted) (fallbacks + 1) rest
+          | `Deadline partial ->
+            Timeout
+              {
+                partial = Option.map restore partial;
+                attempted = List.rev (Registry.name alg :: attempted);
+              })
+      in
+      go [] 0 attempts
+    end
+
+(* ------------------------------------------------------------------ *)
+(* cache layer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let certify (req : Request.t) lambda cycle =
+  Verify.certify ~objective:req.Request.spec.Request.objective
+    ~problem:req.Request.spec.Request.problem req.Request.graph lambda cycle
+
+let verify_fresh tel req outcome =
+  match outcome with
+  | Solved s when req.Request.spec.Request.verify -> (
+    match certify req s.lambda s.cycle with
+    | Ok () -> Solved { s with certified = true }
+    | Error e ->
+      ignore tel;
+      Rejected ("certificate FAILED: " ^ e))
+  | o -> o
+
+(* A fresh solve plus verification, run inside an executor task.
+   Returns the outcome together with this request's telemetry delta
+   (merged by the coordinator at the join, in request order). *)
+let solve_task t req () =
+  let tel = Telemetry.create () in
+  let t0 = t.now () in
+  let outcome = verify_fresh tel req (solve_fresh t tel req) in
+  tel.Telemetry.wall_ms <- (t.now () -. t0) *. 1000.0;
+  (outcome, tel)
+
+(* Classify a response into the deterministic coordinator counters. *)
+let count_outcome tel = function
+  | Solved s ->
+    tel.Telemetry.solved <- tel.Telemetry.solved + 1;
+    if s.cached then tel.Telemetry.cache_hits <- tel.Telemetry.cache_hits + 1
+    else tel.Telemetry.cache_misses <- tel.Telemetry.cache_misses + 1
+  | Acyclic ->
+    tel.Telemetry.acyclic <- tel.Telemetry.acyclic + 1;
+    tel.Telemetry.cache_misses <- tel.Telemetry.cache_misses + 1
+  | Timeout _ ->
+    tel.Telemetry.timeouts <- tel.Telemetry.timeouts + 1;
+    tel.Telemetry.cache_misses <- tel.Telemetry.cache_misses + 1
+  | Rejected _ ->
+    tel.Telemetry.rejected <- tel.Telemetry.rejected + 1;
+    tel.Telemetry.cache_misses <- tel.Telemetry.cache_misses + 1
+
+let entry_of_solved lambda cycle components algorithm =
+  { e_lambda = lambda; e_cycle = cycle; e_components = components;
+    e_algorithm = algorithm }
+
+(* Serve a request from a cache entry.  With [verify] the entry is
+   re-certified against the request's actual graph — which doubles as
+   a fingerprint-collision guard: a failing certificate falls through
+   to a fresh solve and is counted as a collision, never served. *)
+let from_cache tel (req : Request.t) e =
+  if req.Request.spec.Request.verify then
+    match certify req e.e_lambda e.e_cycle with
+    | Ok () ->
+      Some
+        (Solved
+           {
+             lambda = e.e_lambda;
+             cycle = e.e_cycle;
+             components = e.e_components;
+             algorithm = e.e_algorithm;
+             cached = true;
+             fallbacks = 0;
+             certified = true;
+           })
+    | Error _ ->
+      tel.Telemetry.collisions <- tel.Telemetry.collisions + 1;
+      None
+  else
+    Some
+      (Solved
+         {
+           lambda = e.e_lambda;
+           cycle = e.e_cycle;
+           components = e.e_components;
+           algorithm = e.e_algorithm;
+           cached = true;
+           fallbacks = 0;
+           certified = false;
+         })
+
+let cache_insert t key = function
+  | Solved s when not s.cached ->
+    Lru.add t.cache key
+      (entry_of_solved s.lambda s.cycle s.components s.algorithm)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* single-request front door (the serve path)                          *)
+(* ------------------------------------------------------------------ *)
+
+let solve t (req : Request.t) =
+  let t0 = t.now () in
+  let tel = Telemetry.create () in
+  tel.Telemetry.requests <- 1;
+  let key = Request.key req in
+  let outcome =
+    match Option.bind (Lru.find t.cache key) (from_cache tel req) with
+    | Some o -> o
+    | None ->
+      let outcome, delta = solve_task t req () in
+      Telemetry.add tel delta;
+      cache_insert t key outcome;
+      outcome
+  in
+  count_outcome tel outcome;
+  tel.Telemetry.wall_ms <- (t.now () -. t0) *. 1000.0;
+  Telemetry.add t.telemetry tel;
+  {
+    id = req.Request.id;
+    path = req.Request.spec.Request.path;
+    outcome;
+    wall_ms = (t.now () -. t0) *. 1000.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* batch front door                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Requests are deduplicated by cache key before scheduling: the first
+   occurrence of each key is solved (in parallel across the pool), and
+   every later occurrence is served from that in-flight result.  This
+   makes the hit/miss sequence — and therefore the whole output — a
+   function of the request list alone, independent of --jobs, which is
+   what lets the cram tests diff the jobs=1 and jobs=4 outputs. *)
+let run_batch t (reqs : Request.t list) =
+  let pending :
+      (Request.key, (outcome * Telemetry.t) Executor.future) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let plan =
+    List.map
+      (fun req ->
+        let key = Request.key req in
+        if Hashtbl.mem pending key then (req, key, `Dup)
+        else
+          match Lru.find t.cache key with
+          | Some e -> (req, key, `Cache e)
+          | None ->
+            let fut = Executor.async t.exec (solve_task t req) in
+            Hashtbl.replace pending key fut;
+            (req, key, `First fut))
+      reqs
+  in
+  (* collect in request order; merge telemetry deltas at the join *)
+  let resolved : (Request.key, outcome) Hashtbl.t = Hashtbl.create 64 in
+  let responses =
+    List.map
+      (fun (req, key, kind) ->
+        let t0 = t.now () in
+        let tel = Telemetry.create () in
+        tel.Telemetry.requests <- 1;
+        let outcome =
+          match kind with
+          | `First fut ->
+            let outcome, delta = Executor.await t.exec fut in
+            Telemetry.add tel delta;
+            cache_insert t key outcome;
+            Hashtbl.replace resolved key outcome;
+            outcome
+          | `Dup -> (
+            (* only a Solved result is mirrored to duplicates: a
+               timeout or rejection is a property of the *first*
+               request (its deadline), not of the key, so later
+               occurrences solve on their own terms *)
+            match Hashtbl.find resolved key with
+            | Solved s -> (
+              match
+                from_cache tel req
+                  (entry_of_solved s.lambda s.cycle s.components s.algorithm)
+              with
+              | Some o -> o
+              | None ->
+                (* verify-on-hit failed: impossible for a genuine
+                   duplicate, but fall back to a fresh solve *)
+                let outcome, delta = solve_task t req () in
+                Telemetry.add tel delta;
+                outcome)
+            | _not_solved ->
+              let outcome, delta = solve_task t req () in
+              Telemetry.add tel delta;
+              cache_insert t key outcome;
+              Hashtbl.replace resolved key outcome;
+              outcome)
+          | `Cache e -> (
+            match from_cache tel req e with
+            | Some o -> o
+            | None ->
+              let outcome, delta = solve_task t req () in
+              Telemetry.add tel delta;
+              cache_insert t key outcome;
+              outcome)
+        in
+        count_outcome tel outcome;
+        Telemetry.add t.telemetry tel;
+        {
+          id = req.Request.id;
+          path = req.Request.spec.Request.path;
+          outcome;
+          wall_ms = (t.now () -. t0) *. 1000.0;
+        })
+      plan
+  in
+  responses
+
+(* ------------------------------------------------------------------ *)
+(* response rendering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let response_line ?(wall = false) r =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (Printf.sprintf "req=%d file=%s" r.id r.path);
+  (match r.outcome with
+  | Solved s ->
+    Buffer.add_string b
+      (Printf.sprintf
+         " status=ok lambda=%s float=%.6f alg=%s components=%d fallbacks=%d \
+          cached=%b"
+         (Ratio.to_string s.lambda)
+         (Ratio.to_float s.lambda)
+         (Registry.name s.algorithm)
+         s.components s.fallbacks s.cached);
+    if s.certified then Buffer.add_string b " certificate=ok"
+  | Acyclic -> Buffer.add_string b " status=acyclic"
+  | Timeout { partial; attempted } ->
+    Buffer.add_string b
+      (Printf.sprintf " status=timeout attempted=%s partial=%s"
+         (String.concat "," attempted)
+         (match partial with Some l -> Ratio.to_string l | None -> "-"))
+  | Rejected msg ->
+    Buffer.add_string b (Printf.sprintf " status=rejected msg=%S" msg));
+  if wall then Buffer.add_string b (Printf.sprintf " ms=%.2f" r.wall_ms);
+  Buffer.contents b

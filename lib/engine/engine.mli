@@ -1,0 +1,79 @@
+(** The batch solve engine: parallel execution over an {!Executor}
+    pool, an LRU result cache keyed by structural {!Fingerprint}s, and
+    a deadline-aware algorithm portfolio for [Auto] requests.
+
+    {b Determinism.}  Engine results are indistinguishable from a fresh
+    [Solver.solve] on the same request: the engine reuses
+    [Solver.preflight], the same SCC enumeration order, and the same
+    first-best tie-breaking.  Batches are deduplicated by cache key at
+    submission and collected in request order, so response lines and
+    cache hit/miss counters are byte-identical across [--jobs]
+    settings (only wall times vary, and {!response_line} omits them by
+    default).
+
+    {b Portfolio.}  [Auto] requests run Howard under an iteration
+    budget, falling back to HO (level budget) and finally Karp2
+    (unbudgeted, so the portfolio always terminates exactly).  A
+    per-request deadline is a shared absolute wall-clock bound across
+    all attempts and SCC subtasks; exceeding it yields [Timeout] with
+    the best partial result over completed components. *)
+
+type cache_entry = {
+  e_lambda : Ratio.t;
+  e_cycle : int list;
+  e_components : int;
+  e_algorithm : Registry.algorithm;
+}
+
+type outcome =
+  | Solved of {
+      lambda : Ratio.t;  (** optimum, in the request's objective sign *)
+      cycle : int list;  (** witness cycle, arc ids of the request graph *)
+      components : int;  (** nontrivial SCCs examined *)
+      algorithm : Registry.algorithm;  (** the algorithm that produced it *)
+      cached : bool;  (** served from the LRU / batch dedup *)
+      fallbacks : int;  (** portfolio steps taken past the first *)
+      certified : bool;  (** [Verify.certify] passed (verify requests) *)
+    }
+  | Acyclic  (** no cycle exists; mirrors [ocr solve] exit 2 *)
+  | Timeout of { partial : Ratio.t option; attempted : string list }
+      (** deadline fired; [partial] is the best bound over completed
+          components, [attempted] the algorithms tried in order *)
+  | Rejected of string  (** preflight or certification failure *)
+
+type response = {
+  id : int;
+  path : string;
+  outcome : outcome;
+  wall_ms : float;
+}
+
+type t
+
+val create : ?jobs:int -> ?cache_size:int -> ?now:(unit -> float) -> unit -> t
+(** [jobs] defaults to 1 (inline, no domains); [cache_size] to 256
+    entries ([<= 0] disables caching); [now] to [Unix.gettimeofday]
+    and is injectable for tests. *)
+
+val jobs : t -> int
+val telemetry : t -> Telemetry.t
+(** Cumulative over the engine's lifetime; read it only from the
+    thread driving {!solve} / {!run_batch}. *)
+
+val solve : t -> Request.t -> response
+(** Serve one request: probe the cache (re-certifying the hit against
+    the request's actual graph when [verify] is set — a failing
+    certificate is counted as a fingerprint collision and re-solved),
+    else solve fresh, fanning nontrivial SCCs across the pool, and
+    insert the result. *)
+
+val run_batch : t -> Request.t list -> response list
+(** Solve a batch: requests are deduplicated by cache key, unique
+    misses run in parallel across the pool, and responses come back in
+    request order.  Duplicates and cache hits report [cached=true]. *)
+
+val response_line : ?wall:bool -> response -> string
+(** One-line rendering, deterministic by default; [~wall:true] appends
+    the (nondeterministic) wall time. *)
+
+val shutdown : t -> unit

@@ -1,0 +1,108 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = { mutable st : 'a state } (* guarded by the pool mutex *)
+
+type t = {
+  mutex : Mutex.t;
+  pending : Condition.t;   (* a task was queued, or the pool is closing *)
+  progress : Condition.t;  (* some future completed *)
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+  jobs : int;
+}
+
+let jobs t = t.jobs
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closing do
+    Condition.wait t.pending t.mutex
+  done;
+  if Queue.is_empty t.queue then (
+    (* closing and drained *)
+    Mutex.unlock t.mutex)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Executor.create: jobs must be >= 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      pending = Condition.create ();
+      progress = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [];
+      jobs;
+    }
+  in
+  (* the coordinating thread is the jobs-th worker: it executes queued
+     tasks while it waits in [await], so only jobs-1 domains are
+     spawned and jobs=1 runs everything inline with no domain at all *)
+  t.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let async t f =
+  let fut = { st = Pending } in
+  let task () =
+    let r =
+      try Done (f ())
+      with e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.mutex;
+    fut.st <- r;
+    Condition.broadcast t.progress;
+    Mutex.unlock t.mutex
+  in
+  Mutex.lock t.mutex;
+  if t.closing then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Executor.async: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.pending;
+  Mutex.unlock t.mutex;
+  fut
+
+let rec await t fut =
+  Mutex.lock t.mutex;
+  match fut.st with
+  | Done v ->
+    Mutex.unlock t.mutex;
+    v
+  | Failed (e, bt) ->
+    Mutex.unlock t.mutex;
+    Printexc.raise_with_backtrace e bt
+  | Pending ->
+    if not (Queue.is_empty t.queue) then begin
+      (* help-first: run queued work instead of blocking, so nested
+         fan-outs (a request spawning per-SCC subtasks) cannot
+         deadlock even with a single thread *)
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      task ();
+      await t fut
+    end
+    else begin
+      Condition.wait t.progress t.mutex;
+      Mutex.unlock t.mutex;
+      await t fut
+    end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closing <- true;
+  Condition.broadcast t.pending;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []

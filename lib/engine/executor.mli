@@ -1,0 +1,33 @@
+(** A work-stealing-style task pool on OCaml 5 domains.
+
+    [create ~jobs] provides [jobs]-way parallelism: [jobs - 1] worker
+    domains plus the coordinating thread itself, which {e helps} — in
+    {!await} it executes queued tasks instead of blocking.  Help-first
+    waiting means nested fan-outs (a batch request that spawns per-SCC
+    subtasks and awaits them from inside a task) cannot deadlock, and
+    [jobs = 1] degenerates to plain inline execution with no domain
+    spawned at all.
+
+    Tasks must not share mutable state: give every task its own
+    {!Stats.t} / {!Budget.t} and merge at the join
+    ({!Stats.merge}). *)
+
+type t
+
+type 'a future
+
+val create : jobs:int -> t
+(** @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+
+val async : t -> (unit -> 'a) -> 'a future
+(** Queue a task.  @raise Invalid_argument after {!shutdown}. *)
+
+val await : t -> 'a future -> 'a
+(** Block until the future resolves, executing queued tasks while
+    waiting.  Re-raises (with its backtrace) any exception the task
+    died with — including {!Budget.Exceeded}. *)
+
+val shutdown : t -> unit
+(** Drain the queue, join the worker domains.  Idempotent. *)

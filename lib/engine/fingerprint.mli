@@ -1,0 +1,20 @@
+(** Canonical structural fingerprint of a graph.
+
+    A 128-bit SplitMix64-based hash over the CSR arrays — node count,
+    arc count, then every arc's (src, dst, weight, transit) in arc-id
+    order — absorbed into two independently seeded 64-bit lanes.  Two
+    graphs that are {!Digraph.equal_structure} always have equal
+    fingerprints; distinct structures collide with probability ≈ 2⁻¹²⁸
+    per pair, which the engine's result cache treats as negligible
+    (and a verify-on-hit request re-certifies against the actual graph
+    anyway, see {!Engine}). *)
+
+type t
+
+val of_graph : Digraph.t -> t
+(** O(m); no allocation beyond the result. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val to_hex : t -> string
+(** 32 lowercase hex digits. *)

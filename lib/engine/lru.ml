@@ -1,0 +1,80 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+  mutex : Mutex.t;
+}
+
+let create ~capacity =
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    mutex = Mutex.create ();
+  }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some nx -> nx.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with
+  | Some h -> h.prev <- Some node
+  | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t k =
+  if t.capacity <= 0 then None
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table k with
+        | None -> None
+        | Some node ->
+          unlink t node;
+          push_front t node;
+          Some node.value)
+
+let add t k v =
+  if t.capacity > 0 then
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.table k with
+        | Some node ->
+          node.value <- v;
+          unlink t node;
+          push_front t node
+        | None ->
+          let node = { key = k; value = v; prev = None; next = None } in
+          Hashtbl.replace t.table k node;
+          push_front t node);
+        while Hashtbl.length t.table > t.capacity do
+          match t.tail with
+          | None -> assert false
+          | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.table lru.key
+        done)
+
+let length t = locked t (fun () -> Hashtbl.length t.table)

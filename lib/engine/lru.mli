@@ -1,0 +1,22 @@
+(** Mutex-protected least-recently-used cache (hash table + intrusive
+    doubly linked recency list; all operations O(1) expected).
+
+    Keys are compared with structural equality.  A [capacity] of zero
+    (or less) disables the cache: {!find} always misses and {!add} is
+    a no-op.  Safe to share across domains — every operation holds the
+    internal mutex — though the engine funnels all cache traffic
+    through its coordinating thread anyway so that hit/miss sequences
+    are deterministic. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Promotes the entry to most-recently-used on a hit. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Inserts (or refreshes) the entry as most-recently-used, evicting
+    least-recently-used entries while over capacity. *)

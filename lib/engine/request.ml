@@ -1,0 +1,144 @@
+type algorithm_choice = Auto | Fixed of Registry.algorithm
+
+let algorithm_choice_name = function
+  | Auto -> "auto"
+  | Fixed a -> Registry.name a
+
+type spec = {
+  path : string;
+  problem : Solver.problem;
+  objective : Solver.objective;
+  algorithm : algorithm_choice;
+  deadline_ms : float option;
+  verify : bool;
+}
+
+let default_spec path =
+  {
+    path;
+    problem = Solver.Cycle_mean;
+    objective = Solver.Minimize;
+    algorithm = Auto;
+    deadline_ms = None;
+    verify = false;
+  }
+
+type t = { id : int; spec : spec; graph : Digraph.t }
+
+let make ~id ~graph spec = { id; spec; graph }
+
+type key = {
+  fp : Fingerprint.t;
+  kproblem : Solver.problem;
+  kobjective : Solver.objective;
+  kalgorithm : algorithm_choice;
+}
+
+let key r =
+  {
+    fp = Fingerprint.of_graph r.graph;
+    kproblem = r.spec.problem;
+    kobjective = r.spec.objective;
+    kalgorithm = r.spec.algorithm;
+  }
+
+let problem_name = function
+  | Solver.Cycle_mean -> "mean"
+  | Solver.Cycle_ratio -> "ratio"
+
+let objective_name = function
+  | Solver.Minimize -> "min"
+  | Solver.Maximize -> "max"
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let parse_kv spec token =
+  match String.index_opt token '=' with
+  | None -> Error (Printf.sprintf "expected key=value, got %S" token)
+  | Some i ->
+    let k = String.sub token 0 i in
+    let v = String.sub token (i + 1) (String.length token - i - 1) in
+    (match (String.lowercase_ascii k, String.lowercase_ascii v) with
+    | ("problem" | "p"), "mean" -> Ok { spec with problem = Solver.Cycle_mean }
+    | ("problem" | "p"), "ratio" ->
+      Ok { spec with problem = Solver.Cycle_ratio }
+    | ("problem" | "p"), _ ->
+      Error (Printf.sprintf "problem must be mean or ratio, got %S" v)
+    | ("objective" | "obj" | "o"), "min" ->
+      Ok { spec with objective = Solver.Minimize }
+    | ("objective" | "obj" | "o"), "max" ->
+      Ok { spec with objective = Solver.Maximize }
+    | ("objective" | "obj" | "o"), _ ->
+      Error (Printf.sprintf "objective must be min or max, got %S" v)
+    | ("algorithm" | "alg" | "a"), "auto" -> Ok { spec with algorithm = Auto }
+    | ("algorithm" | "alg" | "a"), name -> (
+      match Registry.of_name name with
+      | Some a -> Ok { spec with algorithm = Fixed a }
+      | None ->
+        Error
+          (Printf.sprintf "unknown algorithm %S (expected auto or one of: %s)"
+             v
+             (String.concat ", " (List.map Registry.name Registry.all))))
+    | ("deadline-ms" | "deadline"), _ -> (
+      match float_of_string_opt v with
+      | Some ms when ms >= 0.0 -> Ok { spec with deadline_ms = Some ms }
+      | _ -> Error (Printf.sprintf "deadline-ms must be a float >= 0, got %S" v))
+    | "verify", ("true" | "yes" | "1") -> Ok { spec with verify = true }
+    | "verify", ("false" | "no" | "0") -> Ok { spec with verify = false }
+    | "verify", _ ->
+      Error (Printf.sprintf "verify must be true or false, got %S" v)
+    | _ ->
+      Error
+        (Printf.sprintf
+           "unknown key %S (expected problem, objective, algorithm, \
+            deadline-ms or verify)"
+           k))
+
+let parse_spec line =
+  let tokens =
+    String.split_on_char ' ' (String.trim line)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | [] -> Error "empty request line"
+  | path :: rest ->
+    if String.contains path '=' then
+      Error (Printf.sprintf "first token must be the graph file, got %S" path)
+    else
+      List.fold_left
+        (fun acc token ->
+          let* spec = acc in
+          parse_kv spec token)
+        (Ok (default_spec path)) rest
+
+let spec_to_string s =
+  let opts = [] in
+  let opts =
+    if s.verify then "verify=true" :: opts else opts
+  in
+  let opts =
+    match s.deadline_ms with
+    | Some ms -> Printf.sprintf "deadline-ms=%g" ms :: opts
+    | None -> opts
+  in
+  let opts =
+    match s.algorithm with
+    | Auto -> opts
+    | Fixed a -> Printf.sprintf "algorithm=%s" (Registry.name a) :: opts
+  in
+  let opts =
+    match s.objective with
+    | Solver.Minimize -> opts
+    | Solver.Maximize -> "objective=max" :: opts
+  in
+  let opts =
+    match s.problem with
+    | Solver.Cycle_mean -> opts
+    | Solver.Cycle_ratio -> "problem=ratio" :: opts
+  in
+  String.concat " " (s.path :: opts)

@@ -1,0 +1,58 @@
+(** The engine's request model.
+
+    A request is a graph plus a problem selection — cycle mean or
+    cost-to-time ratio, minimize or maximize, a fixed algorithm or
+    [Auto] (the deadline/portfolio policy of {!Engine}) — an optional
+    per-request deadline, and a verify flag.
+
+    The textual form, one request per line (used by [ocr batch] files
+    and the [ocr serve] protocol), is
+
+    {v <graph-file> [key=value ...] v}
+
+    with keys [problem=mean|ratio], [objective=min|max],
+    [algorithm=auto|<name>], [deadline-ms=<float>],
+    [verify=true|false]; omitted keys default to
+    [problem=mean objective=min algorithm=auto verify=false] and no
+    deadline.  Blank lines and [#] comments are the caller's concern. *)
+
+type algorithm_choice = Auto | Fixed of Registry.algorithm
+
+val algorithm_choice_name : algorithm_choice -> string
+
+type spec = {
+  path : string;  (** graph file, or a label for in-memory requests *)
+  problem : Solver.problem;
+  objective : Solver.objective;
+  algorithm : algorithm_choice;
+  deadline_ms : float option;
+  verify : bool;
+}
+
+val default_spec : string -> spec
+
+val parse_spec : string -> (spec, string) result
+(** Parse one request line (without any leading command word). *)
+
+val spec_to_string : spec -> string
+(** Round-trips through {!parse_spec}; omits defaulted keys. *)
+
+type t = { id : int; spec : spec; graph : Digraph.t }
+
+val make : id:int -> graph:Digraph.t -> spec -> t
+
+type key = {
+  fp : Fingerprint.t;
+  kproblem : Solver.problem;
+  kobjective : Solver.objective;
+  kalgorithm : algorithm_choice;
+}
+(** Cache identity: structural fingerprint × problem × objective ×
+    algorithm choice.  The deadline and verify flag are deliberately
+    excluded — a cached result is served regardless of deadline, and
+    verification is re-run per request. *)
+
+val key : t -> key
+
+val problem_name : Solver.problem -> string
+val objective_name : Solver.objective -> string

@@ -1,0 +1,168 @@
+type alg_counters = {
+  mutable runs : int;           (* successful solves attributed to the alg *)
+  mutable blowouts : int;       (* iteration-budget escapes *)
+  mutable alg_wall_ms : float;  (* wall time inside the algorithm attempts *)
+}
+
+type t = {
+  mutable requests : int;
+  mutable solved : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable acyclic : int;
+  mutable timeouts : int;
+  mutable rejected : int;
+  mutable fallbacks : int;      (* portfolio steps taken past the first *)
+  mutable collisions : int;     (* cache hits invalidated by verification *)
+  mutable wall_ms : float;      (* end-to-end request wall time *)
+  per_alg : (string, alg_counters) Hashtbl.t;
+  ops : Stats.t;                (* merged per-domain operation counters *)
+}
+
+let create () =
+  {
+    requests = 0;
+    solved = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    acyclic = 0;
+    timeouts = 0;
+    rejected = 0;
+    fallbacks = 0;
+    collisions = 0;
+    wall_ms = 0.0;
+    per_alg = Hashtbl.create 8;
+    ops = Stats.create ();
+  }
+
+let alg_cell t name =
+  match Hashtbl.find_opt t.per_alg name with
+  | Some c -> c
+  | None ->
+    let c = { runs = 0; blowouts = 0; alg_wall_ms = 0.0 } in
+    Hashtbl.replace t.per_alg name c;
+    c
+
+let record_run t name ~wall_ms =
+  let c = alg_cell t name in
+  c.runs <- c.runs + 1;
+  c.alg_wall_ms <- c.alg_wall_ms +. wall_ms
+
+let record_blowout t name ~wall_ms =
+  let c = alg_cell t name in
+  c.blowouts <- c.blowouts + 1;
+  c.alg_wall_ms <- c.alg_wall_ms +. wall_ms;
+  t.fallbacks <- t.fallbacks + 1
+
+let record_ops t stats = Stats.add t.ops stats
+
+let add acc x =
+  acc.requests <- acc.requests + x.requests;
+  acc.solved <- acc.solved + x.solved;
+  acc.cache_hits <- acc.cache_hits + x.cache_hits;
+  acc.cache_misses <- acc.cache_misses + x.cache_misses;
+  acc.acyclic <- acc.acyclic + x.acyclic;
+  acc.timeouts <- acc.timeouts + x.timeouts;
+  acc.rejected <- acc.rejected + x.rejected;
+  acc.fallbacks <- acc.fallbacks + x.fallbacks;
+  acc.collisions <- acc.collisions + x.collisions;
+  acc.wall_ms <- acc.wall_ms +. x.wall_ms;
+  Hashtbl.iter
+    (fun name c ->
+      let a = alg_cell acc name in
+      a.runs <- a.runs + c.runs;
+      a.blowouts <- a.blowouts + c.blowouts;
+      a.alg_wall_ms <- a.alg_wall_ms +. c.alg_wall_ms)
+    x.per_alg;
+  Stats.add acc.ops x.ops
+
+let merge a b =
+  let t = create () in
+  add t a;
+  add t b;
+  t
+
+let hit_rate t =
+  if t.requests = 0 then 0.0
+  else float_of_int t.cache_hits /. float_of_int t.requests
+
+let sorted_algs t =
+  Hashtbl.fold (fun name c acc -> (name, c) :: acc) t.per_alg []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Deterministic counters only — no wall times — so batch summaries are
+   byte-identical across --jobs settings. *)
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "requests=%d solved=%d acyclic=%d timeouts=%d rejected=%d@,"
+    t.requests t.solved t.acyclic t.timeouts t.rejected;
+  Format.fprintf ppf
+    "cache: hits=%d misses=%d collisions=%d hit-rate=%.2f@," t.cache_hits
+    t.cache_misses t.collisions (hit_rate t);
+  Format.fprintf ppf "portfolio: fallbacks=%d" t.fallbacks;
+  List.iter
+    (fun (name, c) ->
+      Format.fprintf ppf "@,alg %s: runs=%d blowouts=%d" name c.runs
+        c.blowouts)
+    (sorted_algs t)
+
+let to_csv t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "metric,value\n";
+  let i k v = Buffer.add_string b (Printf.sprintf "%s,%d\n" k v) in
+  let f k v = Buffer.add_string b (Printf.sprintf "%s,%.3f\n" k v) in
+  i "requests" t.requests;
+  i "solved" t.solved;
+  i "cache_hits" t.cache_hits;
+  i "cache_misses" t.cache_misses;
+  i "cache_collisions" t.collisions;
+  i "acyclic" t.acyclic;
+  i "timeouts" t.timeouts;
+  i "rejected" t.rejected;
+  i "fallbacks" t.fallbacks;
+  f "wall_ms" t.wall_ms;
+  i "ops_iterations" t.ops.Stats.iterations;
+  i "ops_relaxations" t.ops.Stats.relaxations;
+  i "ops_arcs_visited" t.ops.Stats.arcs_visited;
+  i "ops_cycles_examined" t.ops.Stats.cycles_examined;
+  List.iter
+    (fun (name, c) ->
+      i (Printf.sprintf "alg_%s_runs" name) c.runs;
+      i (Printf.sprintf "alg_%s_blowouts" name) c.blowouts;
+      f (Printf.sprintf "alg_%s_wall_ms" name) c.alg_wall_ms)
+    (sorted_algs t);
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{";
+  let first = ref true in
+  let field k v =
+    if not !first then Buffer.add_string b ", ";
+    first := false;
+    Buffer.add_string b (Printf.sprintf "%S: %s" k v)
+  in
+  let i k v = field k (string_of_int v) in
+  let f k v = field k (Printf.sprintf "%.3f" v) in
+  i "requests" t.requests;
+  i "solved" t.solved;
+  i "cache_hits" t.cache_hits;
+  i "cache_misses" t.cache_misses;
+  i "cache_collisions" t.collisions;
+  i "acyclic" t.acyclic;
+  i "timeouts" t.timeouts;
+  i "rejected" t.rejected;
+  i "fallbacks" t.fallbacks;
+  f "wall_ms" t.wall_ms;
+  field "algorithms"
+    (let parts =
+       List.map
+         (fun (name, c) ->
+           Printf.sprintf "{\"name\": %S, \"runs\": %d, \"blowouts\": %d, \
+                           \"wall_ms\": %.3f}"
+             name c.runs c.blowouts c.alg_wall_ms)
+         (sorted_algs t)
+     in
+     "[" ^ String.concat ", " parts ^ "]");
+  Buffer.add_string b "}";
+  Buffer.contents b

@@ -1,0 +1,55 @@
+(** Engine telemetry: requests served, cache behavior, per-algorithm
+    attempt counts and wall time, portfolio fallbacks, and the merged
+    solver operation counters.
+
+    Following the per-domain-instances rule, telemetry records are
+    never shared across domains: each solve task produces its own
+    delta record, and the coordinating thread combines deltas with
+    {!add} (or {!merge}) at the join — in request-id order, so every
+    counter is deterministic regardless of the [--jobs] setting.  Wall
+    times are the only nondeterministic fields and are deliberately
+    excluded from {!pp_summary} (they do appear in {!to_csv} /
+    {!to_json}). *)
+
+type alg_counters = {
+  mutable runs : int;
+  mutable blowouts : int;
+  mutable alg_wall_ms : float;
+}
+
+type t = {
+  mutable requests : int;
+  mutable solved : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable acyclic : int;
+  mutable timeouts : int;
+  mutable rejected : int;
+  mutable fallbacks : int;
+  mutable collisions : int;
+  mutable wall_ms : float;
+  per_alg : (string, alg_counters) Hashtbl.t;
+  ops : Stats.t;
+}
+
+val create : unit -> t
+val record_run : t -> string -> wall_ms:float -> unit
+val record_blowout : t -> string -> wall_ms:float -> unit
+(** Also counts a portfolio fallback. *)
+
+val record_ops : t -> Stats.t -> unit
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val merge : t -> t -> t
+(** Functional combination into a fresh record. *)
+
+val hit_rate : t -> float
+(** [cache_hits / requests]; 0 on an empty record. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Deterministic counters only (no wall times), one [key=value] group
+    per line. *)
+
+val to_csv : t -> string
+val to_json : t -> string

@@ -5,11 +5,17 @@
 let den1 _ = 1
 
 let all_mean =
-  List.map (fun a -> (Registry.display_name a, Registry.minimum_cycle_mean a)) Registry.all
+  List.map
+    (fun a ->
+      ( Registry.display_name a,
+        fun ?stats g -> Registry.minimum_cycle_mean a ?stats g ))
+    Registry.all
 
 let all_ratio =
   List.map
-    (fun a -> (Registry.display_name a, Registry.minimum_cycle_ratio a))
+    (fun a ->
+      ( Registry.display_name a,
+        fun ?stats g -> Registry.minimum_cycle_ratio a ?stats g ))
     Registry.all
 
 (* -------------------- fixtures with known answers ------------------ *)

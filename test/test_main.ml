@@ -17,5 +17,6 @@ let () =
       ("solver", Test_solver.suite);
       ("verify", Test_verify.suite);
       ("generators", Test_gen.suite);
+      ("engine", Test_engine.suite);
       ("applications", Test_apps.suite);
     ]
