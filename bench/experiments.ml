@@ -672,6 +672,146 @@ let e11 cfg =
         "identical" ]
     (List.rev !rows)
 
+(* ------------------------------------------------------------------ *)
+(* E12: perf probes for the kernel rewrite — Howard kernel throughput, *)
+(* one-pass SCC partition vs repeated induced scans, parallel per-SCC  *)
+(* solving.  --bench-json FILE additionally writes the numbers in      *)
+(* machine-readable form (BENCH_pr2.json).                             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_json_path : string option ref = ref None
+
+let e12 _cfg =
+  (* a) Howard kernel ns/op per family, scratch reused across reps *)
+  let scratch = Howard.create_scratch () in
+  let kernel =
+    List.map
+      (fun (family, g) ->
+        let m = Digraph.m g in
+        let ms =
+          Timing.time_ms ~reps:5 (fun () ->
+              ignore (Howard.minimum_cycle_mean ~scratch g))
+        in
+        (family, Digraph.n g, m, ms, ms *. 1e6 /. float_of_int m))
+      [
+        ("sprand", instance ~n:1024 ~density:3.0 ~seed:1);
+        ("ring", Families.ring 4096);
+        ("long_critical", Families.long_critical 512);
+      ]
+  in
+  Tables.print
+    ~title:
+      "E12a: Howard kernel (zero-allocation steady state, scratch reused \
+       across solves)"
+    ~header:[ "family"; "n"; "m"; "ms/solve"; "ns/arc" ]
+    (List.map
+       (fun (family, n, m, ms, ns) ->
+         [
+           family; string_of_int n; string_of_int m; Tables.fmt_ms ms;
+           Printf.sprintf "%.0f" ns;
+         ])
+       kernel);
+  (* b) one O(n+m) partition sweep vs the per-component induced scans
+     it replaced, on the many-SCC stress family *)
+  let components = 64 and size = 96 in
+  let gp = Families.many_scc ~components ~size () in
+  let scc = Scc.compute gp in
+  let one_pass_ms =
+    Timing.time_ms ~reps:5 (fun () -> ignore (Scc.partition gp scc))
+  in
+  let induced_ms =
+    Timing.time_ms ~reps:5 (fun () ->
+        List.iter
+          (fun members ->
+            ignore (Digraph.induced gp (List.sort compare members)))
+          (Scc.nontrivial_components gp scc))
+  in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E12b: SCC subproblem extraction on many_scc (%d components x %d \
+          nodes)" components size)
+    ~header:[ "method"; "ms"; "speedup" ]
+    [
+      [ "per-component induced"; Tables.fmt_ms induced_ms; "1.00x" ];
+      [
+        "one-pass partition"; Tables.fmt_ms one_pass_ms;
+        Printf.sprintf "%.2fx" (induced_ms /. one_pass_ms);
+      ];
+    ];
+  (* c) parallel per-SCC solving: wall time across --jobs, with the
+     determinism guarantee checked on every run *)
+  let base = Option.get (Solver.minimum_cycle_mean ~jobs:1 gp) in
+  let parallel =
+    List.map
+      (fun jobs ->
+        let ms =
+          Timing.time_ms ~reps:3 (fun () ->
+              ignore (Solver.minimum_cycle_mean ~jobs gp))
+        in
+        let r = Option.get (Solver.minimum_cycle_mean ~jobs gp) in
+        let identical =
+          Ratio.equal r.Solver.lambda base.Solver.lambda
+          && r.Solver.cycle = base.Solver.cycle
+          && r.Solver.stats = base.Solver.stats
+        in
+        (jobs, ms, identical))
+      [ 1; 2; 4; 8 ]
+  in
+  let serial_ms = match parallel with (_, ms, _) :: _ -> ms | [] -> 0.0 in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E12c: Solver.solve ~jobs on many_scc (%d components; identical = \
+          report bit-equal to jobs=1; host has %d core(s))"
+         components
+         (Domain.recommended_domain_count ()))
+    ~header:[ "jobs"; "ms"; "speedup"; "identical" ]
+    (List.map
+       (fun (jobs, ms, identical) ->
+         [
+           string_of_int jobs; Tables.fmt_ms ms;
+           Printf.sprintf "%.2fx" (serial_ms /. ms);
+           (if identical then "yes" else "NO");
+         ])
+       parallel);
+  match !bench_json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    let out fmt = Printf.fprintf oc fmt in
+    out "{\n  \"experiment\": \"E12\",\n";
+    out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+    out "  \"howard_kernel\": [\n";
+    List.iteri
+      (fun i (family, n, m, ms, ns) ->
+        out
+          "    {\"family\": %S, \"n\": %d, \"m\": %d, \"ms_per_solve\": \
+           %.4f, \"ns_per_arc\": %.1f}%s\n"
+          family n m ms ns
+          (if i < List.length kernel - 1 then "," else ""))
+      kernel;
+    out "  ],\n";
+    out
+      "  \"scc_partition\": {\"graph\": \"many_scc %dx%d\", \"n\": %d, \
+       \"m\": %d, \"one_pass_ms\": %.4f, \"induced_scan_ms\": %.4f, \
+       \"speedup\": %.2f},\n"
+      components size (Digraph.n gp) (Digraph.m gp) one_pass_ms induced_ms
+      (induced_ms /. one_pass_ms);
+    out "  \"parallel_solve\": [\n";
+    List.iteri
+      (fun i (jobs, ms, identical) ->
+        out
+          "    {\"jobs\": %d, \"ms\": %.4f, \"speedup\": %.2f, \
+           \"identical\": %b}%s\n"
+          jobs ms (serial_ms /. ms) identical
+          (if i < List.length parallel - 1 then "," else ""))
+      parallel;
+    out "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let all : (string * (config -> unit)) list =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
-    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11) ]
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12) ]

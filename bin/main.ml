@@ -56,6 +56,18 @@ let output_arg =
     & opt (some string) None
     & info [ "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker parallelism: N-1 domains plus the driving thread.")
+
+let check_jobs jobs =
+  if jobs < 1 then begin
+    prerr_endline "ocr: --jobs must be >= 1";
+    exit 1
+  end
+
 (* .gr files use the DIMACS shortest-path format; anything else the
    native p/a format *)
 let load_graph path =
@@ -155,7 +167,8 @@ let solve_cmd =
              timeout line (and the best partial bound, if any).")
   in
   let run file algorithm objective problem verify show_stats show_cycle
-      deadline_ms =
+      deadline_ms jobs =
+    check_jobs jobs;
     let g = load_graph file in
     let budget =
       Option.map
@@ -165,7 +178,7 @@ let solve_cmd =
             ())
         deadline_ms
     in
-    match Solver.solve ~objective ~problem ?budget ~algorithm g with
+    match Solver.solve ~objective ~problem ?budget ~jobs ~algorithm g with
     | exception Solver.Deadline_exceeded { partial } ->
       (match partial with
       | None -> print_endline "timeout: deadline exceeded"
@@ -202,7 +215,7 @@ let solve_cmd =
        ~doc:"Compute the optimum cycle mean or cost-to-time ratio of a graph.")
     Term.(
       const run $ graph_file_arg $ algorithm_arg $ objective_arg $ problem_arg
-      $ verify $ show_stats $ show_cycle $ deadline_ms)
+      $ verify $ show_stats $ show_cycle $ deadline_ms $ jobs_arg)
 
 (* ----------------------------------------------------------------- *)
 (* info                                                               *)
@@ -267,12 +280,6 @@ let critical_cmd =
 (* batch / serve (the ocr_engine front-ends)                          *)
 (* ----------------------------------------------------------------- *)
 
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:"Worker parallelism: N-1 domains plus the driving thread.")
-
 let cache_size_arg =
   Arg.(
     value & opt int 256
@@ -284,12 +291,6 @@ let wall_arg =
     value & flag
     & info [ "wall" ]
         ~doc:"Append per-request wall times (nondeterministic) to responses.")
-
-let check_jobs jobs =
-  if jobs < 1 then begin
-    prerr_endline "ocr: --jobs must be >= 1";
-    exit 1
-  end
 
 let print_telemetry_summary tel =
   let s = Format.asprintf "@[<v>%a@]" Telemetry.pp_summary tel in

@@ -5,7 +5,7 @@ exception Exceeded of cause
 let cause_name = function Iterations -> "iterations" | Deadline -> "deadline"
 
 type t = {
-  mutable remaining : int; (* max_int when unbounded *)
+  remaining : int Atomic.t option; (* None when unbounded *)
   now : (unit -> float) option;
   deadline_at : float;
 }
@@ -16,7 +16,7 @@ let create ?max_iterations ?now ?deadline_at () =
     invalid_arg "Budget.create: a deadline requires a clock (~now)"
   | _ -> ());
   {
-    remaining = (match max_iterations with Some k -> k | None -> max_int);
+    remaining = Option.map Atomic.make max_iterations;
     now;
     deadline_at = (match deadline_at with Some d -> d | None -> infinity);
   }
@@ -27,6 +27,10 @@ let check t =
   | _ -> ()
 
 let tick t =
-  if t.remaining <= 0 then raise (Exceeded Iterations);
-  if t.remaining < max_int then t.remaining <- t.remaining - 1;
+  (match t.remaining with
+  | Some r ->
+    (* fetch-and-add keeps concurrent ticks from distinct domains exact:
+       exactly [max_iterations] ticks succeed, pool-wide *)
+    if Atomic.fetch_and_add r (-1) <= 0 then raise (Exceeded Iterations)
+  | None -> ());
   check t

@@ -14,9 +14,10 @@
     (e.g. [Unix.gettimeofday]) together with the absolute
     [~deadline_at] in the same time base.
 
-    Budgets are single-domain objects: create one per solve (the
-    parallel engine creates one per SCC subtask), never share one
-    across domains. *)
+    Budgets are domain-safe: the iteration counter is an [Atomic.t], so
+    a single budget may be shared by the per-SCC subtasks of a parallel
+    {!Solver.solve} — exactly [max_iterations] ticks succeed pool-wide,
+    whichever domains perform them. *)
 
 type cause = Iterations | Deadline
 

@@ -1,72 +1,83 @@
 type init = [ `Cheapest_arc | `First_arc | `Random of int ]
 
-(* Policy evaluation: find every cycle of the functional graph
-   u -> dst(pi(u)), returning the one with the smallest exact ratio.
-   O(n) with colour stamps. *)
-let best_policy_cycle ?stats g den pi =
-  let n = Digraph.n g in
-  let color = Array.make n 0 in (* 0 unseen, 1 on current walk, 2 done *)
-  let pos = Array.make n (-1) in
-  let walk = Array.make (n + 1) (-1) in
-  let best = ref None in
-  for start = 0 to n - 1 do
-    if color.(start) = 0 then begin
-      let len = ref 0 in
-      let x = ref start in
-      while color.(!x) = 0 do
-        color.(!x) <- 1;
-        pos.(!x) <- !len;
-        walk.(!len) <- !x;
-        incr len;
-        x := Digraph.dst g pi.(!x)
-      done;
-      if color.(!x) = 1 then begin
-        (* new cycle: walk.(pos(!x)) .. walk.(len-1) *)
-        (match stats with
-        | Some s -> s.Stats.cycles_examined <- s.Stats.cycles_examined + 1
-        | None -> ());
-        let num = ref 0 and d = ref 0 and arcs = ref [] in
-        for i = !len - 1 downto pos.(!x) do
-          let a = pi.(walk.(i)) in
-          num := !num + Digraph.weight g a;
-          d := !d + den a;
-          arcs := a :: !arcs
-        done;
-        if !d <= 0 then
-          invalid_arg "Howard: policy cycle with non-positive denominator \
-                       (zero-transit cycle in the ratio problem?)";
-        let replace =
-          match !best with
-          | None -> true
-          | Some (bn, bd, _, _) -> !num * bd < bn * !d
-        in
-        if replace then best := Some (!num, !d, !arcs, !x)
-      end;
-      (* close the walk *)
-      for i = 0 to !len - 1 do
-        color.(walk.(i)) <- 2
-      done
-    end
-  done;
-  match !best with
-  | Some b -> b
-  | None -> assert false (* every functional graph has a cycle *)
+(* Reusable workspace: every array the steady-state policy iteration
+   touches is preallocated here, so iterations allocate nothing on the
+   minor heap (verified by the kernel's Gc.minor_words test).  One
+   record serves repeated solves — Incremental keeps a single scratch
+   across warm-start re-solves — growing monotonically to the largest
+   instance seen. *)
+type scratch = {
+  mutable cap : int; (* arrays valid for n <= cap *)
+  mutable d : float array;
+  mutable pi : int array;
+  (* policy-reverse adjacency in CSR form, rebuilt by counting sort
+     each iteration: predecessors of v under u -> dst(pi(u)) are
+     rev_nodes.(rev_start.(v) .. rev_start.(v+1) - 1) *)
+  mutable rev_start : int array;  (* n+1 *)
+  mutable rev_cursor : int array; (* n+1, fill cursors for the sort *)
+  mutable rev_nodes : int array;  (* n: each node is one predecessor *)
+  mutable queue : int array;      (* n: BFS buffer (each node enters once) *)
+  mutable visited : bool array;   (* n *)
+  mutable color : int array;      (* n: 0 unseen, 1 on walk, 2 done *)
+  mutable pos : int array;        (* n *)
+  mutable walk : int array;       (* n+1 *)
+  mutable cycle_arcs : int array; (* n: best policy cycle, path order *)
+}
 
-let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ~den ~epsilon g =
+let create_scratch () =
+  {
+    cap = 0;
+    d = [||];
+    pi = [||];
+    rev_start = [||];
+    rev_cursor = [||];
+    rev_nodes = [||];
+    queue = [||];
+    visited = [||];
+    color = [||];
+    pos = [||];
+    walk = [||];
+    cycle_arcs = [||];
+  }
+
+let ensure_scratch s n =
+  if n > s.cap then begin
+    s.cap <- n;
+    s.d <- Array.make n 0.0;
+    s.pi <- Array.make n (-1);
+    s.rev_start <- Array.make (n + 1) 0;
+    s.rev_cursor <- Array.make (n + 1) 0;
+    s.rev_nodes <- Array.make n 0;
+    s.queue <- Array.make n 0;
+    s.visited <- Array.make n false;
+    s.color <- Array.make n 0;
+    s.pos <- Array.make n (-1);
+    s.walk <- Array.make (n + 1) (-1);
+    s.cycle_arcs <- Array.make n (-1)
+  end
+
+let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?scratch ~den
+    ~epsilon g =
   if Digraph.m g = 0 then invalid_arg "Howard: graph has no arcs";
-  let n = Digraph.n g in
+  let n = Digraph.n g and m = Digraph.m g in
+  let s = match scratch with Some s -> s | None -> create_scratch () in
+  ensure_scratch s n;
+  (* unconditional counter updates beat an option match in the hot
+     loop; the dummy costs one allocation per un-instrumented solve *)
+  let st = match stats with Some st -> st | None -> Stats.create () in
+  let d = s.d and pi = s.pi in
   (* initial policy: cheapest out-arc (Figure 1, lines 1-4) by
      default; a caller-supplied warm-start policy overrides [init]
      (the incremental re-solve path); the alternatives ablate how much
      the improved initialization buys (bench E9) *)
-  let d = Array.make n infinity in
-  let pi = Array.make n (-1) in
+  Array.fill d 0 n infinity;
+  Array.fill pi 0 n (-1);
   (match policy with
   | Some p ->
     if Array.length p <> n then invalid_arg "Howard: wrong policy length";
     Array.iteri
       (fun u a ->
-        if a < 0 || a >= Digraph.m g || Digraph.src g a <> u then
+        if a < 0 || a >= m || Digraph.src g a <> u then
           invalid_arg "Howard: invalid warm-start policy";
         pi.(u) <- a;
         d.(u) <- float_of_int (Digraph.weight g a))
@@ -100,10 +111,21 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ~den ~epsilon g =
       state := x;
       x land max_int
     in
+    (* rejection sampling keeps the draw unbiased: a plain [next () mod
+       deg] overweights small residues whenever deg does not divide
+       max_int + 1 *)
+    let draw deg =
+      let lim = max_int - (max_int mod deg) in
+      let rec go () =
+        let x = next () in
+        if x >= lim then go () else x mod deg
+      in
+      go ()
+    in
     for u = 0 to n - 1 do
       let deg = Digraph.out_degree g u in
       if deg > 0 then begin
-        let pick = next () mod deg in
+        let pick = draw deg in
         let i = ref 0 in
         Digraph.iter_out g u (fun a ->
             if !i = pick then begin
@@ -113,96 +135,169 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ~den ~epsilon g =
             incr i)
       end
     done);
-  Array.iter
-    (fun a -> if a < 0 then invalid_arg "Howard: node without out-arc")
-    pi;
+  for u = 0 to n - 1 do
+    if pi.(u) < 0 then invalid_arg "Howard: node without out-arc"
+  done;
   let scale =
-    Digraph.fold_arcs g (fun acc a -> max acc (abs (Digraph.weight g a))) 1
-    |> float_of_int
+    let acc = ref 1 in
+    for a = 0 to m - 1 do
+      let w = abs (Digraph.weight g a) in
+      if w > !acc then acc := w
+    done;
+    float_of_int !acc
   in
   let eps = epsilon *. scale in
-  let rev = Array.make n [] in
-  let visited = Array.make n false in
-  let queue = Queue.create () in
+  (* Policy evaluation (zero-allocation): find every cycle of the
+     functional graph u -> dst(pi(u)) with colour stamps, track the one
+     with the smallest exact ratio in the int refs below, and copy its
+     arcs into [cycle_arcs] — materialized as a list only on return. *)
+  let best_num = ref 0 in
+  let best_den = ref 0 (* 0 = none found yet; real denominators are > 0 *) in
+  let best_start = ref (-1) in
+  let cycle_len = ref 0 in
+  let eval_policy () =
+    Array.fill s.color 0 n 0;
+    best_den := 0;
+    for start = 0 to n - 1 do
+      if s.color.(start) = 0 then begin
+        let len = ref 0 in
+        let x = ref start in
+        while s.color.(!x) = 0 do
+          s.color.(!x) <- 1;
+          s.pos.(!x) <- !len;
+          s.walk.(!len) <- !x;
+          incr len;
+          x := Digraph.dst g pi.(!x)
+        done;
+        if s.color.(!x) = 1 then begin
+          (* new cycle: walk.(pos(!x)) .. walk.(len-1) *)
+          st.Stats.cycles_examined <- st.Stats.cycles_examined + 1;
+          let num = ref 0 and dn = ref 0 in
+          let first = s.pos.(!x) in
+          for i = first to !len - 1 do
+            let a = pi.(s.walk.(i)) in
+            num := !num + Digraph.weight g a;
+            dn := !dn + den a
+          done;
+          if !dn <= 0 then
+            invalid_arg "Howard: policy cycle with non-positive denominator \
+                         (zero-transit cycle in the ratio problem?)";
+          let replace =
+            !best_den = 0 || !num * !best_den < !best_num * !dn
+          in
+          if replace then begin
+            best_num := !num;
+            best_den := !dn;
+            best_start := !x;
+            cycle_len := !len - first;
+            for i = first to !len - 1 do
+              s.cycle_arcs.(i - first) <- pi.(s.walk.(i))
+            done
+          end
+        end;
+        (* close the walk *)
+        for i = 0 to !len - 1 do
+          s.color.(s.walk.(i)) <- 2
+        done
+      end
+    done;
+    assert (!best_den > 0) (* every functional graph has a cycle *)
+  in
   let cap = (8 * n) + 64 in
   let iter = ref 0 in
-  let result = ref None in
-  while !result = None && !iter < cap do
+  let converged = ref false in
+  while (not !converged) && !iter < cap do
     incr iter;
     (match budget with Some b -> Budget.tick b | None -> ());
-    (match stats with
-    | Some s -> s.Stats.iterations <- s.Stats.iterations + 1
-    | None -> ());
-    let num, dn, cycle, s_node = best_policy_cycle ?stats g den pi in
-    let lambda = float_of_int num /. float_of_int dn in
-    (* node distances by reverse BFS from s_node over policy arcs
-       (Figure 1, lines 10-12) *)
-    Array.fill rev 0 n [];
+    st.Stats.iterations <- st.Stats.iterations + 1;
+    eval_policy ();
+    let lambda = float_of_int !best_num /. float_of_int !best_den in
+    (* node distances by reverse BFS from the cycle entry over policy
+       arcs (Figure 1, lines 10-12).  The policy-reverse adjacency is
+       counting-sorted into two preallocated int arrays — no cons
+       cells, no Queue nodes. *)
+    let rev_start = s.rev_start
+    and rev_cursor = s.rev_cursor
+    and rev_nodes = s.rev_nodes in
+    Array.fill rev_start 0 (n + 1) 0;
     for u = 0 to n - 1 do
       let v = Digraph.dst g pi.(u) in
-      rev.(v) <- u :: rev.(v)
+      rev_start.(v + 1) <- rev_start.(v + 1) + 1
     done;
-    Array.fill visited 0 n false;
-    Queue.clear queue;
-    visited.(s_node) <- true;
-    Queue.add s_node queue;
-    while not (Queue.is_empty queue) do
-      let x = Queue.take queue in
-      List.iter
-        (fun u ->
-          if not visited.(u) then begin
-            visited.(u) <- true;
-            let a = pi.(u) in
-            d.(u) <-
-              d.(x) +. float_of_int (Digraph.weight g a)
-              -. (lambda *. float_of_int (den a));
-            Queue.add u queue
-          end)
-        rev.(x)
+    for v = 1 to n do
+      rev_start.(v) <- rev_start.(v) + rev_start.(v - 1)
     done;
-    (* improvement sweep (Figure 1, lines 13-18) *)
+    Array.blit rev_start 0 rev_cursor 0 (n + 1);
+    for u = 0 to n - 1 do
+      let v = Digraph.dst g pi.(u) in
+      rev_nodes.(rev_cursor.(v)) <- u;
+      rev_cursor.(v) <- rev_cursor.(v) + 1
+    done;
+    Array.fill s.visited 0 n false;
+    let queue = s.queue in
+    let head = ref 0 and tail = ref 0 in
+    s.visited.(!best_start) <- true;
+    queue.(!tail) <- !best_start;
+    incr tail;
+    while !head < !tail do
+      let x = queue.(!head) in
+      incr head;
+      for i = rev_start.(x) to rev_start.(x + 1) - 1 do
+        let u = rev_nodes.(i) in
+        if not s.visited.(u) then begin
+          s.visited.(u) <- true;
+          let a = pi.(u) in
+          d.(u) <-
+            d.(x) +. float_of_int (Digraph.weight g a)
+            -. (lambda *. float_of_int (den a));
+          queue.(!tail) <- u;
+          incr tail
+        end
+      done
+    done;
+    (* improvement sweep (Figure 1, lines 13-18) over the raw arc
+       range — a direct loop, so nothing is captured or allocated *)
     let improved = ref false in
-    Digraph.iter_arcs g (fun a ->
-        let u = Digraph.src g a and v = Digraph.dst g a in
-        let cand =
-          d.(v) +. float_of_int (Digraph.weight g a)
-          -. (lambda *. float_of_int (den a))
-        in
-        let delta = d.(u) -. cand in
-        if delta > 0.0 then begin
-          (match stats with
-          | Some s -> s.Stats.relaxations <- s.Stats.relaxations + 1
-          | None -> ());
-          d.(u) <- cand;
-          pi.(u) <- a;
-          if delta > eps then improved := true
-        end);
-    if not !improved then result := Some cycle
+    for a = 0 to m - 1 do
+      let u = Digraph.src g a and v = Digraph.dst g a in
+      let cand =
+        d.(v) +. float_of_int (Digraph.weight g a)
+        -. (lambda *. float_of_int (den a))
+      in
+      let delta = d.(u) -. cand in
+      if delta > 0.0 then begin
+        st.Stats.relaxations <- st.Stats.relaxations + 1;
+        d.(u) <- cand;
+        pi.(u) <- a;
+        if delta > eps then improved := true
+      end
+    done;
+    if not !improved then converged := true
   done;
-  let cycle =
-    match !result with
-    | Some c -> c
-    | None ->
-      (* iteration cap hit: the best policy cycle is still a sound
-         candidate; the exact finisher below corrects any gap *)
-      let _, _, c, _ = best_policy_cycle ?stats g den pi in
-      c
-  in
-  let lambda, witness = Critical.improve_to_optimal ?stats ~den g cycle in
-  (lambda, witness, pi)
+  (* iteration cap hit: the best policy cycle of the current policy is
+     still a sound candidate; the exact finisher corrects any gap.
+     On convergence [cycle_arcs] already holds the cycle evaluated
+     BEFORE the final sweep's sub-epsilon updates, as Figure 1 wants. *)
+  if not !converged then eval_policy ();
+  let cycle = ref [] in
+  for i = !cycle_len - 1 downto 0 do
+    cycle := s.cycle_arcs.(i) :: !cycle
+  done;
+  let lambda, witness = Critical.improve_to_optimal ?stats ~den g !cycle in
+  (lambda, witness, Array.sub pi 0 n)
 
-let minimum_cycle_mean ?stats ?budget ?(epsilon = 1e-9) ?init g =
+let minimum_cycle_mean ?stats ?budget ?(epsilon = 1e-9) ?init ?scratch g =
   let lambda, cycle, _ =
-    solve ?stats ?budget ?init ~den:(fun _ -> 1) ~epsilon g
+    solve ?stats ?budget ?init ?scratch ~den:(fun _ -> 1) ~epsilon g
   in
   (lambda, cycle)
 
-let minimum_cycle_ratio ?stats ?budget ?(epsilon = 1e-9) ?init g =
+let minimum_cycle_ratio ?stats ?budget ?(epsilon = 1e-9) ?init ?scratch g =
   Critical.assert_ratio_well_posed g;
   let lambda, cycle, _ =
-    solve ?stats ?budget ?init ~den:(Digraph.transit g) ~epsilon g
+    solve ?stats ?budget ?init ?scratch ~den:(Digraph.transit g) ~epsilon g
   in
   (lambda, cycle)
 
-let minimum_cycle_mean_warm ?stats ?(epsilon = 1e-9) ?policy g =
-  solve ?stats ?policy ~den:(fun _ -> 1) ~epsilon g
+let minimum_cycle_mean_warm ?stats ?(epsilon = 1e-9) ?policy ?scratch g =
+  solve ?stats ?policy ?scratch ~den:(fun _ -> 1) ~epsilon g

@@ -10,6 +10,12 @@
     out-degrees; the paper adds O(nmα) and O(n²m(w_max−w_min)/ε)), yet
     it is by far the fastest algorithm in the study.
 
+    The steady-state loop is a zero-allocation kernel: the
+    policy-reverse adjacency is counting-sorted into preallocated CSR
+    int arrays, the backward BFS runs over an int-array buffer, and the
+    candidate cycle lives in reusable scratch — lists are materialized
+    only on return (see docs/PERF.md for the scratch layout).
+
     The iteration runs in floating point exactly as published; on
     convergence the best policy cycle is handed to
     {!Critical.improve_to_optimal}, so the returned value is the exact
@@ -22,11 +28,22 @@
 type init = [ `Cheapest_arc | `First_arc | `Random of int ]
 (** Initial policy choice: the improved initialization of Figure 1
     (cheapest out-arc, the default), the naive first-out-arc policy, or
-    a seeded random policy — ablated in bench E9. *)
+    a seeded random policy (unbiased per-node arc draw) — ablated in
+    bench E9. *)
+
+type scratch
+(** The kernel's preallocated workspace.  Passing the same scratch to
+    repeated solves (the warm-start/incremental path, or any solve
+    loop) skips re-allocating the per-node arrays; it grows
+    monotonically to the largest instance seen.  A scratch must not be
+    shared between concurrently running solves (one per domain). *)
+
+val create_scratch : unit -> scratch
+(** An empty workspace; arrays are sized lazily on first use. *)
 
 val minimum_cycle_mean :
   ?stats:Stats.t -> ?budget:Budget.t -> ?epsilon:float -> ?init:init ->
-  Digraph.t -> Ratio.t * int list
+  ?scratch:scratch -> Digraph.t -> Ratio.t * int list
 (** [epsilon] is the improvement threshold of Figure 1 (relative to the
     weight scale; default [1e-9]).  [budget] is ticked once per policy
     iteration; see {!Budget}.
@@ -34,18 +51,19 @@ val minimum_cycle_mean :
 
 val minimum_cycle_ratio :
   ?stats:Stats.t -> ?budget:Budget.t -> ?epsilon:float -> ?init:init ->
-  Digraph.t -> Ratio.t * int list
+  ?scratch:scratch -> Digraph.t -> Ratio.t * int list
 (** Cost-to-time ratio form: policy values use [w − λ·t]. *)
 
 val minimum_cycle_mean_warm :
-  ?stats:Stats.t -> ?epsilon:float -> ?policy:int array -> Digraph.t ->
-  Ratio.t * int list * int array
+  ?stats:Stats.t -> ?epsilon:float -> ?policy:int array ->
+  ?scratch:scratch -> Digraph.t -> Ratio.t * int list * int array
 (** Warm-start entry point for repeated re-solves (the paper's §1.3
     notes the applications "require that they be run many times"): the
     optional [policy] (one out-arc id per node, e.g. the third
     component of a previous call's result) seeds the iteration, which
     typically converges in one or two sweeps after a small weight
     change.  Returns the final policy along with the optimum.  Used by
-    {!Incremental}.
+    {!Incremental}, which also threads one [scratch] through every
+    re-solve so repeat solves allocate no fresh workspace.
     @raise Invalid_argument if [policy] has the wrong length or names
     an arc that does not leave its node. *)

@@ -3,6 +3,7 @@ type t = {
   mutable weights : int array; (* current weights, arc id -> w *)
   mutable policy : int array option;
   mutable dirty : bool; (* weights changed since [graph] was built *)
+  scratch : Howard.scratch; (* kernel workspace, reused across re-solves *)
 }
 
 let create g =
@@ -12,6 +13,7 @@ let create g =
     weights = Array.init (Digraph.m g) (Digraph.weight g);
     policy = None;
     dirty = false;
+    scratch = Howard.create_scratch ();
   }
 
 let refresh t =
@@ -36,7 +38,8 @@ let set_weight t a w =
 let solve ?stats t =
   refresh t;
   let lambda, cycle, policy =
-    Howard.minimum_cycle_mean_warm ?stats ?policy:t.policy t.graph
+    Howard.minimum_cycle_mean_warm ?stats ?policy:t.policy ~scratch:t.scratch
+      t.graph
   in
   t.policy <- Some policy;
   (lambda, cycle)

@@ -45,8 +45,9 @@ let preflight ~problem g =
 
 exception Deadline_exceeded of { partial : report option }
 
-let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ~algorithm g
-    =
+let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ?(jobs = 1)
+    ?pool ~algorithm g =
+  if jobs < 1 then invalid_arg "Solver.solve: jobs must be >= 1";
   preflight ~problem g;
   let g_min =
     match objective with Minimize -> g | Maximize -> Digraph.negate_weights g
@@ -56,10 +57,64 @@ let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ~algorithm g
     | Cycle_mean -> Registry.minimum_cycle_mean algorithm
     | Cycle_ratio -> Registry.minimum_cycle_ratio algorithm
   in
-  let stats = ref (Stats.create ()) in
   let scc = Scc.compute g_min in
+  (* one O(n+m) sweep builds every cyclic-SCC subproblem, replacing the
+     former per-component Digraph.induced scans (O(m · #SCCs)) *)
+  let subs = Scc.partition g_min scc in
+  let solve_sub (sp : Scc.subproblem) =
+    (match budget with Some b -> Budget.check b | None -> ());
+    let sub_stats = Stats.create () in
+    let lambda, cycle = run ~stats:sub_stats ?budget sp.Scc.sub in
+    (lambda, List.map (fun a -> sp.Scc.arc_of_sub.(a)) cycle, sub_stats)
+  in
+  (* Per-component results in component (reverse topological) order;
+     [None] marks a component that did not complete within the budget.
+     Serial and parallel paths fill the same array, so the reduction
+     below is identical for every job count. *)
+  let exceeded = ref false in
+  let results =
+    match pool with
+    | None when jobs = 1 ->
+      let out = Array.make (Array.length subs) None in
+      (try Array.iteri (fun i sp -> out.(i) <- Some (solve_sub sp)) subs
+       with Budget.Exceeded _ -> exceeded := true);
+      out
+    | _ ->
+      let p, owned =
+        match pool with
+        | Some p -> (p, false)
+        | None -> (Executor.create ~jobs, true)
+      in
+      let compute () =
+        subs
+        |> Array.map (fun sp -> Executor.async p (fun () -> solve_sub sp))
+        |> Array.map (fun fut ->
+               match Executor.await p fut with
+               | v -> Some v
+               | exception Budget.Exceeded _ ->
+                 exceeded := true;
+                 None)
+      in
+      if owned then
+        Fun.protect ~finally:(fun () -> Executor.shutdown p) compute
+      else compute ()
+  in
+  (* deterministic reduction: fold completed components in component
+     order, whatever order the domains finished in; ties keep the
+     lower-id component's witness, exactly as the serial loop did *)
+  let stats = ref (Stats.create ()) in
   let best = ref None in
   let components = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (lambda, cycle, sub_stats) -> (
+        incr components;
+        stats := Stats.merge !stats sub_stats;
+        match !best with
+        | Some (bl, _) when Ratio.leq bl lambda -> ()
+        | _ -> best := Some (lambda, cycle)))
+    results;
   (* best-so-far as a full report, with the objective sign restored —
      this is both the happy-path return value and the partial result
      carried by Deadline_exceeded *)
@@ -72,32 +127,17 @@ let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ~algorithm g
       in
       Some { lambda; cycle; components = !components; stats = !stats }
   in
-  (try
-     List.iter
-       (fun nodes ->
-         (match budget with Some b -> Budget.check b | None -> ());
-         let sub, _, arc_of_sub = Digraph.induced g_min nodes in
-         let sub_stats = Stats.create () in
-         let lambda, cycle = run ~stats:sub_stats ?budget sub in
-         incr components;
-         stats := Stats.merge !stats sub_stats;
-         let cycle = List.map (fun a -> arc_of_sub.(a)) cycle in
-         match !best with
-         | Some (bl, _) when Ratio.leq bl lambda -> ()
-         | _ -> best := Some (lambda, cycle))
-       (Scc.nontrivial_components g_min scc)
-   with Budget.Exceeded _ ->
-     raise (Deadline_exceeded { partial = current_report () }));
-  current_report ()
+  if !exceeded then raise (Deadline_exceeded { partial = current_report () })
+  else current_report ()
 
-let minimum_cycle_mean ?(algorithm = Registry.Howard) g =
-  solve ~objective:Minimize ~problem:Cycle_mean ~algorithm g
+let minimum_cycle_mean ?(algorithm = Registry.Howard) ?jobs g =
+  solve ~objective:Minimize ~problem:Cycle_mean ?jobs ~algorithm g
 
-let maximum_cycle_mean ?(algorithm = Registry.Howard) g =
-  solve ~objective:Maximize ~problem:Cycle_mean ~algorithm g
+let maximum_cycle_mean ?(algorithm = Registry.Howard) ?jobs g =
+  solve ~objective:Maximize ~problem:Cycle_mean ?jobs ~algorithm g
 
-let minimum_cycle_ratio ?(algorithm = Registry.Howard) g =
-  solve ~objective:Minimize ~problem:Cycle_ratio ~algorithm g
+let minimum_cycle_ratio ?(algorithm = Registry.Howard) ?jobs g =
+  solve ~objective:Minimize ~problem:Cycle_ratio ?jobs ~algorithm g
 
-let maximum_cycle_ratio ?(algorithm = Registry.Howard) g =
-  solve ~objective:Maximize ~problem:Cycle_ratio ~algorithm g
+let maximum_cycle_ratio ?(algorithm = Registry.Howard) ?jobs g =
+  solve ~objective:Maximize ~problem:Cycle_ratio ?jobs ~algorithm g

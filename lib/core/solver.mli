@@ -28,43 +28,58 @@ val preflight : problem:problem -> Digraph.t -> unit
 
 exception Deadline_exceeded of { partial : report option }
 (** Raised by {!solve} when the supplied budget runs out: [partial] is
-    the best optimum over the components solved so far (an upper bound
+    the best optimum over the components that completed (an upper bound
     on the true optimum for minimization, lower for maximization), or
-    [None] if no component completed. *)
+    [None] if no component completed.  Under [~jobs]/[~pool] the
+    completed set may include components beyond the first failure —
+    every finished component contributes to the bound. *)
 
 val solve :
   ?objective:objective ->
   ?problem:problem ->
   ?budget:Budget.t ->
+  ?jobs:int ->
+  ?pool:Executor.t ->
   algorithm:Registry.algorithm ->
   Digraph.t ->
   report option
 (** [None] iff the graph is acyclic (no cycle to optimize).
 
+    The graph is split into its cyclic strongly connected components by
+    one O(n+m) partition sweep ({!Scc.partition}); with [jobs > 1] (a
+    private pool of [jobs-1] domains plus the calling thread) or an
+    externally managed [pool], independent components solve
+    concurrently.  The reduction is deterministic: per-component
+    results are folded in component order with the serial loop's exact
+    tie-breaking, so the report — λ, witness cycle, merged stats — is
+    bit-identical for every job count.  Default [jobs = 1] runs inline
+    with no domain spawned.
+
     [budget] bounds the work: the clock is checked before every
     component and budget-supporting algorithms
-    ({!Registry.supports_budget}) tick it mid-solve; exhaustion raises
-    {!Deadline_exceeded} carrying the partial result.
+    ({!Registry.supports_budget}) tick it mid-solve (the iteration
+    counter is atomic, so one budget governs the whole pool);
+    exhaustion raises {!Deadline_exceeded} carrying the partial result.
 
     @raise Invalid_argument for [Cycle_ratio] if some cycle has zero
-    total transit time (the ratio is then ill-defined), or when the
+    total transit time (the ratio is then ill-defined), when the
     weight magnitudes are so large that the exact native-int rational
     arithmetic could overflow (roughly [|w| · D² < 2⁵⁹] is required,
     with [D] = node count for means and total transit time for
     ratios — far beyond the paper's [1..10000] weights at any
-    realistic size). *)
+    realistic size), or if [jobs < 1]. *)
 
 (** {1 Convenience wrappers} — default algorithm {!Registry.Howard},
     the study's overall winner. *)
 
 val minimum_cycle_mean :
-  ?algorithm:Registry.algorithm -> Digraph.t -> report option
+  ?algorithm:Registry.algorithm -> ?jobs:int -> Digraph.t -> report option
 
 val maximum_cycle_mean :
-  ?algorithm:Registry.algorithm -> Digraph.t -> report option
+  ?algorithm:Registry.algorithm -> ?jobs:int -> Digraph.t -> report option
 
 val minimum_cycle_ratio :
-  ?algorithm:Registry.algorithm -> Digraph.t -> report option
+  ?algorithm:Registry.algorithm -> ?jobs:int -> Digraph.t -> report option
 
 val maximum_cycle_ratio :
-  ?algorithm:Registry.algorithm -> Digraph.t -> report option
+  ?algorithm:Registry.algorithm -> ?jobs:int -> Digraph.t -> report option

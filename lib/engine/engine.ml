@@ -93,8 +93,11 @@ let solve_fresh t tel (req : Request.t) =
       | Solver.Maximize -> Ratio.neg lambda
     in
     let scc = Scc.compute g_min in
-    let comps = Scc.nontrivial_components g_min scc in
-    if comps = [] then Acyclic
+    (* the one-pass partition replaces per-component Digraph.induced
+       scans; computed once here, the subgraphs are reused by every
+       portfolio attempt instead of being rebuilt per fallback *)
+    let subs = Array.to_list (Scc.partition g_min scc) in
+    if subs = [] then Acyclic
     else begin
       let attempts =
         match spec.Request.algorithm with
@@ -108,8 +111,7 @@ let solve_fresh t tel (req : Request.t) =
       in
       (* each component task gets its own Stats.t and Budget.t — no
          mutable state crosses a domain boundary *)
-      let solve_component alg iter_budget nodes =
-        let sub, _, arc_of_sub = Digraph.induced g_min nodes in
+      let solve_component alg iter_budget (sp : Scc.subproblem) =
         let sub_stats = Stats.create () in
         let budget =
           match (iter_budget, deadline_at) with
@@ -119,25 +121,25 @@ let solve_fresh t tel (req : Request.t) =
               (Budget.create ?max_iterations:iter_budget ~now:t.now
                  ?deadline_at ())
         in
-        let lambda, cycle = run alg ~stats:sub_stats ?budget sub in
-        (lambda, List.map (fun a -> arc_of_sub.(a)) cycle, sub_stats)
+        let lambda, cycle = run alg ~stats:sub_stats ?budget sp.Scc.sub in
+        (lambda, List.map (fun a -> sp.Scc.arc_of_sub.(a)) cycle, sub_stats)
       in
       let attempt (alg, iter_budget) =
         let results =
-          if List.length comps > 1 && Executor.jobs t.exec > 1 then
-            comps
-            |> List.map (fun nodes ->
+          if List.length subs > 1 && Executor.jobs t.exec > 1 then
+            subs
+            |> List.map (fun sp ->
                    Executor.async t.exec (fun () ->
-                       solve_component alg iter_budget nodes))
+                       solve_component alg iter_budget sp))
             |> List.map (fun fut ->
                    try Ok (Executor.await t.exec fut)
                    with Budget.Exceeded c -> Error c)
           else
             List.map
-              (fun nodes ->
-                try Ok (solve_component alg iter_budget nodes)
+              (fun sp ->
+                try Ok (solve_component alg iter_budget sp)
                 with Budget.Exceeded c -> Error c)
-              comps
+              subs
         in
         (* join: fold in component order with Solver.solve's exact
            tie-breaking; merge the per-domain counters *)

@@ -77,6 +77,30 @@ let long_critical ?(chord_weight = 1000) n =
   done;
   Digraph.build b
 
+let many_scc ?(seed = 1) ?(weights = (1, 10000)) ~components ~size () =
+  if components < 1 || size < 1 then
+    invalid_arg "Families.many_scc: need >= 1 components of >= 1 nodes";
+  let rng = Rng.create seed in
+  let wlo, whi = weights in
+  let b = Digraph.create_builder (components * size) in
+  let add u v =
+    ignore (Digraph.add_arc b ~src:u ~dst:v ~weight:(Rng.in_range rng wlo whi) ())
+  in
+  for k = 0 to components - 1 do
+    let base = k * size in
+    (* strongly connected block: a ring plus [size] random chords *)
+    for i = 0 to size - 1 do
+      add (base + i) (base + ((i + 1) mod size))
+    done;
+    for _ = 1 to size do
+      add (base + Rng.int rng size) (base + Rng.int rng size)
+    done;
+    (* a one-way bridge from the previous block keeps the graph weakly
+       connected without merging components *)
+    if k > 0 then add (base - 1) base
+  done;
+  Digraph.build b
+
 let two_cycles ~len1 ~w1 ~len2 ~w2 =
   if len1 < 1 || len2 < 1 then invalid_arg "Families.two_cycles: empty cycle";
   (* node 0 is shared; cycle 1 uses nodes 1..len1-1, cycle 2 the rest *)

@@ -29,6 +29,15 @@ val long_critical : ?chord_weight:int -> int -> Digraph.t
     has length exactly [n], so any method that must {e exhibit} it
     (Karp-table walks, HO's level check) works to depth n. *)
 
+val many_scc :
+  ?seed:int -> ?weights:int * int -> components:int -> size:int -> unit ->
+  Digraph.t
+(** [components] disjoint strongly connected blocks of [size] nodes
+    each (a ring plus [size] random chords, SPRAND-style weights),
+    chained by one-way bridge arcs: exactly [components] cyclic SCCs.
+    The stress instance for per-component solving — partition sweeps,
+    parallel SCC fan-out (bench E12). *)
+
 val two_cycles : len1:int -> w1:int -> len2:int -> w2:int -> Digraph.t
 (** Two disjoint cycles sharing node 0: one of length [len1] with
     every arc weighing [w1], one of length [len2] weighing [w2].  The

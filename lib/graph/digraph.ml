@@ -176,10 +176,83 @@ let induced g nodes =
       end);
   (build b, node_of_sub, Vec.to_array arc_of_sub)
 
+(* One-pass split along a node partition.  For every class [c] with
+   [keep c], the result holds the same (sub, node_of_sub, arc_of_sub)
+   triple [induced g (members c)] would produce — nodes renumbered in
+   increasing original order, arcs in increasing original id order —
+   but the whole family is built in a single O(n + m + count) sweep
+   instead of one O(m) scan per class. *)
+let partition g ~count ~component ~keep =
+  if Array.length component <> g.n then
+    invalid_arg "Digraph.partition: component array has wrong length";
+  (* kept classes get dense slots, in increasing class order *)
+  let slot = Array.make (max count 1) (-1) in
+  let k = ref 0 in
+  for c = 0 to count - 1 do
+    if keep c then begin
+      slot.(c) <- !k;
+      incr k
+    end
+  done;
+  let k = !k in
+  (* node sweep: per-slot sizes and the new id of every kept node *)
+  let sub_n = Array.make (max k 1) 0 in
+  let new_id = Array.make g.n (-1) in
+  for v = 0 to g.n - 1 do
+    let c = component.(v) in
+    if c < 0 || c >= count then
+      invalid_arg "Digraph.partition: component id out of range";
+    let s = slot.(c) in
+    if s >= 0 then begin
+      new_id.(v) <- sub_n.(s);
+      sub_n.(s) <- sub_n.(s) + 1
+    end
+  done;
+  let node_of_sub = Array.init k (fun s -> Array.make sub_n.(s) 0) in
+  for v = 0 to g.n - 1 do
+    if new_id.(v) >= 0 then node_of_sub.(slot.(component.(v))).(new_id.(v)) <- v
+  done;
+  (* arc sweep: count intra-class arcs, then fill in arc-id order *)
+  let sub_m = Array.make (max k 1) 0 in
+  for a = 0 to g.m - 1 do
+    let c = component.(g.arc_src.(a)) in
+    if c = component.(g.arc_dst.(a)) && slot.(c) >= 0 then
+      sub_m.(slot.(c)) <- sub_m.(slot.(c)) + 1
+  done;
+  let mk () = Array.init k (fun s -> Array.make sub_m.(s) 0) in
+  let srcs = mk () and dsts = mk () in
+  let ws = mk () and ts = mk () in
+  let arc_of_sub = mk () in
+  let cursor = Array.make (max k 1) 0 in
+  for a = 0 to g.m - 1 do
+    let u = g.arc_src.(a) and v = g.arc_dst.(a) in
+    let c = component.(u) in
+    if c = component.(v) && slot.(c) >= 0 then begin
+      let s = slot.(c) in
+      let i = cursor.(s) in
+      cursor.(s) <- i + 1;
+      srcs.(s).(i) <- new_id.(u);
+      dsts.(s).(i) <- new_id.(v);
+      ws.(s).(i) <- g.arc_weight.(a);
+      ts.(s).(i) <- g.arc_transit.(a);
+      arc_of_sub.(s).(i) <- a
+    end
+  done;
+  Array.init k (fun s ->
+      let n = sub_n.(s) and m = sub_m.(s) in
+      let arc_src = srcs.(s) and arc_dst = dsts.(s) in
+      let arc_weight = ws.(s) and arc_transit = ts.(s) in
+      let out_start, out_arcs = csr n m (fun a -> arc_src.(a)) in
+      let in_start, in_arcs = csr n m (fun a -> arc_dst.(a)) in
+      ( { n; m; arc_src; arc_dst; arc_weight; arc_transit;
+          out_start; out_arcs; in_start; in_arcs },
+        node_of_sub.(s),
+        arc_of_sub.(s) ))
+
 let arc_between g u v =
-  let found = ref None in
-  iter_out g u (fun a -> if !found = None && g.arc_dst.(a) = v then found := Some a);
-  !found
+  let found = ref (-1) in
+  iter_out g u (fun a -> if !found < 0 && g.arc_dst.(a) = v then found := a);
+  if !found < 0 then None else Some !found
 
 let is_cycle g arcs =
   match arcs with

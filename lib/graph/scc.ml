@@ -88,6 +88,43 @@ let nontrivial_components g scc =
   done;
   !acc
 
+type subproblem = {
+  comp : int;
+  sub : Digraph.t;
+  node_of_sub : int array;
+  arc_of_sub : int array;
+}
+
+let partition ?(nontrivial_only = true) g t =
+  let keep, kept_ids =
+    if not nontrivial_only then
+      ((fun _ -> true), Array.init t.count Fun.id)
+    else begin
+      (* a component is cyclic iff it has >= 2 nodes (strong
+         connectivity forces a cycle) or a self-loop; both facts fall
+         out of one O(n + m) sweep, with no per-component arc scans *)
+      let size = Array.make (max t.count 1) 0 in
+      Array.iter (fun c -> size.(c) <- size.(c) + 1) t.component;
+      let cyclic = Array.make (max t.count 1) false in
+      Digraph.iter_arcs g (fun a ->
+          let u = Digraph.src g a in
+          if u = Digraph.dst g a then cyclic.(t.component.(u)) <- true);
+      let keep c = size.(c) >= 2 || cyclic.(c) in
+      let ids = ref [] in
+      for c = t.count - 1 downto 0 do
+        if keep c then ids := c :: !ids
+      done;
+      (keep, Array.of_list !ids)
+    end
+  in
+  let triples =
+    Digraph.partition g ~count:t.count ~component:t.component ~keep
+  in
+  Array.mapi
+    (fun i (sub, node_of_sub, arc_of_sub) ->
+      { comp = kept_ids.(i); sub; node_of_sub; arc_of_sub })
+    triples
+
 let condensation g t =
   let b = Digraph.create_builder t.count in
   Digraph.iter_arcs g (fun a ->

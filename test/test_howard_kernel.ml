@@ -1,0 +1,83 @@
+(* The zero-allocation claims of the Howard kernel rewrite, checked
+   directly with Gc counters, plus scratch-reuse correctness. *)
+
+(* Two budget-capped runs of the same solve share an identical
+   trajectory prefix, so the difference of their minor-heap usage is
+   exactly (k2 - k1) times the steady-state per-iteration allocation —
+   the per-solve constants (closures, the final exception) cancel. *)
+let test_steady_state_allocation () =
+  let g = Sprand.generate ~seed:3 ~n:2000 ~m:6000 () in
+  let scratch = Howard.create_scratch () in
+  let stats = Stats.create () in
+  ignore (Howard.minimum_cycle_mean ~stats ~init:`First_arc ~scratch g);
+  let total = stats.Stats.iterations in
+  Alcotest.(check bool)
+    (Printf.sprintf "enough iterations to measure (%d)" total)
+    true (total >= 6);
+  let run k =
+    match
+      Howard.minimum_cycle_mean ~init:`First_arc
+        ~budget:(Budget.create ~max_iterations:k ())
+        ~scratch g
+    with
+    | exception Budget.Exceeded _ -> ()
+    | _ -> Alcotest.fail "the capped run should stop early"
+  in
+  let words k =
+    run k;
+    (* second run measures with the scratch warm *)
+    let before = Gc.minor_words () in
+    run k;
+    Gc.minor_words () -. before
+  in
+  let k1 = 2 and k2 = total - 1 in
+  let per_iter = (words k2 -. words k1) /. float_of_int (k2 - k1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state iteration allocates %.1f words (< 64)"
+       per_iter)
+    true (per_iter < 64.0)
+
+(* One scratch across solves of different sizes: it grows monotonically
+   and larger-than-n leftovers from earlier solves must not leak into
+   later answers. *)
+let test_scratch_reuse () =
+  let scratch = Howard.create_scratch () in
+  let check name g =
+    let fresh_l, fresh_c = Howard.minimum_cycle_mean g in
+    let l, c = Howard.minimum_cycle_mean ~scratch g in
+    Helpers.check_ratio (name ^ ": lambda") fresh_l l;
+    Alcotest.(check (list int)) (name ^ ": cycle") fresh_c c
+  in
+  check "large first" (Sprand.generate ~seed:11 ~n:300 ~m:900 ());
+  check "then a tiny ring" (Families.ring 5);
+  check "mid-size" (Sprand.generate ~seed:12 ~n:100 ~m:400 ())
+
+let test_warm_start_with_scratch () =
+  let g = Sprand.generate ~seed:13 ~n:200 ~m:600 () in
+  let scratch = Howard.create_scratch () in
+  let l0, _, policy = Howard.minimum_cycle_mean_warm ~scratch g in
+  let l1, c1, _ = Howard.minimum_cycle_mean_warm ~scratch ~policy g in
+  Helpers.check_ratio "re-solve from the optimal policy" l0 l1;
+  Alcotest.(check bool) "witness is a cycle" true (Digraph.is_cycle g c1)
+
+let qcheck_random_init_agrees =
+  QCheck.Test.make ~name:"howard: random init reaches the same optimum"
+    ~count:60
+    (Helpers.arb_strongly_connected ~max_n:8 ~max_extra:16 ())
+    (fun g ->
+      let expect, _ = Howard.minimum_cycle_mean g in
+      List.for_all
+        (fun seed ->
+          let l, c = Howard.minimum_cycle_mean ~init:(`Random seed) g in
+          Ratio.equal l expect && Digraph.is_cycle g c)
+        [ 0; 1; 42 ])
+
+let suite =
+  [
+    Alcotest.test_case "steady state allocates O(1) words" `Quick
+      test_steady_state_allocation;
+    Alcotest.test_case "scratch reuse across graphs" `Quick test_scratch_reuse;
+    Alcotest.test_case "warm start threads scratch" `Quick
+      test_warm_start_with_scratch;
+  ]
+  @ Helpers.qtests [ qcheck_random_init_agrees ]

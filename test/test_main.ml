@@ -15,6 +15,7 @@ let () =
       ("karp-core", Test_karp_core.suite);
       ("algorithms", Test_algorithms.suite);
       ("solver", Test_solver.suite);
+      ("howard-kernel", Test_howard_kernel.suite);
       ("verify", Test_verify.suite);
       ("generators", Test_gen.suite);
       ("engine", Test_engine.suite);

@@ -123,3 +123,63 @@ let suite =
   suite
   @ [ Alcotest.test_case "condensation" `Quick test_condensation ]
   @ Helpers.qtests [ qcheck_condensation_acyclic ]
+
+(* The one-pass partition must be indistinguishable from the
+   per-component [Digraph.induced] loop it replaced: same subgraphs,
+   same renumbering, same back-maps, in the same component order. *)
+let qcheck_partition_matches_induced =
+  QCheck.Test.make ~name:"scc: partition = per-component induced" ~count:200
+    (Helpers.arb_any_graph ~max_n:12 ~max_m:30 ())
+    (fun g ->
+      let scc = Scc.compute g in
+      let subs = Array.to_list (Scc.partition g scc) in
+      let cyclic =
+        List.filter
+          (fun c -> not (Scc.is_trivial g scc c))
+          (List.init scc.Scc.count Fun.id)
+      in
+      List.length cyclic = List.length subs
+      && List.for_all2
+           (fun c (sp : Scc.subproblem) ->
+             let members = List.sort compare scc.Scc.members.(c) in
+             let sub, node_of_sub, arc_of_sub = Digraph.induced g members in
+             sp.Scc.comp = c
+             && Digraph.equal_structure sp.Scc.sub sub
+             && sp.Scc.node_of_sub = node_of_sub
+             && sp.Scc.arc_of_sub = arc_of_sub)
+           cyclic subs)
+
+let qcheck_partition_covers_graph =
+  QCheck.Test.make
+    ~name:"scc: partition ~nontrivial_only:false covers every node and \
+           intra-component arc"
+    ~count:150
+    (Helpers.arb_any_graph ~max_n:12 ~max_m:30 ())
+    (fun g ->
+      let scc = Scc.compute g in
+      let subs = Scc.partition ~nontrivial_only:false g scc in
+      let intra =
+        Digraph.fold_arcs g
+          (fun acc a ->
+            if
+              scc.Scc.component.(Digraph.src g a)
+              = scc.Scc.component.(Digraph.dst g a)
+            then acc + 1
+            else acc)
+          0
+      in
+      Array.length subs = scc.Scc.count
+      && Array.for_all
+           (fun (sp : Scc.subproblem) ->
+             Array.length sp.Scc.node_of_sub = Digraph.n sp.Scc.sub
+             && Array.length sp.Scc.arc_of_sub = Digraph.m sp.Scc.sub)
+           subs
+      && Array.fold_left (fun acc sp -> acc + Digraph.n sp.Scc.sub) 0 subs
+         = Digraph.n g
+      && Array.fold_left (fun acc sp -> acc + Digraph.m sp.Scc.sub) 0 subs
+         = intra)
+
+let suite =
+  suite
+  @ Helpers.qtests
+      [ qcheck_partition_matches_induced; qcheck_partition_covers_graph ]

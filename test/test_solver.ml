@@ -153,3 +153,73 @@ let test_overflow_guard () =
 
 let suite =
   suite @ [ Alcotest.test_case "overflow guard" `Quick test_overflow_guard ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallel per-SCC solving: same answer for every job count.          *)
+(* ------------------------------------------------------------------ *)
+
+let same_report (a : Solver.report) (b : Solver.report) =
+  Ratio.equal a.Solver.lambda b.Solver.lambda
+  && a.Solver.cycle = b.Solver.cycle
+  && a.Solver.components = b.Solver.components
+  && a.Solver.stats = b.Solver.stats
+
+let qcheck_parallel_determinism =
+  QCheck.Test.make
+    ~name:"solver: jobs in {1,2,8} give bit-identical reports" ~count:25
+    (Helpers.arb_any_graph ~max_n:14 ~max_m:35 ())
+    (fun g ->
+      match
+        ( Solver.solve ~jobs:1 ~algorithm:Registry.Howard g,
+          Solver.solve ~jobs:2 ~algorithm:Registry.Howard g,
+          Solver.solve ~jobs:8 ~algorithm:Registry.Howard g )
+      with
+      | None, None, None -> true
+      | Some a, Some b, Some c -> same_report a b && same_report a c
+      | _ -> false)
+
+let test_many_scc_parallel_identical () =
+  let g = Families.many_scc ~seed:7 ~components:12 ~size:10 () in
+  let base = Solver.minimum_cycle_mean ~jobs:1 g |> Option.get in
+  Alcotest.(check int) "12 cyclic components" 12 base.Solver.components;
+  List.iter
+    (fun jobs ->
+      let r = Solver.minimum_cycle_mean ~jobs g |> Option.get in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d matches jobs=1" jobs)
+        true (same_report base r))
+    [ 2; 3; 8 ]
+
+let test_parallel_partial_report () =
+  (* 8 components need well over 4 Howard iterations in total, so the
+     shared atomic budget must run out mid-fan-out; whatever partial
+     report survives has to be sound *)
+  let g = Families.many_scc ~seed:3 ~components:8 ~size:8 () in
+  let opt = (Solver.minimum_cycle_mean g |> Option.get).Solver.lambda in
+  match
+    Solver.solve ~jobs:4
+      ~budget:(Budget.create ~max_iterations:4 ())
+      ~algorithm:Registry.Howard g
+  with
+  | exception Solver.Deadline_exceeded { partial } -> (
+    match partial with
+    | None -> ()
+    | Some r ->
+      Alcotest.(check bool) "witness is a cycle" true
+        (Digraph.is_cycle g r.Solver.cycle);
+      Helpers.check_ratio "partial lambda is its witness's mean"
+        r.Solver.lambda
+        (Critical.ratio_of_cycle g ~den:(fun _ -> 1) r.Solver.cycle);
+      Alcotest.(check bool) "upper bound on the optimum" true
+        (Ratio.leq opt r.Solver.lambda))
+  | _ -> Alcotest.fail "a 4-iteration budget over 8 components must run out"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "many-SCC family: parallel = serial" `Quick
+        test_many_scc_parallel_identical;
+      Alcotest.test_case "parallel partial report is sound" `Quick
+        test_parallel_partial_report;
+    ]
+  @ Helpers.qtests [ qcheck_parallel_determinism ]
