@@ -811,7 +811,169 @@ let e12 _cfg =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* E13: dynamic sessions — warm incremental re-solve vs cold solve.    *)
+(* a) single-arc weight edits on SPRAND: median session edit+query vs  *)
+(* a cold Solver.solve of the same edited graph.  b) edit locality on  *)
+(* many_scc: the fewer components a round of edits touches, the fewer  *)
+(* the session re-solves.  --bench-json FILE writes the numbers in     *)
+(* machine-readable form (BENCH_pr3.json).                             *)
+(* ------------------------------------------------------------------ *)
+
+let e13 _cfg =
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  (* a) SPRAND single-arc edits: the steady state of an optimization
+     loop — one weight changes, the optimum is re-queried *)
+  let edits = 32 in
+  let sprand =
+    List.map
+      (fun n ->
+        let g = instance ~n ~density:3.0 ~seed:1 in
+        let session = Dyn.create g in
+        ignore (Dyn.query session);
+        let m = Digraph.m g in
+        let warm = Array.make edits 0.0 and cold = Array.make edits 0.0 in
+        (* warm pass: the session absorbs each edit and re-answers.
+           Recorded (arc, weight) pairs drive the identical cold pass
+           below — the two passes run separately so the cold client's
+           per-edit graph rebuilds don't leak GC work into the warm
+           timings (or vice versa). *)
+        let applied = Array.make edits (0, 0) in
+        for i = 0 to edits - 1 do
+          let a = i * 7919 mod m in
+          let w = Dyn.arc_weight session a in
+          let w' = if w > 1 then w - 1 else w + 1 in
+          applied.(i) <- (a, w');
+          let t0 = Unix.gettimeofday () in
+          Dyn.set_weight session a w';
+          ignore (Dyn.query session);
+          warm.(i) <- 1000.0 *. (Unix.gettimeofday () -. t0)
+        done;
+        Dyn.close session;
+        (* cold pass: an immutable graph the client must relabel
+           (map_weights, the cheapest rebuild) before every re-solve *)
+        let cold_g = ref g in
+        for i = 0 to edits - 1 do
+          let a, w' = applied.(i) in
+          let t0 = Unix.gettimeofday () in
+          let prev = !cold_g in
+          cold_g :=
+            Digraph.map_weights prev (fun b ->
+                if b = a then w' else Digraph.weight prev b);
+          ignore (Solver.minimum_cycle_mean !cold_g);
+          cold.(i) <- 1000.0 *. (Unix.gettimeofday () -. t0)
+        done;
+        (n, m, median warm, median cold))
+      [ 1024; 4096 ]
+  in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E13a: dynamic session vs cold solve, %d single-arc weight edits \
+          on SPRAND m/n=3.0 (warm = set_weight + query, cold = relabel + \
+          Solver.solve of the edited graph; medians)"
+         edits)
+    ~header:[ "n"; "m"; "warm ms"; "cold ms"; "speedup" ]
+    (List.map
+       (fun (n, m, wm, cm) ->
+         [
+           string_of_int n; string_of_int m; Tables.fmt_ms wm;
+           Tables.fmt_ms cm; Printf.sprintf "%.2fx" (cm /. wm);
+         ])
+       sprand);
+  (* b) edit locality on many_scc: one round = one weight edit in each
+     of k distinct components, then one query; the session re-solves
+     exactly the k dirtied components *)
+  let components = 64 and size = 32 in
+  let gp = Families.many_scc ~components ~size () in
+  let session = Dyn.create gp in
+  ignore (Dyn.query session);
+  let m = Digraph.m gp in
+  (* one intra-block arc per block: editing it dirties that SCC only *)
+  let block_arc = Array.make components (-1) in
+  for a = 0 to m - 1 do
+    let b = Dyn.arc_src session a / size in
+    if b = Dyn.arc_dst session a / size && block_arc.(b) < 0 then
+      block_arc.(b) <- a
+  done;
+  let cold_ms =
+    Timing.time_ms ~reps:3 (fun () ->
+        ignore (Solver.minimum_cycle_mean gp))
+  in
+  let rounds = 8 in
+  let locality =
+    List.map
+      (fun k ->
+        let ms = Array.make rounds 0.0 in
+        let resolved = ref 0 in
+        for r = 0 to rounds - 1 do
+          let t0 = Unix.gettimeofday () in
+          for j = 0 to k - 1 do
+            let a = block_arc.(j * (components / k)) in
+            Dyn.set_weight session a (Dyn.arc_weight session a + ((r land 1 * 2) - 1))
+          done;
+          (match Dyn.query session with
+          | Some rep -> resolved := rep.Dyn.resolved
+          | None -> ());
+          ms.(r) <- 1000.0 *. (Unix.gettimeofday () -. t0)
+        done;
+        (k, !resolved, median ms))
+      [ 1; 4; 16; 64 ]
+  in
+  Dyn.close session;
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E13b: edit locality on many_scc (%d components x %d nodes): k \
+          edits in k distinct components per round, then one query \
+          (cold solve: %s)"
+         components size (Tables.fmt_ms cold_ms))
+    ~header:[ "k"; "resolved"; "ms/round"; "speedup vs cold" ]
+    (List.map
+       (fun (k, resolved, ms) ->
+         [
+           string_of_int k; string_of_int resolved; Tables.fmt_ms ms;
+           Printf.sprintf "%.2fx" (cold_ms /. ms);
+         ])
+       locality);
+  match !bench_json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    let out fmt = Printf.fprintf oc fmt in
+    out "{\n  \"experiment\": \"E13\",\n";
+    out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+    out "  \"sprand_single_edit\": [\n";
+    List.iteri
+      (fun i (n, m, wm, cm) ->
+        out
+          "    {\"n\": %d, \"m\": %d, \"edits\": %d, \"warm_ms_median\": \
+           %.4f, \"cold_ms_median\": %.4f, \"speedup\": %.2f}%s\n"
+          n m edits wm cm (cm /. wm)
+          (if i < List.length sprand - 1 then "," else ""))
+      sprand;
+    out "  ],\n";
+    out
+      "  \"edit_locality\": {\"graph\": \"many_scc %dx%d\", \"cold_ms\": \
+       %.4f, \"rounds\": [\n"
+      components size cold_ms;
+    List.iteri
+      (fun i (k, resolved, ms) ->
+        out
+          "    {\"components_edited\": %d, \"resolved\": %d, \"ms\": %.4f, \
+           \"speedup\": %.2f}%s\n"
+          k resolved ms (cold_ms /. ms)
+          (if i < List.length locality - 1 then "," else ""))
+      locality;
+    out "  ]}\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let all : (string * (config -> unit)) list =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12) ]
+    ("E12", e12); ("E13", e13) ]

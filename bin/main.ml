@@ -405,8 +405,11 @@ let serve_cmd =
               | Error msg -> Printf.printf "error msg=%S\n%!" msg
               | Ok spec -> (
                 incr id;
+                (* corrupt graph files (Failure from the parsers) must
+                   not abort the session any more than unreadable ones:
+                   emit a structured error line and keep serving *)
                 match load_graph spec.Request.path with
-                | exception Sys_error e ->
+                | exception (Sys_error e | Failure e) ->
                   Printf.printf "req=%d file=%s status=error msg=%S\n%!" !id
                     spec.Request.path e
                 | g ->
@@ -425,6 +428,84 @@ let serve_cmd =
           as they complete.  'telemetry' prints counters, 'quit' or EOF \
           exits.")
     Term.(const run $ jobs_arg $ cache_size_arg $ wall_arg)
+
+(* ----------------------------------------------------------------- *)
+(* stream (the ocr_dyn front-end)                                     *)
+(* ----------------------------------------------------------------- *)
+
+let stream_cmd =
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"JOURNAL"
+          ~doc:
+            "Process request lines from JOURNAL instead of stdin, then exit \
+             — deterministic reproduction of a recorded session.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append one canonical protocol line per applied update and per \
+             query to FILE (an $(b,--replay)able journal).")
+  in
+  let run file problem objective jobs cache_size replay journal =
+    check_jobs jobs;
+    let g = load_graph file in
+    let session = Dyn.create ~problem ~objective ~jobs g in
+    let jout = Option.map open_out journal in
+    let log =
+      Option.map (fun oc line -> output_string oc (line ^ "\n")) jout
+    in
+    let srv = Dyn_serve.create ~cache_size ?journal:log session in
+    (* one request line -> one response line; malformed lines answer
+       {"ok":false,...} and the stream continues *)
+    let handle_line line =
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then true
+      else
+        match Dyn_serve.handle srv line with
+        | `Reply r ->
+          print_endline r;
+          flush stdout;
+          true
+        | `Quit -> false
+    in
+    let drain ic =
+      try
+        let continue = ref true in
+        while !continue do
+          continue := handle_line (input_line ic)
+        done
+      with End_of_file -> ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter close_out jout;
+        Dyn.close session)
+      (fun () ->
+        match replay with
+        | Some path ->
+          let ic = open_in path in
+          Fun.protect ~finally:(fun () -> close_in ic) (fun () -> drain ic)
+        | None -> drain stdin)
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Dynamic-session server on stdin/stdout speaking an NDJSON line \
+          protocol: one update ($(i,set_weight), $(i,set_transit), \
+          $(i,add_arc), $(i,remove_arc)) or $(i,query) per line, answered \
+          with epoch, exact lambda and witness.  Queries re-solve only the \
+          components the updates dirtied, warm-started from the last \
+          policy; per-epoch structural fingerprints feed an LRU answer \
+          cache.  See docs/DYN.md for the protocol.")
+    Term.(
+      const run $ graph_file_arg $ problem_arg $ objective_arg $ jobs_arg
+      $ cache_size_arg $ replay_arg $ journal_arg)
 
 (* ----------------------------------------------------------------- *)
 (* compare                                                            *)
@@ -476,6 +557,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "ocr" ~version:"1.0.0" ~doc)
           [
-            gen_cmd; solve_cmd; batch_cmd; serve_cmd; info_cmd; critical_cmd;
-            compare_cmd;
+            gen_cmd; solve_cmd; batch_cmd; serve_cmd; stream_cmd; info_cmd;
+            critical_cmd; compare_cmd;
           ]))

@@ -161,7 +161,8 @@ let min_period t =
   let current = clock_period t in
   let n = block_count t in
   let wd = wd_matrices t in
-  let _, d = wd in
+  let w, d = wd in
+  let inf = max_int / 4 in
   (* candidate periods: the distinct D values (the optimum is one) *)
   let candidates =
     let acc = ref [] in
@@ -174,18 +175,86 @@ let min_period t =
     List.sort_uniq compare !acc
   in
   let arr = Array.of_list candidates in
-  (* binary search the smallest feasible candidate *)
-  let lo = ref 0 and hi = ref (Array.length arr - 1) in
-  let best = ref (current, Array.make n 0) in
-  while !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    match feasible_retiming t wd arr.(mid) with
-    | Some r ->
-      best := (arr.(mid), r);
-      hi := mid - 1
-    | None -> lo := mid + 1
-  done;
-  !best
+  if Array.length arr = 0 then (current, Array.make n 0)
+  else begin
+    (* The probes of the binary search test constraint graphs that
+       differ only in which pair arcs "D(u,v) > c" are present, so they
+       share one dynamic session instead of rebuilding per candidate:
+       every pair arc stays in the graph permanently and toggles
+       between its real cost W(u,v) - 1 and a sentinel.  Feasibility of
+       period c is "no negative cycle", i.e. the session's minimum
+       cycle mean is >= 0 (or the graph is acyclic), re-solved warm
+       from the previous probe over just the components the toggles
+       dirtied.  Pair costs are >= -1 and wire costs >= 0, so no simple
+       cycle through an arc of cost n + 1 can be negative: the sentinel
+       parks a pair without taking it out of the graph. *)
+    let pairs = ref [] in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if w.(u).(v) < inf && d.(u).(v) > min_int then
+          pairs := (d.(u).(v), u, v) :: !pairs
+      done
+    done;
+    let pairs = Array.of_list !pairs in
+    (* sorted by D descending: the active set of any period is a prefix *)
+    Array.sort (fun (d1, _, _) (d2, _, _) -> compare d2 d1) pairs;
+    let sentinel = n + 1 in
+    let b = Digraph.create_builder n in
+    Vec.iter
+      (fun e ->
+        ignore (Digraph.add_arc b ~src:e.dst ~dst:e.src ~weight:e.registers ()))
+      t.wires;
+    let pair_arc =
+      Array.map
+        (fun (_, u, v) -> Digraph.add_arc b ~src:v ~dst:u ~weight:sentinel ())
+        pairs
+    in
+    let session = Dyn.create (Digraph.build b) in
+    let active = ref 0 in
+    let set_active k =
+      while !active < k do
+        let _, u, v = pairs.(!active) in
+        Dyn.set_weight session pair_arc.(!active) (w.(u).(v) - 1);
+        incr active
+      done;
+      while !active > k do
+        decr active;
+        Dyn.set_weight session pair_arc.(!active) sentinel
+      done
+    in
+    (* pairs with D > c, i.e. the length of the active prefix *)
+    let count_active c =
+      let lo = ref 0 and hi = ref (Array.length pairs) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        let dm, _, _ = pairs.(mid) in
+        if dm > c then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    let feasible c =
+      set_active (count_active c);
+      match Dyn.query session with
+      | None -> true
+      | Some r -> Ratio.leq Ratio.zero r.Dyn.lambda
+    in
+    (* binary search the smallest feasible candidate *)
+    let lo = ref 0 and hi = ref (Array.length arr - 1) in
+    let best = ref current in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if feasible arr.(mid) then begin
+        best := arr.(mid);
+        hi := mid - 1
+      end
+      else lo := mid + 1
+    done;
+    Dyn.close session;
+    (* one Bellman-Ford at the chosen period extracts the labels *)
+    match feasible_retiming t wd !best with
+    | Some r -> (!best, r)
+    | None -> (current, Array.make n 0)
+  end
 
 let retime t r =
   if Array.length r <> block_count t then

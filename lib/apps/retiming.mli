@@ -45,7 +45,12 @@ val clock_period : t -> int
 val min_period : t -> int * int array
 (** Optimal retiming: the smallest achievable clock period and the
     retiming labels that realize it (Leiserson–Saxe OPT, O(n³) for the
-    W/D matrices + O(nm) per feasibility test).
+    W/D matrices).  The binary search over candidate periods runs its
+    feasibility probes on a single {!Dyn} session — each probe toggles
+    the pair constraints whose activity changed and re-solves the
+    dirtied components warm ("no negative cycle" = session minimum
+    cycle mean ≥ 0) — with one Bellman–Ford pass at the chosen period
+    to extract the labels.
     @raise Invalid_argument if a register-free cycle exists. *)
 
 val retime : t -> int array -> t

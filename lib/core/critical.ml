@@ -68,11 +68,15 @@ let assert_ratio_well_posed g =
 
 let locate ?stats ~den g lambda =
   (match stats with Some s -> s.Stats.oracle_calls <- s.Stats.oracle_calls + 1 | None -> ());
-  let cost = scaled_cost g ~den lambda in
+  (* scaled costs materialized once: Bellman-Ford re-reads every arc
+     cost on each pass, and an int-array load beats re-doing the two
+     multiplications behind accessor calls each time *)
+  let costs = Array.init (Digraph.m g) (scaled_cost g ~den lambda) in
+  let cost a = costs.(a) in
   let on_relax =
     Option.map (fun s () -> s.Stats.relaxations <- s.Stats.relaxations + 1) stats
   in
-  match Bellman_ford.run ?on_relax ~cost g with
+  match Bellman_ford.run_arr ?on_relax ~costs g with
   | Bellman_ford.Negative_cycle c -> Above c
   | Bellman_ford.Feasible d -> (
     match find_cycle_in_subgraph g (tight_arc g ~cost d) with

@@ -56,8 +56,8 @@ let ensure_scratch s n =
     s.cycle_arcs <- Array.make n (-1)
   end
 
-let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?scratch ~den
-    ~epsilon g =
+let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
+    ~den ~epsilon g =
   if Digraph.m g = 0 then invalid_arg "Howard: graph has no arcs";
   let n = Digraph.n g and m = Digraph.m g in
   let s = match scratch with Some s -> s | None -> create_scratch () in
@@ -82,6 +82,17 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?scratch ~den
         pi.(u) <- a;
         d.(u) <- float_of_int (Digraph.weight g a))
       p
+  | None -> ());
+  (* warm-started distances: the weight init above only seeds nodes the
+     first backward BFS will not reach (those feeding other policy
+     cycles), and stale-but-nearly-feasible potentials from the last
+     solve beat raw arc weights there by orders of magnitude — with
+     them an unchanged graph reconverges in one sweep *)
+  (match potentials with
+  | Some pot ->
+    if Array.length pot <> n then
+      invalid_arg "Howard: wrong potentials length";
+    if policy <> None then Array.blit pot 0 d 0 n
   | None -> ());
   (match (policy, init) with
   | Some _, _ -> ()
@@ -283,6 +294,9 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?scratch ~den
   for i = !cycle_len - 1 downto 0 do
     cycle := s.cycle_arcs.(i) :: !cycle
   done;
+  (match potentials with
+  | Some pot -> Array.blit d 0 pot 0 n
+  | None -> ());
   let lambda, witness = Critical.improve_to_optimal ?stats ~den g !cycle in
   (lambda, witness, Array.sub pi 0 n)
 
@@ -299,5 +313,11 @@ let minimum_cycle_ratio ?stats ?budget ?(epsilon = 1e-9) ?init ?scratch g =
   in
   (lambda, cycle)
 
-let minimum_cycle_mean_warm ?stats ?(epsilon = 1e-9) ?policy ?scratch g =
-  solve ?stats ?policy ?scratch ~den:(fun _ -> 1) ~epsilon g
+let minimum_cycle_mean_warm ?stats ?(epsilon = 1e-9) ?policy ?potentials
+    ?scratch g =
+  solve ?stats ?policy ?potentials ?scratch ~den:(fun _ -> 1) ~epsilon g
+
+let minimum_cycle_ratio_warm ?stats ?(epsilon = 1e-9) ?policy ?potentials
+    ?scratch g =
+  Critical.assert_ratio_well_posed g;
+  solve ?stats ?policy ?potentials ?scratch ~den:(Digraph.transit g) ~epsilon g

@@ -56,14 +56,29 @@ val minimum_cycle_ratio :
 
 val minimum_cycle_mean_warm :
   ?stats:Stats.t -> ?epsilon:float -> ?policy:int array ->
-  ?scratch:scratch -> Digraph.t -> Ratio.t * int list * int array
+  ?potentials:float array -> ?scratch:scratch -> Digraph.t ->
+  Ratio.t * int list * int array
 (** Warm-start entry point for repeated re-solves (the paper's §1.3
     notes the applications "require that they be run many times"): the
     optional [policy] (one out-arc id per node, e.g. the third
     component of a previous call's result) seeds the iteration, which
     typically converges in one or two sweeps after a small weight
-    change.  Returns the final policy along with the optimum.  Used by
-    {!Incremental}, which also threads one [scratch] through every
+    change.  [potentials] is an in/out buffer of one distance per node:
+    on entry (with [policy]) it seeds the node distances — without it a
+    re-solve falls back to raw arc weights for nodes behind other
+    policy cycles and re-derives everything — and on return it holds
+    the final distances for the next call.  Returns the final policy
+    along with the optimum.  Used by {!Warm} (and through it
+    {!Incremental}), which also threads one [scratch] through every
     re-solve so repeat solves allocate no fresh workspace.
-    @raise Invalid_argument if [policy] has the wrong length or names
-    an arc that does not leave its node. *)
+    @raise Invalid_argument if [policy] or [potentials] has the wrong
+    length, or [policy] names an arc that does not leave its node. *)
+
+val minimum_cycle_ratio_warm :
+  ?stats:Stats.t -> ?epsilon:float -> ?policy:int array ->
+  ?potentials:float array -> ?scratch:scratch -> Digraph.t ->
+  Ratio.t * int list * int array
+(** Cost-to-time ratio form of {!minimum_cycle_mean_warm}.
+    @raise Invalid_argument on zero-total-transit cycles or an invalid
+    [policy] (see {!minimum_cycle_mean_warm}; {!Warm.solve} repairs
+    stale policies instead of raising). *)

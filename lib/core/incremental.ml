@@ -1,45 +1,25 @@
-type t = {
-  mutable graph : Digraph.t;
-  mutable weights : int array; (* current weights, arc id -> w *)
-  mutable policy : int array option;
-  mutable dirty : bool; (* weights changed since [graph] was built *)
-  scratch : Howard.scratch; (* kernel workspace, reused across re-solves *)
-}
+(* A thin veneer over the shared warm-start core: every operation
+   delegates to Warm so this path and the dynamic session subsystem
+   (lib/dyn/) cannot diverge. *)
 
-let create g =
+type t = Warm.t
+
+let create ?(problem = Warm.Mean) g =
   if Digraph.m g = 0 then invalid_arg "Incremental.create: graph has no arcs";
-  {
-    graph = g;
-    weights = Array.init (Digraph.m g) (Digraph.weight g);
-    policy = None;
-    dirty = false;
-    scratch = Howard.create_scratch ();
-  }
+  Warm.create ~problem g
 
-let refresh t =
-  if t.dirty then begin
-    let w = t.weights in
-    t.graph <- Digraph.map_weights t.graph (fun a -> w.(a));
-    t.dirty <- false
-  end
-
-let graph t =
-  refresh t;
-  t.graph
+let graph = Warm.graph
 
 let set_weight t a w =
-  if a < 0 || a >= Array.length t.weights then
-    invalid_arg "Incremental.set_weight: arc out of range";
-  if t.weights.(a) <> w then begin
-    t.weights.(a) <- w;
-    t.dirty <- true
-  end
+  (* re-raise under this module's name for error-message stability *)
+  try Warm.set_weight t a w
+  with Invalid_argument _ ->
+    invalid_arg "Incremental.set_weight: arc out of range"
 
-let solve ?stats t =
-  refresh t;
-  let lambda, cycle, policy =
-    Howard.minimum_cycle_mean_warm ?stats ?policy:t.policy ~scratch:t.scratch
-      t.graph
-  in
-  t.policy <- Some policy;
-  (lambda, cycle)
+let set_transit t a tt =
+  if tt < 0 then invalid_arg "Incremental.set_transit: negative transit time";
+  try Warm.set_transit t a tt
+  with Invalid_argument _ ->
+    invalid_arg "Incremental.set_transit: arc out of range"
+
+let solve = Warm.solve

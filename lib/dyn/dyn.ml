@@ -1,0 +1,541 @@
+type update =
+  | Set_weight of { arc : int; weight : int }
+  | Set_transit of { arc : int; transit : int }
+  | Add_arc of { arc : int; src : int; dst : int; weight : int; transit : int }
+  | Remove_arc of { arc : int }
+
+type report = {
+  epoch : int;
+  lambda : Ratio.t;
+  cycle : int list;
+  components : int;
+  resolved : int;
+  stats : Stats.t;
+}
+
+(* One cyclic SCC of the current materialization.  [p_sub] holds
+   min-form weights (negated for Maximize sessions) and is mutated in
+   place on label updates, so a clean component's cached [p_result]
+   always describes its current labels. *)
+type part = {
+  p_nodes : int array; (* session node ids, increasing *)
+  p_arcs : int array;  (* session arc ids, in sub arc order *)
+  p_sub : Digraph.t;
+  mutable p_dirty : bool;
+  mutable p_result : (Ratio.t * int list) option;
+      (* min-form λ, witness session arc ids *)
+}
+
+type t = {
+  nn : int;
+  prob : Solver.problem;
+  obj : Solver.objective;
+  mutable pool : Executor.t option;
+  owns_pool : bool;
+  mutable closed : bool;
+  (* session arc store: ids are stable, removed ids stay dead *)
+  srcs : int Vec.t;
+  dsts : int Vec.t;
+  weights : int Vec.t;  (* user-form weights *)
+  transits : int Vec.t;
+  alive : bool Vec.t;
+  mutable live : int;
+  mutable ep : int;
+  jnl : update Vec.t;
+  (* preflight bookkeeping, maintained incrementally *)
+  mutable total_tt : int;     (* sum of live transits *)
+  mutable wabs : int;         (* max |weight| over live arcs ... *)
+  mutable wabs_stale : bool;  (* ... unless stale (max may have left) *)
+  mutable ratio_ok : bool option; (* cached well-posedness verdict *)
+  (* materialization: mat (min-form weights) + id maps + partition.
+     [struct_valid] covers all of them; label updates keep them in sync
+     in place, structural updates invalidate and [refresh] rebuilds. *)
+  mutable struct_valid : bool;
+  mutable mat : Digraph.t;
+  mutable mat_of_session : int array; (* session arc -> mat arc | -1 *)
+  mutable session_of_mat : int array;
+  mutable parts : part array;         (* component (rev. topo) order *)
+  mutable comp_of_node : int array;   (* node -> part index | -1 *)
+  mutable sub_idx : int array;        (* intra-part session arc -> sub arc *)
+  pending_dirty : int Vec.t; (* label edits made while struct invalid *)
+  (* warm-start state *)
+  last_policy : int array; (* node -> last chosen out-arc (session id) *)
+  last_pot : float array;  (* node -> last Howard distance (potential) *)
+  scratch : Howard.scratch;
+  (* per-epoch caches *)
+  mutable fp_cache : (int * Fingerprint.t) option;
+  mutable last_report : (int * report option) option;
+}
+
+let sign t = match t.obj with Solver.Minimize -> 1 | Solver.Maximize -> -1
+
+let create ?(problem = Solver.Cycle_mean) ?(objective = Solver.Minimize)
+    ?(jobs = 1) ?pool g =
+  if jobs < 1 then invalid_arg "Dyn.create: jobs must be >= 1";
+  let pool, owns_pool =
+    match pool with
+    | Some p -> (Some p, false)
+    | None -> if jobs > 1 then (Some (Executor.create ~jobs), true) else (None, false)
+  in
+  let m = Digraph.m g in
+  let srcs = Vec.create () and dsts = Vec.create () in
+  let weights = Vec.create () and transits = Vec.create () in
+  let alive = Vec.create () in
+  let total_tt = ref 0 and wabs = ref 0 in
+  for a = 0 to m - 1 do
+    Vec.push srcs (Digraph.src g a);
+    Vec.push dsts (Digraph.dst g a);
+    Vec.push weights (Digraph.weight g a);
+    Vec.push transits (Digraph.transit g a);
+    Vec.push alive true;
+    total_tt := !total_tt + Digraph.transit g a;
+    if abs (Digraph.weight g a) > !wabs then wabs := abs (Digraph.weight g a)
+  done;
+  {
+    nn = Digraph.n g;
+    prob = problem;
+    obj = objective;
+    pool;
+    owns_pool;
+    closed = false;
+    srcs;
+    dsts;
+    weights;
+    transits;
+    alive;
+    live = m;
+    ep = 0;
+    jnl = Vec.create ();
+    total_tt = !total_tt;
+    wabs = !wabs;
+    wabs_stale = false;
+    ratio_ok = None;
+    struct_valid = false;
+    mat = g;
+    mat_of_session = [||];
+    session_of_mat = [||];
+    parts = [||];
+    comp_of_node = Array.make (Digraph.n g) (-1);
+    sub_idx = [||];
+    pending_dirty = Vec.create ();
+    last_policy = Array.make (Digraph.n g) (-1);
+    last_pot = Array.make (Digraph.n g) 0.0;
+    scratch = Howard.create_scratch ();
+    fp_cache = None;
+    last_report = None;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    if t.owns_pool then begin
+      (match t.pool with Some p -> Executor.shutdown p | None -> ());
+      t.pool <- None (* later queries fall back to the serial path *)
+    end
+  end
+
+let n t = t.nn
+let live_arcs t = t.live
+let problem t = t.prob
+let objective t = t.obj
+let epoch t = t.ep
+let journal t = Vec.to_list t.jnl
+
+let arc_count t = Vec.length t.srcs
+
+let check_arc name t a =
+  if a < 0 || a >= arc_count t || not (Vec.get t.alive a) then
+    invalid_arg (Printf.sprintf "Dyn.%s: no live arc %d" name a)
+
+let arc_src t a = check_arc "arc_src" t a; Vec.get t.srcs a
+let arc_dst t a = check_arc "arc_dst" t a; Vec.get t.dsts a
+let arc_weight t a = check_arc "arc_weight" t a; Vec.get t.weights a
+let arc_transit t a = check_arc "arc_transit" t a; Vec.get t.transits a
+let arc_alive t a = a >= 0 && a < arc_count t && Vec.get t.alive a
+
+(* ------------------------------------------------------------------ *)
+(* Materialization and lazy re-partition                               *)
+(* ------------------------------------------------------------------ *)
+
+let rebuild_mat t =
+  let count = arc_count t in
+  let b = Digraph.create_builder ~expected_arcs:t.live t.nn in
+  let mos = Array.make (max count 1) (-1) in
+  let som = Array.make (max t.live 1) (-1) in
+  let sg = sign t in
+  for a = 0 to count - 1 do
+    if Vec.get t.alive a then begin
+      let id =
+        Digraph.add_arc b ~src:(Vec.get t.srcs a) ~dst:(Vec.get t.dsts a)
+          ~weight:(sg * Vec.get t.weights a)
+          ~transit:(Vec.get t.transits a) ()
+      in
+      mos.(a) <- id;
+      som.(id) <- a
+    end
+  done;
+  t.mat <- Digraph.build b;
+  t.mat_of_session <- mos;
+  t.session_of_mat <- som
+
+(* Full lazy re-partition after structural updates.  Components whose
+   node set and (session-id) arc set are unchanged inherit their cached
+   optimum and dirtiness — the incremental maintenance promise: an
+   insertion or deletion only costs re-solves in the components it
+   actually touched (merged, split, or entered). *)
+let rebuild_parts t =
+  let old_parts = t.parts and old_comp = t.comp_of_node in
+  rebuild_mat t;
+  let scc = Scc.compute t.mat in
+  let subs = Scc.partition t.mat scc in
+  Array.fill t.comp_of_node 0 t.nn (-1);
+  let count = arc_count t in
+  if Array.length t.sub_idx < count then t.sub_idx <- Array.make count (-1);
+  let parts =
+    Array.mapi
+      (fun ci (sp : Scc.subproblem) ->
+        let p_nodes = sp.Scc.node_of_sub in
+        let p_arcs =
+          Array.map (fun ma -> t.session_of_mat.(ma)) sp.Scc.arc_of_sub
+        in
+        Array.iter (fun u -> t.comp_of_node.(u) <- ci) p_nodes;
+        Array.iteri (fun i a -> t.sub_idx.(a) <- i) p_arcs;
+        (* carry-over: same nodes + same session arcs = same component *)
+        let inherited =
+          let rep = p_nodes.(0) in
+          let oc = if Array.length old_comp = 0 then -1 else old_comp.(rep) in
+          if oc >= 0 && oc < Array.length old_parts then begin
+            let op = old_parts.(oc) in
+            if op.p_nodes = p_nodes && op.p_arcs = p_arcs then
+              Some (op.p_dirty, op.p_result)
+            else None
+          end
+          else None
+        in
+        match inherited with
+        | Some (d, r) ->
+          { p_nodes; p_arcs; p_sub = sp.Scc.sub; p_dirty = d; p_result = r }
+        | None ->
+          { p_nodes; p_arcs; p_sub = sp.Scc.sub; p_dirty = true;
+            p_result = None })
+      subs
+  in
+  t.parts <- parts;
+  (* label edits recorded while the partition was invalid dirty their
+     (new) containing component now *)
+  Vec.iter
+    (fun a ->
+      if arc_alive t a then begin
+        let cu = t.comp_of_node.(Vec.get t.srcs a) in
+        if cu >= 0 && cu = t.comp_of_node.(Vec.get t.dsts a) then
+          parts.(cu).p_dirty <- true
+      end)
+    t.pending_dirty;
+  Vec.clear t.pending_dirty;
+  t.struct_valid <- true
+
+let refresh t = if not t.struct_valid then rebuild_parts t
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bump t u =
+  Vec.push t.jnl u;
+  t.ep <- t.ep + 1
+
+(* Dirty the cyclic component containing live arc [a], updating the
+   materialized copies of its label in place.  O(1). *)
+let touch_label t a ~dirties =
+  if t.struct_valid then begin
+    let ma = t.mat_of_session.(a) in
+    let sg = sign t in
+    Digraph.Unsafe.set_weight t.mat ma (sg * Vec.get t.weights a);
+    Digraph.Unsafe.set_transit t.mat ma (Vec.get t.transits a);
+    let cu = t.comp_of_node.(Vec.get t.srcs a) in
+    if cu >= 0 && cu = t.comp_of_node.(Vec.get t.dsts a) then begin
+      let p = t.parts.(cu) in
+      let i = t.sub_idx.(a) in
+      Digraph.Unsafe.set_weight p.p_sub i (sg * Vec.get t.weights a);
+      Digraph.Unsafe.set_transit p.p_sub i (Vec.get t.transits a);
+      if dirties then p.p_dirty <- true
+    end
+  end
+  else if dirties then Vec.push t.pending_dirty a
+
+let set_weight t a w =
+  check_arc "set_weight" t a;
+  let old = Vec.get t.weights a in
+  Vec.set t.weights a w;
+  bump t (Set_weight { arc = a; weight = w });
+  if abs w >= t.wabs then begin
+    t.wabs <- abs w;
+    t.wabs_stale <- false
+  end
+  else if abs old >= t.wabs then t.wabs_stale <- true;
+  touch_label t a ~dirties:true
+
+let set_transit t a tt =
+  check_arc "set_transit" t a;
+  if tt < 0 then invalid_arg "Dyn.set_transit: negative transit time";
+  let old = Vec.get t.transits a in
+  Vec.set t.transits a tt;
+  bump t (Set_transit { arc = a; transit = tt });
+  t.total_tt <- t.total_tt - old + tt;
+  if (old = 0) <> (tt = 0) then t.ratio_ok <- None;
+  (* transit times only affect answers for ratio sessions *)
+  touch_label t a ~dirties:(t.prob = Solver.Cycle_ratio)
+
+let add_arc t ~src ~dst ~weight ~transit =
+  if src < 0 || src >= t.nn || dst < 0 || dst >= t.nn then
+    invalid_arg "Dyn.add_arc: endpoint out of range";
+  if transit < 0 then invalid_arg "Dyn.add_arc: negative transit time";
+  let id = arc_count t in
+  Vec.push t.srcs src;
+  Vec.push t.dsts dst;
+  Vec.push t.weights weight;
+  Vec.push t.transits transit;
+  Vec.push t.alive true;
+  t.live <- t.live + 1;
+  t.total_tt <- t.total_tt + transit;
+  (* [wabs] is an upper bound when stale; a new arc at or above it
+     dominates every live weight and makes the bound exact again *)
+  if abs weight >= t.wabs then begin
+    t.wabs <- abs weight;
+    t.wabs_stale <- false
+  end;
+  t.ratio_ok <- None;
+  t.struct_valid <- false;
+  bump t (Add_arc { arc = id; src; dst; weight; transit });
+  id
+
+let remove_arc t a =
+  check_arc "remove_arc" t a;
+  Vec.set t.alive a false;
+  t.live <- t.live - 1;
+  t.total_tt <- t.total_tt - Vec.get t.transits a;
+  if abs (Vec.get t.weights a) >= t.wabs then t.wabs_stale <- true;
+  t.ratio_ok <- None;
+  t.struct_valid <- false;
+  bump t (Remove_arc { arc = a })
+
+let apply t u =
+  match u with
+  | Set_weight { arc; weight } -> set_weight t arc weight
+  | Set_transit { arc; transit } -> set_transit t arc transit
+  | Add_arc { arc; src; dst; weight; transit } ->
+    let id = add_arc t ~src ~dst ~weight ~transit in
+    if arc >= 0 && arc <> id then
+      invalid_arg
+        (Printf.sprintf
+           "Dyn.apply: journal inserted arc %d but this session assigned %d"
+           arc id)
+  | Remove_arc { arc } -> remove_arc t arc
+
+(* ------------------------------------------------------------------ *)
+(* Preflight — same checks, same messages as Solver.preflight, but     *)
+(* O(1) per query from incrementally maintained aggregates.            *)
+(* ------------------------------------------------------------------ *)
+
+let rescan_wabs t =
+  let w = ref 0 in
+  for a = 0 to arc_count t - 1 do
+    if Vec.get t.alive a && abs (Vec.get t.weights a) > !w then
+      w := abs (Vec.get t.weights a)
+  done;
+  t.wabs <- !w;
+  t.wabs_stale <- false
+
+let preflight t =
+  if t.live > 0 then begin
+    if t.wabs_stale then rescan_wabs t;
+    let w = max 1 t.wabs in
+    let d =
+      match t.prob with
+      | Solver.Cycle_mean -> max 1 t.nn
+      | Solver.Cycle_ratio -> max t.nn t.total_tt
+    in
+    if d > 0 && w > max_int / 8 / d / d then
+      invalid_arg
+        (Printf.sprintf
+           "Solver: weights up to %d on an instance with denominator range \
+            %d would overflow exact native-int arithmetic" w d)
+  end;
+  if t.prob = Solver.Cycle_ratio then begin
+    let ok =
+      match t.ratio_ok with
+      | Some ok -> ok
+      | None ->
+        let ok =
+          Critical.cycle_in t.mat (fun a -> Digraph.transit t.mat a = 0)
+          = None
+        in
+        t.ratio_ok <- Some ok;
+        ok
+    in
+    if not ok then
+      invalid_arg "Solver: cycle with zero total transit time \
+                   (cost-to-time ratio undefined)"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Warm policy for one component: the node's last chosen out-arc when
+   it is still a valid intra-component choice, else -1 (repaired to the
+   cheapest out-arc by Warm.solve_warm). *)
+let assemble_policy t ci (p : part) =
+  let k = Array.length p.p_nodes in
+  let policy = Array.make k (-1) in
+  for i = 0 to k - 1 do
+    let u = p.p_nodes.(i) in
+    let a = t.last_policy.(u) in
+    if
+      a >= 0 && a < arc_count t
+      && Vec.get t.alive a
+      && Vec.get t.srcs a = u
+      && t.comp_of_node.(Vec.get t.dsts a) = ci
+    then policy.(i) <- t.sub_idx.(a)
+  done;
+  policy
+
+let warm_problem t =
+  match t.prob with
+  | Solver.Cycle_mean -> Warm.Mean
+  | Solver.Cycle_ratio -> Warm.Ratio
+
+let solve_part t ci (p : part) scratch =
+  let policy = assemble_policy t ci p in
+  let k = Array.length p.p_nodes in
+  let pot = Array.make k 0.0 in
+  for i = 0 to k - 1 do
+    pot.(i) <- t.last_pot.(p.p_nodes.(i))
+  done;
+  let st = Stats.create () in
+  (* the stale cached optimum is the hint: for label-only edits it is
+     the exact answer of the pre-edit component, and most edits leave
+     it confirmable by a single location pass *)
+  let hint = Option.map fst p.p_result in
+  let lambda, cyc, pol =
+    Warm.solve_warm ~stats:st ~policy ~potentials:pot ?scratch ?hint
+      (warm_problem t) p.p_sub
+  in
+  (lambda, List.map (fun i -> p.p_arcs.(i)) cyc, pol, pot, st)
+
+let query t =
+  match t.last_report with
+  | Some (e, r) when e = t.ep -> r
+  | _ ->
+    refresh t;
+    preflight t;
+    let parts = t.parts in
+    let k = Array.length parts in
+    let dirty = ref [] in
+    for ci = k - 1 downto 0 do
+      if parts.(ci).p_dirty then dirty := ci :: !dirty
+    done;
+    let dirty = !dirty in
+    let resolved = List.length dirty in
+    (* re-solve dirty components; [solved] lines up with [dirty] *)
+    let solved =
+      match t.pool with
+      | Some pool when resolved > 1 ->
+        (* each task gets its own scratch and stats; the session
+           scratch is not shared across domains *)
+        dirty
+        |> List.map (fun ci ->
+               Executor.async pool (fun () ->
+                   solve_part t ci parts.(ci)
+                     (Some (Howard.create_scratch ()))))
+        |> List.map (Executor.await pool)
+      | _ ->
+        (* serial: thread the session's one scratch through every
+           re-solve, so the steady path allocates no fresh workspace *)
+        List.map (fun ci -> solve_part t ci parts.(ci) (Some t.scratch)) dirty
+    in
+    (* join: commit results and feed final policies back, in component
+       order, on the coordinating thread *)
+    let stats = ref (Stats.create ()) in
+    List.iter2
+      (fun ci (lambda, cyc, pol, pot, st) ->
+        let p = parts.(ci) in
+        p.p_result <- Some (lambda, cyc);
+        p.p_dirty <- false;
+        Array.iteri (fun i a -> t.last_policy.(p.p_nodes.(i)) <- p.p_arcs.(a)) pol;
+        Array.iteri (fun i v -> t.last_pot.(p.p_nodes.(i)) <- v) pot;
+        stats := Stats.merge !stats st)
+      dirty solved;
+    (* deterministic reduction: fold every component in component
+       order with Solver.solve's exact tie-breaking (ties keep the
+       lower-id component's witness) *)
+    let best = ref None in
+    Array.iter
+      (fun p ->
+        match p.p_result with
+        | None -> ()
+        | Some (lambda, cycle) -> (
+          match !best with
+          | Some (bl, _) when Ratio.leq bl lambda -> ()
+          | _ -> best := Some (lambda, cycle)))
+      parts;
+    let answer =
+      match !best with
+      | None -> None
+      | Some (lambda, cycle) ->
+        let lambda =
+          match t.obj with
+          | Solver.Minimize -> lambda
+          | Solver.Maximize -> Ratio.neg lambda
+        in
+        Some
+          { epoch = t.ep; lambda; cycle; components = k; resolved;
+            stats = !stats }
+    in
+    t.last_report <- Some (t.ep, answer);
+    answer
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots, id mapping, fingerprints                                 *)
+(* ------------------------------------------------------------------ *)
+
+let graph t =
+  let b = Digraph.create_builder ~expected_arcs:t.live t.nn in
+  for a = 0 to arc_count t - 1 do
+    if Vec.get t.alive a then
+      ignore
+        (Digraph.add_arc b ~src:(Vec.get t.srcs a) ~dst:(Vec.get t.dsts a)
+           ~weight:(Vec.get t.weights a)
+           ~transit:(Vec.get t.transits a) ())
+  done;
+  Digraph.build b
+
+let to_graph_arc t a =
+  check_arc "to_graph_arc" t a;
+  refresh t;
+  t.mat_of_session.(a)
+
+let of_graph_arc t ma =
+  refresh t;
+  if ma < 0 || ma >= Digraph.m t.mat then
+    invalid_arg "Dyn.of_graph_arc: arc out of range";
+  t.session_of_mat.(ma)
+
+let fingerprint t =
+  match t.fp_cache with
+  | Some (e, fp) when e = t.ep -> fp
+  | _ ->
+    refresh t;
+    let user_mat =
+      match t.obj with
+      | Solver.Minimize -> t.mat
+      | Solver.Maximize -> Digraph.negate_weights t.mat
+    in
+    let fp = Fingerprint.of_graph user_mat in
+    t.fp_cache <- Some (t.ep, fp);
+    fp
+
+let replay ?problem ?objective ?jobs ?pool g updates =
+  let t = create ?problem ?objective ?jobs ?pool g in
+  List.iter (apply t) updates;
+  t

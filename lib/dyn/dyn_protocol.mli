@@ -1,0 +1,29 @@
+(** Codec for the NDJSON line protocol of [ocr stream] and for session
+    journal files (docs/DYN.md documents the wire format).
+
+    Requests are flat JSON objects, one per line, dispatched on their
+    ["op"] field: the four update ops mirror {!Dyn.update} ([add_arc]'s
+    ["transit"] defaults to 1; its optional ["arc"] field is the
+    replay-check id), plus ["query"], ["epoch"], ["fingerprint"],
+    ["telemetry"] and ["quit"]. *)
+
+type op =
+  | Update of Dyn.update
+  | Query
+  | Epoch
+  | Fingerprint_op
+  | Telemetry_op
+  | Quit
+
+val parse : string -> (op, string) result
+(** Parses one request line; the error string is ready to ship in an
+    {!error_line}. *)
+
+val render_update : Dyn.update -> string
+(** Canonical journal line for an update ([parse] round-trips it). *)
+
+val render_op : op -> string
+
+val error_line : string -> string
+(** [{"ok":false,"error":...}] — the structured error response; the
+    stream continues after it. *)

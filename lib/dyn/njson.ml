@@ -1,0 +1,199 @@
+type value =
+  | String of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Null
+
+exception Bad of string
+
+let parse_flat line =
+  let len = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < len then Some line.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match line.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> Some c then fail (Printf.sprintf "expected '%c'" c);
+    incr pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      let c = line.[!pos] in
+      incr pos;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if !pos >= len then fail "dangling escape";
+        let e = line.[!pos] in
+        incr pos;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if !pos + 4 > len then fail "truncated \\u escape";
+          let hex = String.sub line !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> fail "bad \\u escape"
+          in
+          pos := !pos + 4;
+          (* BMP code points only, encoded as UTF-8 *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+        | _ -> fail "unknown escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_scalar () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> String (parse_string ())
+    | Some ('{' | '[') -> fail "nested values are not part of the protocol"
+    | Some c when c = '-' || (c >= '0' && c <= '9') ->
+      let start = !pos in
+      let is_float = ref false in
+      while
+        !pos < len
+        &&
+        match line.[!pos] with
+        | '0' .. '9' | '-' | '+' -> true
+        | '.' | 'e' | 'E' ->
+          is_float := true;
+          true
+        | _ -> false
+      do
+        incr pos
+      done;
+      let s = String.sub line start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else (
+        match int_of_string_opt s with
+        | Some i -> Int i
+        | None -> fail "bad number")
+    | Some 't' ->
+      if !pos + 4 <= len && String.sub line !pos 4 = "true" then begin
+        pos := !pos + 4;
+        Bool true
+      end
+      else fail "bad literal"
+    | Some 'f' ->
+      if !pos + 5 <= len && String.sub line !pos 5 = "false" then begin
+        pos := !pos + 5;
+        Bool false
+      end
+      else fail "bad literal"
+    | Some 'n' ->
+      if !pos + 4 <= len && String.sub line !pos 4 = "null" then begin
+        pos := !pos + 4;
+        Null
+      end
+      else fail "bad literal"
+    | _ -> fail "expected a value"
+  in
+  try
+    expect '{';
+    skip_ws ();
+    let fields = ref [] in
+    if peek () = Some '}' then incr pos
+    else begin
+      let rec members () =
+        skip_ws ();
+        let k = parse_string () in
+        expect ':';
+        let v = parse_scalar () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          members ()
+        | Some '}' -> incr pos
+        | _ -> fail "expected ',' or '}'"
+      in
+      members ()
+    end;
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage";
+    Ok (List.rev !fields)
+  with Bad msg -> Error msg
+
+let field fields name =
+  List.fold_left
+    (fun acc (k, v) -> if k = name then Some v else acc)
+    None fields
+
+let field_int fields name =
+  match field fields name with
+  | Some (Int i) -> Some i
+  | Some (Float f) when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let field_string fields name =
+  match field fields name with Some (String s) -> Some s | _ -> None
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let obj fields =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (escape k);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf v)
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let int_array xs = "[" ^ String.concat "," (List.map string_of_int xs) ^ "]"

@@ -1,0 +1,39 @@
+(** Minimal flat JSON, for the NDJSON line protocol of [ocr stream].
+
+    The wire format is one JSON object per line whose fields are
+    scalars (requests) or scalars plus one int array (responses), so
+    this codec handles exactly that subset: a hand-rolled parser for
+    flat objects of strings / ints / floats / bools / null, and
+    printing helpers.  No external JSON dependency. *)
+
+type value =
+  | String of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Null
+
+val parse_flat : string -> ((string * value) list, string) result
+(** Parses one flat JSON object, fields in order of appearance.
+    Rejects nested objects/arrays, duplicate-free-ness is {e not}
+    enforced (last occurrence wins with {!field}).  The error string is
+    human-readable and position-annotated. *)
+
+val field : (string * value) list -> string -> value option
+(** Last binding of the name, if any. *)
+
+val field_int : (string * value) list -> string -> int option
+(** The field as an int (accepts integral floats). *)
+
+val field_string : (string * value) list -> string -> string option
+
+val escape : string -> string
+(** JSON string literal (including the quotes). *)
+
+val obj : (string * string) list -> string
+(** One-line object from pre-rendered field values:
+    [obj [("ok", "true"); ("epoch", "3")]] is [{"ok":true,"epoch":3}].
+    Keys are escaped; values are spliced verbatim. *)
+
+val int_array : int list -> string
+(** Renders [[1;2;3]] as ["[1,2,3]"]. *)

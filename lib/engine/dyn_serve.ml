@@ -1,0 +1,147 @@
+(* Engine-side driver for dynamic sessions: one Dyn.t plus the engine's
+   LRU result cache and telemetry, speaking the NDJSON protocol of
+   Dyn_protocol line by line.  The cache is keyed by the session's
+   per-epoch structural fingerprint, so a stream that returns to an
+   earlier graph (undo patterns, A/B probing) answers without
+   re-solving; witnesses are stored as graph-arc ids — stable under
+   fingerprint equality — and mapped back to current session ids on a
+   hit. *)
+
+type cached = {
+  c_lambda : Ratio.t;
+  c_cycle : int list; (* graph-arc ids of the fingerprinted graph *)
+  c_components : int;
+}
+
+type t = {
+  session : Dyn.t;
+  cache : (Fingerprint.t, cached option) Lru.t;
+      (* [None] caches "acyclic" *)
+  tel : Telemetry.t;
+  journal : (string -> unit) option;
+}
+
+let create ?(cache_size = 256) ?journal session =
+  { session; cache = Lru.create ~capacity:cache_size; tel = Telemetry.create ();
+    journal }
+
+let session t = t.session
+let telemetry t = t.tel
+
+let float_of_ratio r = Ratio.to_float r
+
+let ok_fields t rest =
+  ("ok", "true") :: ("epoch", string_of_int (Dyn.epoch t.session)) :: rest
+
+let answer_line t ~cached ~resolved = function
+  | None -> Njson.obj (ok_fields t [ ("acyclic", "true") ])
+  | Some (lambda, cycle, components) ->
+    Njson.obj
+      (ok_fields t
+         [
+           ("lambda", Njson.escape (Ratio.to_string lambda));
+           ("float", Printf.sprintf "%.6f" (float_of_ratio lambda));
+           ("cycle", Njson.int_array cycle);
+           ("components", string_of_int components);
+           ("resolved", string_of_int resolved);
+           ("cached", string_of_bool cached);
+         ])
+
+let telemetry_line t =
+  let tel = t.tel in
+  Njson.obj
+    [
+      ("ok", "true");
+      ("requests", string_of_int tel.Telemetry.requests);
+      ("solved", string_of_int tel.Telemetry.solved);
+      ("acyclic", string_of_int tel.Telemetry.acyclic);
+      ("rejected", string_of_int tel.Telemetry.rejected);
+      ("cache_hits", string_of_int tel.Telemetry.cache_hits);
+      ("cache_misses", string_of_int tel.Telemetry.cache_misses);
+      ("cache_entries", string_of_int (Lru.length t.cache));
+    ]
+
+let log_journal t op =
+  match t.journal with
+  | Some log -> log (Dyn_protocol.render_op op)
+  | None -> ()
+
+let do_query t =
+  t.tel.Telemetry.requests <- t.tel.Telemetry.requests + 1;
+  let fp = Dyn.fingerprint t.session in
+  match Lru.find t.cache fp with
+  | Some entry ->
+    t.tel.Telemetry.cache_hits <- t.tel.Telemetry.cache_hits + 1;
+    (match entry with
+    | None ->
+      t.tel.Telemetry.acyclic <- t.tel.Telemetry.acyclic + 1;
+      answer_line t ~cached:true ~resolved:0 None
+    | Some c ->
+      t.tel.Telemetry.solved <- t.tel.Telemetry.solved + 1;
+      let cycle = List.map (Dyn.of_graph_arc t.session) c.c_cycle in
+      answer_line t ~cached:true ~resolved:0
+        (Some (c.c_lambda, cycle, c.c_components)))
+  | None -> (
+    t.tel.Telemetry.cache_misses <- t.tel.Telemetry.cache_misses + 1;
+    match Dyn.query t.session with
+    | None ->
+      t.tel.Telemetry.acyclic <- t.tel.Telemetry.acyclic + 1;
+      Lru.add t.cache fp None;
+      answer_line t ~cached:false ~resolved:0 None
+    | Some r ->
+      t.tel.Telemetry.solved <- t.tel.Telemetry.solved + 1;
+      Telemetry.record_ops t.tel r.Dyn.stats;
+      Lru.add t.cache fp
+        (Some
+           {
+             c_lambda = r.Dyn.lambda;
+             c_cycle = List.map (Dyn.to_graph_arc t.session) r.Dyn.cycle;
+             c_components = r.Dyn.components;
+           });
+      answer_line t ~cached:false ~resolved:r.Dyn.resolved
+        (Some (r.Dyn.lambda, r.Dyn.cycle, r.Dyn.components)))
+
+(* One request line -> one response line (or Quit).  Every failure —
+   unparsable line, unknown op, bad arc id, ill-posed instance — turns
+   into a structured error line and the stream continues; the session
+   state is unchanged by failed requests. *)
+let handle t line =
+  let reject msg =
+    t.tel.Telemetry.rejected <- t.tel.Telemetry.rejected + 1;
+    `Reply (Dyn_protocol.error_line msg)
+  in
+  match Dyn_protocol.parse line with
+  | Error msg -> reject msg
+  | Ok op -> (
+    match op with
+    | Dyn_protocol.Quit -> `Quit
+    | Dyn_protocol.Epoch -> `Reply (Njson.obj (ok_fields t []))
+    | Dyn_protocol.Fingerprint_op ->
+      `Reply
+        (Njson.obj
+           (ok_fields t
+              [ ("fingerprint",
+                 Njson.escape (Fingerprint.to_hex (Dyn.fingerprint t.session)))
+              ]))
+    | Dyn_protocol.Telemetry_op -> `Reply (telemetry_line t)
+    | Dyn_protocol.Query -> (
+      match do_query t with
+      | reply ->
+        log_journal t op;
+        `Reply reply
+      | exception Invalid_argument msg -> reject msg)
+    | Dyn_protocol.Update u -> (
+      match u with
+      | Dyn.Add_arc { arc = _; src; dst; weight; transit } -> (
+        match Dyn.add_arc t.session ~src ~dst ~weight ~transit with
+        | id ->
+          log_journal t
+            (Dyn_protocol.Update (Dyn.Add_arc { arc = id; src; dst; weight; transit }));
+          `Reply (Njson.obj (ok_fields t [ ("arc", string_of_int id) ]))
+        | exception Invalid_argument msg -> reject msg)
+      | u -> (
+        match Dyn.apply t.session u with
+        | () ->
+          log_journal t (Dyn_protocol.Update u);
+          `Reply (Njson.obj (ok_fields t []))
+        | exception Invalid_argument msg -> reject msg)))

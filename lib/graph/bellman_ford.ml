@@ -55,17 +55,24 @@ let cycle_in_pred_graph g pred_arc =
    negative-cycle detection.  A node reaching n+1 updates triggers a
    predecessor-graph cycle search; its counter is reset if the search
    is inconclusive, so the scan amortizes to O(1) per update. *)
-let engine ?on_relax ~cost g ~sources =
+let engine ?on_relax ~costs g ~sources =
   let n = Digraph.n g in
   let dist = Array.make n max_int in
   let pred_arc = Array.make n (-1) in
   let times_updated = Array.make n 0 in
   let in_queue = Array.make n false in
-  let queue = Queue.create () in
+  (* FIFO over a preallocated ring: the [in_queue] guard keeps at most
+     n nodes queued, so capacity n+1 never wraps onto itself.  Same
+     relaxation order as the boxed Queue it replaces, none of the
+     per-enqueue allocation — this engine is the inner loop of the
+     exact finisher, hit once per candidate λ. *)
+  let ring = Array.make (n + 1) 0 in
+  let head = ref 0 and tail = ref 0 in
   let enqueue v =
     if not in_queue.(v) then begin
       in_queue.(v) <- true;
-      Queue.add v queue
+      ring.(!tail) <- v;
+      tail := if !tail = n then 0 else !tail + 1
     end
   in
   (match sources with
@@ -80,36 +87,57 @@ let engine ?on_relax ~cost g ~sources =
         dist.(v) <- 0;
         enqueue v)
       vs);
+  (* The scan below walks the raw CSR arrays rather than going through
+     [Digraph.iter_out]: this loop visits every out-arc of every popped
+     node, and the per-pop closure plus per-arc accessor calls are
+     measurable against the handful of loads it actually needs.  All
+     indices come from the graph's own CSR, so unsafe reads are in
+     bounds by construction. *)
+  let out_start, out_arcs = Digraph.Unsafe.out_csr g in
+  let arc_dst = Digraph.Unsafe.dsts g in
   let found = ref None in
-  while !found = None && not (Queue.is_empty queue) do
-    let u = Queue.take queue in
+  while !found = None && !head <> !tail do
+    let u = ring.(!head) in
+    head := (if !head = n then 0 else !head + 1);
     in_queue.(u) <- false;
-    if dist.(u) < max_int then
-      Digraph.iter_out g u (fun a ->
-          if !found = None then begin
-            let v = Digraph.dst g a in
-            let cand = dist.(u) + cost a in
-            if cand < dist.(v) then begin
-              (match on_relax with Some f -> f () | None -> ());
-              dist.(v) <- cand;
-              pred_arc.(v) <- a;
-              times_updated.(v) <- times_updated.(v) + 1;
-              if times_updated.(v) > n then begin
-                times_updated.(v) <- 0;
-                match cycle_in_pred_graph g pred_arc with
-                | Some cycle -> found := Some cycle
-                | None -> enqueue v
-              end
-              else enqueue v
-            end
-          end)
+    let du = dist.(u) in
+    if du < max_int then begin
+      let hi = Array.unsafe_get out_start (u + 1) in
+      let i = ref (Array.unsafe_get out_start u) in
+      while !found = None && !i < hi do
+        let a = Array.unsafe_get out_arcs !i in
+        incr i;
+        let v = Array.unsafe_get arc_dst a in
+        let cand = du + Array.unsafe_get costs a in
+        if cand < dist.(v) then begin
+          (match on_relax with Some f -> f () | None -> ());
+          dist.(v) <- cand;
+          pred_arc.(v) <- a;
+          times_updated.(v) <- times_updated.(v) + 1;
+          if times_updated.(v) > n then begin
+            times_updated.(v) <- 0;
+            match cycle_in_pred_graph g pred_arc with
+            | Some cycle -> found := Some cycle
+            | None -> enqueue v
+          end
+          else enqueue v
+        end
+      done
+    end
   done;
   match !found with
   | Some cycle -> Error cycle
   | None -> Ok (dist, pred_arc)
 
+let run_arr ?on_relax ~costs g =
+  if Array.length costs <> Digraph.m g then
+    invalid_arg "Bellman_ford.run_arr: costs length <> arc count";
+  match engine ?on_relax ~costs g ~sources:None with
+  | Ok (dist, _) -> Feasible dist
+  | Error cycle -> Negative_cycle cycle
+
 let run ?on_relax ~cost g =
-  match engine ?on_relax ~cost g ~sources:None with
+  match engine ?on_relax ~costs:(Array.init (Digraph.m g) cost) g ~sources:None with
   | Ok (dist, _) -> Feasible dist
   | Error cycle -> Negative_cycle cycle
 
@@ -123,7 +151,8 @@ let potentials ~cost g =
   | Feasible d -> Some d
   | Negative_cycle _ -> None
 
-let shortest_from ~cost g s = engine ~cost g ~sources:(Some [ s ])
+let shortest_from ~cost g s =
+  engine ~costs:(Array.init (Digraph.m g) cost) g ~sources:(Some [ s ])
 
 (* Float engine: a structural duplicate of [engine] over float costs.
    Kept separate rather than functorized so the hot integer path stays

@@ -20,6 +20,14 @@ val run : ?on_relax:(unit -> unit) -> cost:(int -> int) -> Digraph.t -> outcome
     [on_relax] is invoked on every successful arc relaxation (used for
     the paper's operation counts). *)
 
+val run_arr :
+  ?on_relax:(unit -> unit) -> costs:int array -> Digraph.t -> outcome
+(** [run] with the arc costs already materialized ([costs.(a)] is the
+    cost of arc [a]); identical result, skips the per-arc callback in
+    the scan.  For callers on the exact-finisher hot path that hold
+    their costs in an array anyway.
+    @raise Invalid_argument if [costs] does not have one entry per arc. *)
+
 val negative_cycle : cost:(int -> int) -> Digraph.t -> int list option
 (** [Some cycle] iff the graph contains a negative-cost cycle. *)
 

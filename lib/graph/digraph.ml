@@ -153,6 +153,31 @@ let reverse g =
 let map_weights g f = { g with arc_weight = Array.init g.m f }
 let negate_weights g = map_weights g (fun a -> -g.arc_weight.(a))
 
+let map_transits g f =
+  let arc_transit =
+    Array.init g.m (fun a ->
+        let tt = f a in
+        if tt < 0 then invalid_arg "Digraph.map_transits: negative transit time";
+        tt)
+  in
+  { g with arc_transit }
+
+module Unsafe = struct
+  let set_weight g a w =
+    if a < 0 || a >= g.m then
+      invalid_arg "Digraph.Unsafe.set_weight: arc out of range";
+    g.arc_weight.(a) <- w
+
+  let set_transit g a tt =
+    if a < 0 || a >= g.m then
+      invalid_arg "Digraph.Unsafe.set_transit: arc out of range";
+    if tt < 0 then invalid_arg "Digraph.Unsafe.set_transit: negative transit time";
+    g.arc_transit.(a) <- tt
+
+  let out_csr g = (g.out_start, g.out_arcs)
+  let dsts g = g.arc_dst
+end
+
 let induced g nodes =
   let new_id = Array.make g.n (-1) in
   let k = ref 0 in

@@ -83,6 +83,39 @@ val map_weights : t -> (int -> int) -> t
 val negate_weights : t -> t
 (** Negates every weight (used to turn maximization into minimization). *)
 
+val map_transits : t -> (int -> int) -> t
+(** [map_transits g f] replaces the transit time of arc [a] by [f a];
+    structure and weights are shared.
+    @raise Invalid_argument if [f] returns a negative transit time. *)
+
+(** In-place mutation of arc labels, for owners of private graphs.
+
+    CSR structure (endpoints, adjacency) is immutable; only the weight
+    and transit labels can be rewritten.  Because {!map_weights} and
+    {!reverse} {e share} label arrays with the original graph, mutating
+    a graph also mutates every graph derived from it by those
+    functions.  Use only on graphs with a single owner — the dynamic
+    session subsystem ([Dyn]) is the intended client. *)
+module Unsafe : sig
+  val set_weight : t -> int -> int -> unit
+  (** [set_weight g a w] rewrites the weight of arc [a].
+      @raise Invalid_argument on out-of-range arc ids. *)
+
+  val set_transit : t -> int -> int -> unit
+  (** [set_transit g a tt] rewrites the transit time of arc [a].
+      @raise Invalid_argument on out-of-range arc ids or negative
+      transit times. *)
+
+  val out_csr : t -> int array * int array
+  (** [(start, arcs)]: the internal CSR adjacency — the out-arcs of
+      node [u] are [arcs.(start.(u)) .. arcs.(start.(u+1) - 1)].  The
+      arrays are the graph's own storage: read-only, for kernel inner
+      loops that cannot afford one closure per {!iter_out} call. *)
+
+  val dsts : t -> int array
+  (** The internal arc-head array ([dsts.(a) = dst g a]); read-only. *)
+end
+
 val induced : t -> int list -> t * int array * int array
 (** [induced g nodes] is the subgraph induced by [nodes] with nodes
     renumbered [0 .. k-1] (in the order given).  Returns

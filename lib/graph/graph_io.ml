@@ -31,11 +31,18 @@ let of_string s =
           | None -> fail !lineno "arc before problem line"
         in
         let ints = List.map int_of_string_opt rest in
+        (* endpoint/transit violations surface from Digraph as
+           Invalid_argument; rewrap them as parse failures so callers
+           only ever see Failure for corrupt input *)
         match ints with
-        | [ Some u; Some v; Some w ] ->
-          ignore (Digraph.add_arc b ~src:(u - 1) ~dst:(v - 1) ~weight:w ())
-        | [ Some u; Some v; Some w; Some t ] ->
-          ignore (Digraph.add_arc b ~src:(u - 1) ~dst:(v - 1) ~weight:w ~transit:t ())
+        | [ Some u; Some v; Some w ] -> (
+          try ignore (Digraph.add_arc b ~src:(u - 1) ~dst:(v - 1) ~weight:w ())
+          with Invalid_argument m -> fail !lineno m)
+        | [ Some u; Some v; Some w; Some t ] -> (
+          try
+            ignore
+              (Digraph.add_arc b ~src:(u - 1) ~dst:(v - 1) ~weight:w ~transit:t ())
+          with Invalid_argument m -> fail !lineno m)
         | _ -> fail !lineno "malformed arc line")
       | tok :: _ -> fail !lineno (Printf.sprintf "unknown record %S" tok)
       | [] -> ()
@@ -77,8 +84,9 @@ let of_dimacs s =
           | None -> fail !lineno "arc before problem line"
         in
         match (int_of_string_opt su, int_of_string_opt sv, int_of_string_opt sw) with
-        | Some u, Some v, Some w ->
-          ignore (Digraph.add_arc b ~src:(u - 1) ~dst:(v - 1) ~weight:w ())
+        | Some u, Some v, Some w -> (
+          try ignore (Digraph.add_arc b ~src:(u - 1) ~dst:(v - 1) ~weight:w ())
+          with Invalid_argument m -> fail !lineno m)
         | _ -> fail !lineno "malformed arc line")
       | tok :: _ -> fail !lineno (Printf.sprintf "unknown record %S" tok)
       | [] -> ()

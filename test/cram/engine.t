@@ -77,6 +77,20 @@ Malformed requests get an error response, not a crash:
   $ printf 'g.ocr problem=bogus\nquit\n' | ocr serve
   error msg="problem must be mean or ratio, got \"bogus\""
 
+Corrupt graph files mid-stream likewise answer a structured error line
+and the session keeps serving — truncated records, out-of-range
+endpoints and missing files all stay inside the request that named
+them:
+
+  $ cat > corrupt.ocr << EOF
+  > p ocr 2 1
+  > a 1 7 3 1
+  > EOF
+  $ printf 'corrupt.ocr\nnosuch.ocr\ng.ocr\nquit\n' | ocr serve
+  req=1 file=corrupt.ocr status=error msg="Graph_io: line 2: Digraph.add_arc: endpoint out of range"
+  req=2 file=nosuch.ocr status=error msg="nosuch.ocr: No such file or directory"
+  req=3 file=g.ocr status=ok lambda=4677/4 float=1169.250000 alg=howard components=1 fallbacks=0 cached=false
+
 `ocr solve` honors a wall-clock deadline, reporting a timeout on a
 clean nonzero exit:
 

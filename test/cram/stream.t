@@ -1,0 +1,89 @@
+The dynamic-session front-end: `ocr stream` speaks an NDJSON line
+protocol over stdin/stdout against one mutable graph — label and
+structural updates, exact queries warm-started from the last policy,
+per-epoch fingerprints feeding the answer cache.
+
+  $ cat > g3.ocr << EOF
+  > p ocr 3 3
+  > a 1 2 2 1
+  > a 2 1 4 1
+  > a 3 3 9 1
+  > EOF
+
+A full session: queries re-solve only dirtied components, a malformed
+line mid-stream answers a structured error and the session continues,
+reverting an edit hits the fingerprint cache, and structural updates
+(add_arc answers the assigned session arc id) keep the session exact:
+
+  $ printf '%s\n' \
+  >   '{"op":"query"}' \
+  >   'garbage' \
+  >   '{"op":"set_weight","arc":0,"weight":10}' \
+  >   '{"op":"query"}' \
+  >   '{"op":"set_weight","arc":0,"weight":2}' \
+  >   '{"op":"query"}' \
+  >   '{"op":"epoch"}' \
+  >   '{"op":"fingerprint"}' \
+  >   '{"op":"add_arc","src":2,"dst":0,"weight":1}' \
+  >   '{"op":"query"}' \
+  >   '{"op":"remove_arc","arc":2}' \
+  >   '{"op":"query"}' \
+  >   '{"op":"telemetry"}' \
+  >   '{"op":"quit"}' | ocr stream g3.ocr
+  {"ok":true,"epoch":0,"lambda":"3","float":3.000000,"cycle":[0,1],"components":2,"resolved":2,"cached":false}
+  {"ok":false,"error":"bad json: expected '{' at byte 0"}
+  {"ok":true,"epoch":1}
+  {"ok":true,"epoch":1,"lambda":"7","float":7.000000,"cycle":[0,1],"components":2,"resolved":1,"cached":false}
+  {"ok":true,"epoch":2}
+  {"ok":true,"epoch":2,"lambda":"3","float":3.000000,"cycle":[0,1],"components":2,"resolved":0,"cached":true}
+  {"ok":true,"epoch":2}
+  {"ok":true,"epoch":2,"fingerprint":"336c1e7a50d8a29ba7dcb8033edb143d"}
+  {"ok":true,"epoch":3,"arc":3}
+  {"ok":true,"epoch":3,"lambda":"3","float":3.000000,"cycle":[0,1],"components":2,"resolved":1,"cached":false}
+  {"ok":true,"epoch":4}
+  {"ok":true,"epoch":4,"lambda":"3","float":3.000000,"cycle":[0,1],"components":1,"resolved":0,"cached":false}
+  {"ok":true,"requests":5,"solved":5,"acyclic":0,"rejected":1,"cache_hits":1,"cache_misses":4,"cache_entries":4}
+
+`--journal` records one canonical line per applied update and query;
+rejected lines are not recorded:
+
+  $ printf '%s\n' \
+  >   '{"op":"set_weight","arc":0,"weight":10}' \
+  >   '{"op":"set_weight","arc":99,"weight":1}' \
+  >   '{"op":"add_arc","src":2,"dst":0,"weight":1}' \
+  >   '{"op":"query"}' \
+  >   '{"op":"quit"}' | ocr stream g3.ocr --journal j.ndjson
+  {"ok":true,"epoch":1}
+  {"ok":false,"error":"Dyn.set_weight: no live arc 99"}
+  {"ok":true,"epoch":2,"arc":3}
+  {"ok":true,"epoch":2,"lambda":"7","float":7.000000,"cycle":[0,1],"components":2,"resolved":2,"cached":false}
+
+  $ cat j.ndjson
+  {"op":"set_weight","arc":0,"weight":10}
+  {"op":"add_arc","src":2,"dst":0,"weight":1,"transit":1,"arc":3}
+  {"op":"query"}
+
+`--replay` reprocesses the recorded journal deterministically — same
+epochs, same exact answers:
+
+  $ ocr stream g3.ocr --replay j.ndjson
+  {"ok":true,"epoch":1}
+  {"ok":true,"epoch":2,"arc":3}
+  {"ok":true,"epoch":2,"lambda":"7","float":7.000000,"cycle":[0,1],"components":2,"resolved":2,"cached":false}
+
+Ratio sessions reuse the same protocol (`set_transit` changes the
+denominator); a cycle whose transit drops to zero is a per-query
+error, not a crash, and becomes answerable again once repaired:
+
+  $ printf '%s\n' \
+  >   '{"op":"query"}' \
+  >   '{"op":"set_transit","arc":2,"transit":0}' \
+  >   '{"op":"query"}' \
+  >   '{"op":"set_transit","arc":2,"transit":3}' \
+  >   '{"op":"query"}' \
+  >   '{"op":"quit"}' | ocr stream g3.ocr --problem ratio
+  {"ok":true,"epoch":0,"lambda":"3","float":3.000000,"cycle":[0,1],"components":2,"resolved":2,"cached":false}
+  {"ok":true,"epoch":1}
+  {"ok":false,"error":"Solver: cycle with zero total transit time (cost-to-time ratio undefined)"}
+  {"ok":true,"epoch":2}
+  {"ok":true,"epoch":2,"lambda":"3","float":3.000000,"cycle":[0,1],"components":2,"resolved":1,"cached":false}

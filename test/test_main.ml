@@ -19,5 +19,6 @@ let () =
       ("verify", Test_verify.suite);
       ("generators", Test_gen.suite);
       ("engine", Test_engine.suite);
+      ("dyn", Test_dyn.suite);
       ("applications", Test_apps.suite);
     ]
