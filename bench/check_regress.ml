@@ -1,0 +1,281 @@
+(* CI perf-regression gate.
+
+     check_regress.exe BASELINE.json CURRENT.json [BASELINE CURRENT ...]
+
+   Each pair is a committed baseline (BENCH_pr*.json, recorded on the
+   1-core container that grew this repo) against the JSON a CI smoke
+   run just wrote (bench-e1N.json).  Absolute CI timings are noisy and
+   the hardware differs, so the gate is deliberately loose: a timing
+   metric fails only when
+
+     current > 2.5 * baseline + 1.0   (milliseconds)
+
+   i.e. a >2.5x slowdown with a 1 ms slack floor so micro-rows (tens of
+   microseconds) never trip on scheduler jitter.  Speedups, ratios and
+   counts are never gated.  What *is* gated hard, with no tolerance, is
+   every "identical" flag in the current file: those encode the
+   determinism guarantee (parallel report bit-equal to jobs=1), and a
+   false there is a correctness bug, not noise.
+
+   Rows inside arrays are matched by their discriminator fields
+   (family/n/m/jobs/components_edited), not by position, so reordering
+   or extending an experiment does not break the gate; a baseline row
+   with no counterpart in the current file is reported but only warns
+   (a smoke run may legitimately cover fewer rows than the committed
+   full run). *)
+
+(* ------------------------------------------------------------------ *)
+(* A fifty-line JSON reader.  The bench harness only ever emits        *)
+(* objects, arrays, strings, numbers and booleans, and the committed   *)
+(* baselines are trusted inputs — no streaming, no unicode escapes.    *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | c -> Buffer.add_char b c);
+        advance ();
+        go ()
+      | '\255' -> fail "unterminated string"
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while num_char (peek ()) do advance () done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (advance (); Obj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ((k, v) :: acc)
+          | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        members []
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (advance (); Arr [])
+      else
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elements (v :: acc)
+          | ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        elements []
+    | '"' -> Str (string_lit ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (number ())
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Flattening: every leaf becomes (path, leaf).  Array elements that   *)
+(* are objects are keyed by their discriminator fields so rows match   *)
+(* across files regardless of order; other elements fall back to the   *)
+(* index.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let discriminators = [ "family"; "graph"; "n"; "m"; "jobs"; "workload";
+                       "components_edited" ]
+
+let row_key = function
+  | Obj fields ->
+    let parts =
+      List.filter_map
+        (fun d ->
+          match List.assoc_opt d fields with
+          | Some (Str s) -> Some (Printf.sprintf "%s=%s" d s)
+          | Some (Num f) -> Some (Printf.sprintf "%s=%g" d f)
+          | _ -> None)
+        discriminators
+    in
+    if parts = [] then None else Some (String.concat "," parts)
+  | _ -> None
+
+let flatten (j : json) : (string * json) list =
+  let acc = ref [] in
+  let rec go path j =
+    match j with
+    | Obj fields ->
+      List.iter (fun (k, v) -> go (path ^ "/" ^ k) v) fields
+    | Arr elts ->
+      List.iteri
+        (fun i e ->
+          let key =
+            match row_key e with
+            | Some k -> Printf.sprintf "%s[%s]" path k
+            | None -> Printf.sprintf "%s[%d]" path i
+          in
+          go key e)
+        elts
+    | leaf -> acc := (path, leaf) :: !acc
+  in
+  go "" j;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* The gate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let slowdown_factor = 2.5
+let slack_ms = 1.0
+
+let leaf_name path =
+  match String.rindex_opt path '/' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+(* only wall-clock metrics are gated; speedups, ns/arc, counts and
+   rates depend on them and would double-report the same regression *)
+let gated_metric path =
+  List.mem (leaf_name path)
+    [ "ms"; "ms_per_solve"; "one_pass_ms"; "induced_scan_ms"; "cold_ms";
+      "warm_ms_median"; "cold_ms_median" ]
+
+let failures = ref 0
+let warnings = ref 0
+let checked = ref 0
+
+let check_pair ~baseline ~current =
+  Printf.printf "== %s vs %s\n" baseline current;
+  let base = flatten (parse (read_file baseline)) in
+  let cur = flatten (parse (read_file current)) in
+  (* determinism flags in the *current* run gate unconditionally *)
+  List.iter
+    (fun (path, leaf) ->
+      match leaf with
+      | Bool ok when leaf_name path = "identical" ->
+        incr checked;
+        if not ok then begin
+          incr failures;
+          Printf.printf "FAIL %s: parallel result not identical to jobs=1\n"
+            path
+        end
+      | _ -> ())
+    cur;
+  List.iter
+    (fun (path, leaf) ->
+      match leaf with
+      | Num b when gated_metric path -> (
+        match List.assoc_opt path cur with
+        | Some (Num c) ->
+          incr checked;
+          let limit = (slowdown_factor *. b) +. slack_ms in
+          if c > limit then begin
+            incr failures;
+            Printf.printf "FAIL %s: %.4f ms vs baseline %.4f ms (limit %.4f)\n"
+              path c b limit
+          end
+          else Printf.printf "  ok %s: %.4f ms (baseline %.4f)\n" path c b
+        | Some _ ->
+          incr failures;
+          Printf.printf "FAIL %s: expected a number in the current run\n" path
+        | None ->
+          incr warnings;
+          Printf.printf "  warn %s: in baseline but not in current run\n" path)
+      | _ -> ())
+    base
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec pairs = function
+    | [] -> []
+    | b :: c :: rest -> (b, c) :: pairs rest
+    | [ _ ] ->
+      prerr_endline
+        "usage: check_regress BASELINE.json CURRENT.json [B C ...]";
+      exit 2
+  in
+  let ps = pairs args in
+  if ps = [] then begin
+    prerr_endline "usage: check_regress BASELINE.json CURRENT.json [B C ...]";
+    exit 2
+  end;
+  (try List.iter (fun (b, c) -> check_pair ~baseline:b ~current:c) ps
+   with
+  | Bad_json msg ->
+    Printf.eprintf "malformed JSON: %s\n" msg;
+    exit 2
+  | Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2);
+  Printf.printf
+    "%d metric(s) checked, %d warning(s), %d failure(s); gate: current <= \
+     %.1fx baseline + %.1f ms, identical flags must hold\n"
+    !checked !warnings !failures slowdown_factor slack_ms;
+  if !failures > 0 then exit 1

@@ -973,7 +973,106 @@ let e13 _cfg =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* E14: chunked improvement sweep inside one giant SCC.  SPRAND is     *)
+(* strongly connected by construction, so Solver's per-component       *)
+(* fan-out has exactly one task and any scaling across --jobs comes    *)
+(* from Howard's intra-SCC sweep alone.  The n=1024 row (m=3072) sits  *)
+(* below the 4096-arc chunking threshold on purpose: it shows the      *)
+(* sweep staying serial where fan-out overhead would dominate.         *)
+(* --bench-json FILE writes the numbers (BENCH_pr4.json).              *)
+(* ------------------------------------------------------------------ *)
+
+let e14 _cfg =
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let giant =
+    List.map
+      (fun n ->
+        let g = instance ~n ~density:3.0 ~seed:1 in
+        let m = Digraph.m g in
+        let base =
+          Option.get (Solver.solve ~algorithm:Registry.Howard ~jobs:1 g)
+        in
+        let per_jobs =
+          List.map
+            (fun jobs ->
+              (* the pool is created outside the timed region: E14
+                 measures the sweep, not domain spawns *)
+              let pool = Executor.create ~jobs in
+              let ms =
+                Timing.time_ms ~reps:5 (fun () ->
+                    ignore (Solver.solve ~algorithm:Registry.Howard ~pool g))
+              in
+              let r =
+                Option.get (Solver.solve ~algorithm:Registry.Howard ~pool g)
+              in
+              Executor.shutdown pool;
+              let identical =
+                Ratio.equal r.Solver.lambda base.Solver.lambda
+                && r.Solver.cycle = base.Solver.cycle
+                && r.Solver.stats = base.Solver.stats
+              in
+              (jobs, ms, identical))
+            jobs_list
+        in
+        (n, m, per_jobs))
+      [ 1024; 4096 ]
+  in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E14: Howard solve of a single giant SCC (SPRAND m/n=3.0) across \
+          --jobs; all scaling is the chunked improvement sweep (identical \
+          = report bit-equal to jobs=1; host has %d core(s))"
+         (Domain.recommended_domain_count ()))
+    ~header:[ "n"; "m"; "jobs"; "ms/solve"; "speedup"; "identical" ]
+    (List.concat_map
+       (fun (n, m, per_jobs) ->
+         let serial_ms =
+           match per_jobs with (_, ms, _) :: _ -> ms | [] -> 0.0
+         in
+         List.map
+           (fun (jobs, ms, identical) ->
+             [
+               string_of_int n; string_of_int m; string_of_int jobs;
+               Tables.fmt_ms ms;
+               Printf.sprintf "%.2fx" (serial_ms /. ms);
+               (if identical then "yes" else "NO");
+             ])
+           per_jobs)
+       giant);
+  match !bench_json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    let out fmt = Printf.fprintf oc fmt in
+    out "{\n  \"experiment\": \"E14\",\n";
+    out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+    out "  \"giant_scc_sweep\": [\n";
+    let rows =
+      List.concat_map
+        (fun (n, m, per_jobs) ->
+          let serial_ms =
+            match per_jobs with (_, ms, _) :: _ -> ms | [] -> 0.0
+          in
+          List.map
+            (fun (jobs, ms, identical) -> (n, m, jobs, ms, serial_ms, identical))
+            per_jobs)
+        giant
+    in
+    List.iteri
+      (fun i (n, m, jobs, ms, serial_ms, identical) ->
+        out
+          "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": %d, \
+           \"ms_per_solve\": %.4f, \"speedup\": %.2f, \"identical\": %b}%s\n"
+          n m jobs ms (serial_ms /. ms) identical
+          (if i < List.length rows - 1 then "," else ""))
+      rows;
+    out "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let all : (string * (config -> unit)) list =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13) ]
+    ("E12", e12); ("E13", e13); ("E14", e14) ]

@@ -22,6 +22,20 @@ type scratch = {
   mutable pos : int array;        (* n *)
   mutable walk : int array;       (* n+1 *)
   mutable cycle_arcs : int array; (* n: best policy cycle, path order *)
+  (* Chunked improvement sweep (serial and parallel paths share it):
+     chunk [ci] records, for every node it saw as an arc source, the
+     best candidate value and the lowest arc id attaining it.  Stamps
+     replace per-iteration fills: an entry is live iff its stamp equals
+     [sweep_epoch], which increases monotonically across iterations and
+     solves, so reusing a scratch never reads stale winners. *)
+  mutable sweep_epoch : int;
+  mutable sweep_lambda : float;      (* current λ, read by chunk tasks *)
+  mutable chunk_cap : int;           (* chunk tables allocated *)
+  mutable chunk_n : int;             (* inner arrays valid for n <= chunk_n *)
+  mutable chunk_cand : float array array; (* chunk -> node -> best cand *)
+  mutable chunk_arc : int array array;    (* chunk -> node -> best arc *)
+  mutable chunk_stamp : int array array;  (* chunk -> node -> epoch *)
+  mutable chunk_relax : int array;        (* chunk -> improving-arc count *)
 }
 
 let create_scratch () =
@@ -38,6 +52,14 @@ let create_scratch () =
     pos = [||];
     walk = [||];
     cycle_arcs = [||];
+    sweep_epoch = 0;
+    sweep_lambda = 0.0;
+    chunk_cap = 0;
+    chunk_n = 0;
+    chunk_cand = [||];
+    chunk_arc = [||];
+    chunk_stamp = [||];
+    chunk_relax = [||];
   }
 
 let ensure_scratch s n =
@@ -56,12 +78,122 @@ let ensure_scratch s n =
     s.cycle_arcs <- Array.make n (-1)
   end
 
+let ensure_chunks s chunks =
+  if chunks > s.chunk_cap || s.chunk_n < s.cap then begin
+    let k = max chunks s.chunk_cap in
+    s.chunk_cap <- k;
+    s.chunk_n <- s.cap;
+    s.chunk_cand <- Array.init k (fun _ -> Array.make s.cap infinity);
+    s.chunk_arc <- Array.init k (fun _ -> Array.make s.cap (-1));
+    s.chunk_stamp <- Array.init k (fun _ -> Array.make s.cap 0);
+    s.chunk_relax <- Array.make k 0
+  end
+
+(* One chunk of the improvement sweep (Figure 1, lines 13-18) over the
+   arc range [lo, hi).  Candidates are evaluated against the node
+   distances FROZEN at the start of the sweep — [d] is only read here,
+   so chunks race-freely share it across domains — and the chunk's
+   winner table keeps, per source node, the smallest candidate with the
+   lowest arc id on ties (arcs are visited in increasing id order, so a
+   strict comparison keeps the first minimum).  Allocation-free: all
+   state lives in the preallocated chunk tables. *)
+let sweep_chunk s g den lo hi ci =
+  let d = s.d in
+  let lambda = s.sweep_lambda in
+  let epoch = s.sweep_epoch in
+  let cand_t = s.chunk_cand.(ci)
+  and arc_t = s.chunk_arc.(ci)
+  and stamp_t = s.chunk_stamp.(ci) in
+  let relax = ref 0 in
+  for a = lo to hi - 1 do
+    let u = Digraph.src g a and v = Digraph.dst g a in
+    let cand =
+      d.(v) +. float_of_int (Digraph.weight g a)
+      -. (lambda *. float_of_int (den a))
+    in
+    if cand < d.(u) then incr relax;
+    if stamp_t.(u) <> epoch || cand < cand_t.(u) then begin
+      stamp_t.(u) <- epoch;
+      cand_t.(u) <- cand;
+      arc_t.(u) <- a
+    end
+  done;
+  s.chunk_relax.(ci) <- !relax
+
+(* Merge the per-chunk winner tables in chunk order — chunk [ci] covers
+   strictly lower arc ids than chunk [ci+1], so keeping the earlier
+   chunk on candidate ties preserves the global lowest-arc-id rule —
+   and apply the merged winners to [d]/[pi].  Returns whether any node
+   improved by more than [eps].  The partition of the arc range is
+   invisible here: the merged winner, the relaxation total, and the
+   improvement verdict are identical for every chunk count, which is
+   what makes reports bit-identical across job counts. *)
+let apply_winners s ~n ~chunks ~eps st =
+  let epoch = s.sweep_epoch in
+  let d = s.d and pi = s.pi in
+  let improved = ref false in
+  for u = 0 to n - 1 do
+    let bc = ref (-1) in
+    for ci = 0 to chunks - 1 do
+      if
+        s.chunk_stamp.(ci).(u) = epoch
+        && (!bc < 0 || s.chunk_cand.(ci).(u) < s.chunk_cand.(!bc).(u))
+      then bc := ci
+    done;
+    if !bc >= 0 then begin
+      let cand = s.chunk_cand.(!bc).(u) in
+      let delta = d.(u) -. cand in
+      if delta > 0.0 then begin
+        d.(u) <- cand;
+        pi.(u) <- s.chunk_arc.(!bc).(u);
+        if delta > eps then improved := true
+      end
+    end
+  done;
+  for ci = 0 to chunks - 1 do
+    st.Stats.relaxations <- st.Stats.relaxations + s.chunk_relax.(ci)
+  done;
+  !improved
+
+(* Below this many arcs the chunked sweep runs on the calling domain
+   even when a pool is supplied: per-iteration fan-out overhead (task
+   queueing plus an O(chunks · n) merge) beats the sweep itself on
+   small components.  [sweep_min_arcs] overrides the default — bench
+   E14 and the tie-merge property tests force chunking on small
+   instances with it.  The cutoff never affects results, only where
+   the arcs are swept. *)
+let default_sweep_min_arcs = 4096
+
 let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
-    ~den ~epsilon g =
+    ?pool ?(sweep_min_arcs = default_sweep_min_arcs) ~den ~epsilon g =
   if Digraph.m g = 0 then invalid_arg "Howard: graph has no arcs";
   let n = Digraph.n g and m = Digraph.m g in
   let s = match scratch with Some s -> s | None -> create_scratch () in
   ensure_scratch s n;
+  (* chunk count for the improvement sweep: one chunk (the serial path)
+     without a multi-worker pool or below the size cutoff, else up to
+     [jobs] chunks of at least half the cutoff each *)
+  let chunks =
+    match pool with
+    | Some p when Executor.jobs p > 1 && m >= sweep_min_arcs ->
+      let floor = max 1 (sweep_min_arcs / 2) in
+      min (Executor.jobs p) (max 1 (m / floor))
+    | _ -> 1
+  in
+  ensure_chunks s chunks;
+  let chunk_lo ci = ci * m / chunks in
+  (* per-solve task closures, reused every iteration: each reads the
+     current λ and epoch from the scratch, so the steady state only
+     allocates the futures of the fan-out (O(chunks) words/iteration),
+     never fresh sweep state *)
+  let tasks =
+    if chunks <= 1 then [||]
+    else
+      Array.init (chunks - 1) (fun i ->
+          let ci = i + 1 in
+          let lo = chunk_lo ci and hi = chunk_lo (ci + 1) in
+          fun () -> sweep_chunk s g den lo hi ci)
+  in
   (* unconditional counter updates beat an option match in the hot
      loop; the dummy costs one allocation per un-instrumented solve *)
   let st = match stats with Some st -> st | None -> Stats.create () in
@@ -266,24 +398,19 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
         end
       done
     done;
-    (* improvement sweep (Figure 1, lines 13-18) over the raw arc
-       range — a direct loop, so nothing is captured or allocated *)
-    let improved = ref false in
-    for a = 0 to m - 1 do
-      let u = Digraph.src g a and v = Digraph.dst g a in
-      let cand =
-        d.(v) +. float_of_int (Digraph.weight g a)
-        -. (lambda *. float_of_int (den a))
-      in
-      let delta = d.(u) -. cand in
-      if delta > 0.0 then begin
-        st.Stats.relaxations <- st.Stats.relaxations + 1;
-        d.(u) <- cand;
-        pi.(u) <- a;
-        if delta > eps then improved := true
-      end
-    done;
-    if not !improved then converged := true
+    (* improvement sweep (Figure 1, lines 13-18): each chunk records
+       per-node winners against the distances frozen above; the merge
+       applies them.  With one chunk this is the serial kernel; with a
+       pool, chunk 0 runs here while chunks 1.. run on the executor. *)
+    s.sweep_epoch <- s.sweep_epoch + 1;
+    s.sweep_lambda <- lambda;
+    (match pool with
+    | Some p when chunks > 1 ->
+      let futs = Array.map (Executor.async p) tasks in
+      sweep_chunk s g den 0 (chunk_lo 1) 0;
+      Array.iter (fun fut -> Executor.await p fut) futs
+    | _ -> sweep_chunk s g den 0 m 0);
+    if not (apply_winners s ~n ~chunks ~eps st) then converged := true
   done;
   (* iteration cap hit: the best policy cycle of the current policy is
      still a sound candidate; the exact finisher corrects any gap.
@@ -300,24 +427,30 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
   let lambda, witness = Critical.improve_to_optimal ?stats ~den g !cycle in
   (lambda, witness, Array.sub pi 0 n)
 
-let minimum_cycle_mean ?stats ?budget ?(epsilon = 1e-9) ?init ?scratch g =
+let minimum_cycle_mean ?stats ?budget ?(epsilon = 1e-9) ?init ?scratch ?pool
+    ?sweep_min_arcs g =
   let lambda, cycle, _ =
-    solve ?stats ?budget ?init ?scratch ~den:(fun _ -> 1) ~epsilon g
+    solve ?stats ?budget ?init ?scratch ?pool ?sweep_min_arcs
+      ~den:(fun _ -> 1) ~epsilon g
   in
   (lambda, cycle)
 
-let minimum_cycle_ratio ?stats ?budget ?(epsilon = 1e-9) ?init ?scratch g =
+let minimum_cycle_ratio ?stats ?budget ?(epsilon = 1e-9) ?init ?scratch ?pool
+    ?sweep_min_arcs g =
   Critical.assert_ratio_well_posed g;
   let lambda, cycle, _ =
-    solve ?stats ?budget ?init ?scratch ~den:(Digraph.transit g) ~epsilon g
+    solve ?stats ?budget ?init ?scratch ?pool ?sweep_min_arcs
+      ~den:(Digraph.transit g) ~epsilon g
   in
   (lambda, cycle)
 
 let minimum_cycle_mean_warm ?stats ?(epsilon = 1e-9) ?policy ?potentials
-    ?scratch g =
-  solve ?stats ?policy ?potentials ?scratch ~den:(fun _ -> 1) ~epsilon g
+    ?scratch ?pool ?sweep_min_arcs g =
+  solve ?stats ?policy ?potentials ?scratch ?pool ?sweep_min_arcs
+    ~den:(fun _ -> 1) ~epsilon g
 
 let minimum_cycle_ratio_warm ?stats ?(epsilon = 1e-9) ?policy ?potentials
-    ?scratch g =
+    ?scratch ?pool ?sweep_min_arcs g =
   Critical.assert_ratio_well_posed g;
-  solve ?stats ?policy ?potentials ?scratch ~den:(Digraph.transit g) ~epsilon g
+  solve ?stats ?policy ?potentials ?scratch ?pool ?sweep_min_arcs
+    ~den:(Digraph.transit g) ~epsilon g

@@ -16,6 +16,19 @@
     candidate cycle lives in reusable scratch — lists are materialized
     only on return (see docs/PERF.md for the scratch layout).
 
+    The per-arc improvement test is chunkable: every entry point takes
+    an optional executor [pool], and with a multi-worker pool on a
+    large enough graph the arc range is split into chunks swept
+    concurrently, one scratch winner table per chunk.  Candidates are
+    evaluated against the node distances frozen at the start of the
+    sweep, and the per-chunk winners are merged deterministically —
+    smallest candidate first, lowest arc id on ties — so the sweep's
+    outcome (policy, distances, operation counts, and therefore the
+    whole solve) is bit-identical for every chunk and job count,
+    including the serial path.  This is what makes [--jobs] pay off on
+    a single giant SCC, where the per-component fan-out of
+    {!Solver.solve} has nothing to parallelize (bench E14).
+
     The iteration runs in floating point exactly as published; on
     convergence the best policy cycle is handed to
     {!Critical.improve_to_optimal}, so the returned value is the exact
@@ -43,21 +56,32 @@ val create_scratch : unit -> scratch
 
 val minimum_cycle_mean :
   ?stats:Stats.t -> ?budget:Budget.t -> ?epsilon:float -> ?init:init ->
-  ?scratch:scratch -> Digraph.t -> Ratio.t * int list
+  ?scratch:scratch -> ?pool:Executor.t -> ?sweep_min_arcs:int ->
+  Digraph.t -> Ratio.t * int list
 (** [epsilon] is the improvement threshold of Figure 1 (relative to the
     weight scale; default [1e-9]).  [budget] is ticked once per policy
-    iteration; see {!Budget}.
+    iteration (on the coordinating domain only — chunk tasks never
+    touch it); see {!Budget}.
+
+    [pool] parallelizes the improvement sweep across the executor's
+    workers when the graph has at least [sweep_min_arcs] arcs (default
+    4096; below that the fan-out overhead outweighs the sweep — see
+    docs/PERF.md).  The answer, and every counter in [stats], is
+    bit-identical with and without a pool.  The pool may be shared with
+    the per-component fan-out of {!Solver.solve}: its help-first
+    waiting makes the nesting deadlock-free.
     @raise Budget.Exceeded when the budget runs out mid-solve. *)
 
 val minimum_cycle_ratio :
   ?stats:Stats.t -> ?budget:Budget.t -> ?epsilon:float -> ?init:init ->
-  ?scratch:scratch -> Digraph.t -> Ratio.t * int list
+  ?scratch:scratch -> ?pool:Executor.t -> ?sweep_min_arcs:int ->
+  Digraph.t -> Ratio.t * int list
 (** Cost-to-time ratio form: policy values use [w − λ·t]. *)
 
 val minimum_cycle_mean_warm :
   ?stats:Stats.t -> ?epsilon:float -> ?policy:int array ->
-  ?potentials:float array -> ?scratch:scratch -> Digraph.t ->
-  Ratio.t * int list * int array
+  ?potentials:float array -> ?scratch:scratch -> ?pool:Executor.t ->
+  ?sweep_min_arcs:int -> Digraph.t -> Ratio.t * int list * int array
 (** Warm-start entry point for repeated re-solves (the paper's §1.3
     notes the applications "require that they be run many times"): the
     optional [policy] (one out-arc id per node, e.g. the third
@@ -76,8 +100,8 @@ val minimum_cycle_mean_warm :
 
 val minimum_cycle_ratio_warm :
   ?stats:Stats.t -> ?epsilon:float -> ?policy:int array ->
-  ?potentials:float array -> ?scratch:scratch -> Digraph.t ->
-  Ratio.t * int list * int array
+  ?potentials:float array -> ?scratch:scratch -> ?pool:Executor.t ->
+  ?sweep_min_arcs:int -> Digraph.t -> Ratio.t * int list * int array
 (** Cost-to-time ratio form of {!minimum_cycle_mean_warm}.
     @raise Invalid_argument on zero-total-transit cycles or an invalid
     [policy] (see {!minimum_cycle_mean_warm}; {!Warm.solve} repairs

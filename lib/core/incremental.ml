@@ -4,9 +4,9 @@
 
 type t = Warm.t
 
-let create ?(problem = Warm.Mean) g =
+let create ?(problem = Warm.Mean) ?pool g =
   if Digraph.m g = 0 then invalid_arg "Incremental.create: graph has no arcs";
-  Warm.create ~problem g
+  Warm.create ~problem ?pool g
 
 let graph = Warm.graph
 

@@ -22,11 +22,13 @@
 
 type t
 
-val create : ?problem:Warm.problem -> Digraph.t -> t
+val create : ?problem:Warm.problem -> ?pool:Executor.t -> Digraph.t -> t
 (** The graph must be strongly connected with at least one arc (as for
     the raw algorithms; use {!Solver} + fresh solves, or [Dyn],
     otherwise).  [problem] defaults to [Warm.Mean]; pass [Warm.Ratio]
-    for cost-to-time ratio queries. *)
+    for cost-to-time ratio queries.  [pool] chunks each re-solve's
+    improvement sweep across the executor's workers (caller-owned;
+    answers are bit-identical with or without it). *)
 
 val graph : t -> Digraph.t
 (** Current graph (reflects all updates). *)

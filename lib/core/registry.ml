@@ -51,12 +51,14 @@ let supports_budget = function
   | Howard | Ho | Karp2 -> true
   | Burns | Ko | Yto | Karp | Dg | Lawler | Oa1 | Oa2 -> false
 
-let minimum_cycle_mean alg ?stats ?budget g =
+(* [pool] parallelizes the intra-SCC improvement sweep; only Howard
+   has a chunkable kernel, every other algorithm ignores it *)
+let minimum_cycle_mean alg ?stats ?budget ?pool g =
   match alg with
   | Burns -> Burns.minimum_cycle_mean ?stats g
   | Ko -> Ko.minimum_cycle_mean ?stats g
   | Yto -> Yto.minimum_cycle_mean ?stats g
-  | Howard -> Howard.minimum_cycle_mean ?stats ?budget g
+  | Howard -> Howard.minimum_cycle_mean ?stats ?budget ?pool g
   | Ho -> Ho.minimum_cycle_mean ?stats ?budget g
   | Karp -> Karp.minimum_cycle_mean ?stats g
   | Dg -> Dg.minimum_cycle_mean ?stats g
@@ -65,10 +67,10 @@ let minimum_cycle_mean alg ?stats ?budget g =
   | Oa1 -> Oa.oa1_minimum_cycle_mean ?stats g
   | Oa2 -> Oa.oa2_minimum_cycle_mean ?stats g
 
-let minimum_cycle_ratio alg ?stats ?budget g =
+let minimum_cycle_ratio alg ?stats ?budget ?pool g =
   match alg with
   | Burns -> Burns.minimum_cycle_ratio ?stats g
-  | Howard -> Howard.minimum_cycle_ratio ?stats ?budget g
+  | Howard -> Howard.minimum_cycle_ratio ?stats ?budget ?pool g
   | Lawler -> Lawler.minimum_cycle_ratio ?stats g
   | Oa1 -> Oa.oa1_minimum_cycle_ratio ?stats g
   | Oa2 -> Oa.oa2_minimum_cycle_ratio ?stats g
@@ -78,5 +80,7 @@ let minimum_cycle_ratio alg ?stats ?budget g =
     (* Hartmann-Orlin reduction: expand transit times, solve the mean
        problem, and map the witness back *)
     let ex = Expand.transit_expand g in
-    let lambda, cycle = minimum_cycle_mean alg ?stats ?budget ex.Expand.graph in
+    let lambda, cycle =
+      minimum_cycle_mean alg ?stats ?budget ?pool ex.Expand.graph
+    in
     (lambda, Expand.restrict_cycle ex cycle)

@@ -42,14 +42,17 @@ val supports_budget : algorithm -> bool
     strongly connected components by {!Solver}. *)
 
 val minimum_cycle_mean :
-  algorithm -> ?stats:Stats.t -> ?budget:Budget.t -> Digraph.t ->
-  Ratio.t * int list
-(** @raise Budget.Exceeded from budget-supporting algorithms when the
+  algorithm -> ?stats:Stats.t -> ?budget:Budget.t -> ?pool:Executor.t ->
+  Digraph.t -> Ratio.t * int list
+(** [pool] parallelizes the intra-SCC improvement sweep of {!Howard}
+    (bit-identical answers and stats with or without it); the other
+    algorithms ignore it.
+    @raise Budget.Exceeded from budget-supporting algorithms when the
     supplied budget runs out mid-solve. *)
 
 val minimum_cycle_ratio :
-  algorithm -> ?stats:Stats.t -> ?budget:Budget.t -> Digraph.t ->
-  Ratio.t * int list
+  algorithm -> ?stats:Stats.t -> ?budget:Budget.t -> ?pool:Executor.t ->
+  Digraph.t -> Ratio.t * int list
 (** For non-[native_ratio] algorithms this expands transit times first,
     so it requires every transit time to be a positive integer; native
     algorithms only require every {e cycle} to have positive transit. *)

@@ -61,10 +61,10 @@ let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ?(jobs = 1)
   (* one O(n+m) sweep builds every cyclic-SCC subproblem, replacing the
      former per-component Digraph.induced scans (O(m · #SCCs)) *)
   let subs = Scc.partition g_min scc in
-  let solve_sub (sp : Scc.subproblem) =
+  let solve_sub ?pool (sp : Scc.subproblem) =
     (match budget with Some b -> Budget.check b | None -> ());
     let sub_stats = Stats.create () in
-    let lambda, cycle = run ~stats:sub_stats ?budget sp.Scc.sub in
+    let lambda, cycle = run ~stats:sub_stats ?budget ?pool sp.Scc.sub in
     (lambda, List.map (fun a -> sp.Scc.arc_of_sub.(a)) cycle, sub_stats)
   in
   (* Per-component results in component (reverse topological) order;
@@ -86,8 +86,14 @@ let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ?(jobs = 1)
         | None -> (Executor.create ~jobs, true)
       in
       let compute () =
+        (* the pool serves both levels of parallelism: components fan
+           out here, and each Howard solve re-uses it to chunk its
+           improvement sweep — the dominant win when one giant SCC
+           holds most of the arcs.  Help-first waiting makes the
+           nesting deadlock-free. *)
         subs
-        |> Array.map (fun sp -> Executor.async p (fun () -> solve_sub sp))
+        |> Array.map (fun sp ->
+               Executor.async p (fun () -> solve_sub ~pool:p sp))
         |> Array.map (fun fut ->
                match Executor.await p fut with
                | v -> Some v

@@ -49,11 +49,17 @@ val solve :
     one O(n+m) partition sweep ({!Scc.partition}); with [jobs > 1] (a
     private pool of [jobs-1] domains plus the calling thread) or an
     externally managed [pool], independent components solve
-    concurrently.  The reduction is deterministic: per-component
-    results are folded in component order with the serial loop's exact
-    tie-breaking, so the report — λ, witness cycle, merged stats — is
-    bit-identical for every job count.  Default [jobs = 1] runs inline
-    with no domain spawned.
+    concurrently.  The same pool is handed down into each component
+    solve, so with [algorithm = Howard] the per-arc improvement sweep
+    inside a large component is also chunked across the workers
+    ({!Howard.minimum_cycle_mean}) — this is what makes [jobs] pay off
+    on a single giant SCC, where the component fan-out alone has
+    nothing to parallelize.  The reduction is deterministic: the
+    chunked sweep merges winners by (candidate, lowest arc id) and
+    per-component results are folded in component order with the serial
+    loop's exact tie-breaking, so the report — λ, witness cycle, merged
+    stats — is bit-identical for every job count.  Default [jobs = 1]
+    runs inline with no domain spawned.
 
     [budget] bounds the work: the clock is checked before every
     component and budget-supporting algorithms

@@ -21,7 +21,7 @@ let repair_policy g policy =
     end
   done
 
-let solve_warm ?stats ?policy ?potentials ?scratch ?hint problem g =
+let solve_warm ?stats ?policy ?potentials ?scratch ?hint ?pool problem g =
   let policy =
     match policy with
     | None -> None
@@ -63,9 +63,11 @@ let solve_warm ?stats ?policy ?potentials ?scratch ?hint problem g =
   | None -> (
     match problem with
     | Mean ->
-      Howard.minimum_cycle_mean_warm ?stats ?policy ?potentials ?scratch g
+      Howard.minimum_cycle_mean_warm ?stats ?policy ?potentials ?scratch
+        ?pool g
     | Ratio ->
-      Howard.minimum_cycle_ratio_warm ?stats ?policy ?potentials ?scratch g)
+      Howard.minimum_cycle_ratio_warm ?stats ?policy ?potentials ?scratch
+        ?pool g)
 
 type t = {
   problem : problem;
@@ -78,9 +80,10 @@ type t = {
   mutable last : Ratio.t option; (* last optimum, the next solve's hint *)
   potentials : float array; (* in/out node distances, kept across solves *)
   scratch : Howard.scratch; (* kernel workspace, reused across re-solves *)
+  pool : Executor.t option; (* chunks the improvement sweep when present *)
 }
 
-let create ?(problem = Mean) g =
+let create ?(problem = Mean) ?pool g =
   if Digraph.m g = 0 then invalid_arg "Warm.create: graph has no arcs";
   {
     problem;
@@ -93,6 +96,7 @@ let create ?(problem = Mean) g =
     last = None;
     potentials = Array.make (Digraph.n g) 0.0;
     scratch = Howard.create_scratch ();
+    pool;
   }
 
 let problem t = t.problem
@@ -131,7 +135,7 @@ let solve ?stats t =
   refresh t;
   let lambda, cycle, policy =
     solve_warm ?stats ?policy:t.policy ~potentials:t.potentials
-      ~scratch:t.scratch ?hint:t.last t.problem t.graph
+      ~scratch:t.scratch ?hint:t.last ?pool:t.pool t.problem t.graph
   in
   t.policy <- Some policy;
   t.last <- Some lambda;

@@ -29,8 +29,8 @@ val repair_policy : Digraph.t -> int array -> unit
 
 val solve_warm :
   ?stats:Stats.t -> ?policy:int array -> ?potentials:float array ->
-  ?scratch:Howard.scratch -> ?hint:Ratio.t -> problem -> Digraph.t ->
-  Ratio.t * int list * int array
+  ?scratch:Howard.scratch -> ?hint:Ratio.t -> ?pool:Executor.t ->
+  problem -> Digraph.t -> Ratio.t * int list * int array
 (** One warm re-solve on a strongly connected graph.  [policy] (if
     given) is repaired in place with {!repair_policy} and seeds the
     iteration; the returned array is the final policy, to be fed back
@@ -38,6 +38,11 @@ val solve_warm :
     buffer of {!Howard.minimum_cycle_mean_warm} — keep one per
     component and pass it to every call, or re-solves of a barely
     changed graph re-derive all distances from scratch.
+
+    [pool] is forwarded to the warm Howard entry points, which chunk
+    their per-arc improvement sweep across the executor's workers on
+    large enough graphs — answers stay bit-identical (see
+    {!Howard.minimum_cycle_mean}).
 
     [hint] (requires [policy]) is a candidate optimum — typically the
     exact answer for a slightly different labelling of this graph.  A
@@ -63,9 +68,11 @@ val solve_warm :
 
 type t
 
-val create : ?problem:problem -> Digraph.t -> t
+val create : ?problem:problem -> ?pool:Executor.t -> Digraph.t -> t
 (** The graph must be strongly connected with at least one arc.
-    [problem] defaults to [Mean]. *)
+    [problem] defaults to [Mean].  [pool], if given, chunks the
+    improvement sweep of every re-solve across the executor's workers;
+    the caller keeps ownership (and shuts it down). *)
 
 val problem : t -> problem
 

@@ -417,9 +417,12 @@ let solve_part t ci (p : part) scratch =
      the exact answer of the pre-edit component, and most edits leave
      it confirmable by a single location pass *)
   let hint = Option.map fst p.p_result in
+  (* the session pool also chunks the improvement sweep inside this
+     component — the interesting case being one giant dirty SCC, where
+     the per-component fan-out below has nothing to parallelize *)
   let lambda, cyc, pol =
     Warm.solve_warm ~stats:st ~policy ~potentials:pot ?scratch ?hint
-      (warm_problem t) p.p_sub
+      ?pool:t.pool (warm_problem t) p.p_sub
   in
   (lambda, List.map (fun i -> p.p_arcs.(i)) cyc, pol, pot, st)
 

@@ -110,7 +110,11 @@ let solve_fresh t tel (req : Request.t) =
         | Solver.Cycle_ratio -> Registry.minimum_cycle_ratio alg
       in
       (* each component task gets its own Stats.t and Budget.t — no
-         mutable state crosses a domain boundary *)
+         mutable state crosses a domain boundary.  The engine pool is
+         also handed into the solve so Howard can chunk its improvement
+         sweep inside one giant component; the budget stays safe there
+         because Howard ticks it on the coordinating domain only, never
+         from a chunk task *)
       let solve_component alg iter_budget (sp : Scc.subproblem) =
         let sub_stats = Stats.create () in
         let budget =
@@ -121,7 +125,9 @@ let solve_fresh t tel (req : Request.t) =
               (Budget.create ?max_iterations:iter_budget ~now:t.now
                  ?deadline_at ())
         in
-        let lambda, cycle = run alg ~stats:sub_stats ?budget sp.Scc.sub in
+        let lambda, cycle =
+          run alg ~stats:sub_stats ?budget ~pool:t.exec sp.Scc.sub
+        in
         (lambda, List.map (fun a -> sp.Scc.arc_of_sub.(a)) cycle, sub_stats)
       in
       let attempt (alg, iter_budget) =

@@ -27,8 +27,11 @@ let generate ?(seed = 1) ?(density = 1.8) ?(locality = 8)
   for _ = n + 1 to m do
     let i = Rng.int rng n in
     let span = geometric rng locality in
+    (* the geometric tail is unbounded, so reduce with a true positive
+       modulo — a fixed [+ k*n] offset underflows for span > k*n *)
     let j =
-      if Rng.bool rng then (i + span) mod n else (i - span + (n * 8)) mod n
+      if Rng.bool rng then (i + span) mod n
+      else (((i - span) mod n) + n) mod n
     in
     if i <> j then add perm.(i) perm.(j)
   done;

@@ -66,6 +66,32 @@ let arb_any_graph ?max_n ?max_m ?wlo ?whi ?tmax () =
 
 let qtests cases = List.map QCheck_alcotest.to_alcotest cases
 
+(* ------------------------------------------------------------------ *)
+(* Multicore test configuration                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* OCR_TEST_JOBS (CI's forced-multicore leg sets it to 8) makes every
+   test that takes a job count run with that many workers instead of
+   its serial default, so the chunked improvement sweep and the
+   per-component fan-out face the same assertions as the serial
+   paths. *)
+let env_jobs =
+  match Sys.getenv_opt "OCR_TEST_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some j when j >= 1 -> Some j
+    | _ -> None)
+
+let default_jobs = Option.value env_jobs ~default:1
+
+(* the job counts a determinism sweep must cover: serial, the smallest
+   parallel pool, an oversubscribed one, and any distinct override *)
+let jobs_sweep =
+  match env_jobs with
+  | Some j when not (List.mem j [ 1; 2; 8 ]) -> [ 1; 2; 8; j ]
+  | _ -> [ 1; 2; 8 ]
+
 (* The oracle value as a Ratio, for cross-checking. *)
 let oracle_mean objective g =
   Option.map

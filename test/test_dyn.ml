@@ -324,10 +324,13 @@ let serve_stream () =
 
 let suite =
   [
+    (* the nominally-serial legs honor OCR_TEST_JOBS (CI's forced-
+       multicore leg sets 8), so every update/query mix also runs
+       through the pooled fan-out and the chunked sweep there *)
     Alcotest.test_case "mean/min: 220 mixed updates = cold solves (jobs=1)"
       `Quick
       (mixed_updates ~problem:Solver.Cycle_mean ~objective:Solver.Minimize
-         ~jobs:1 ~seed:1 ~updates:220);
+         ~jobs:Helpers.default_jobs ~seed:1 ~updates:220);
     Alcotest.test_case "mean/min: 220 mixed updates = cold solves (jobs=8)"
       `Quick
       (mixed_updates ~problem:Solver.Cycle_mean ~objective:Solver.Minimize
@@ -335,11 +338,11 @@ let suite =
     Alcotest.test_case "mean/max: 200 mixed updates = cold solves (jobs=1)"
       `Quick
       (mixed_updates ~problem:Solver.Cycle_mean ~objective:Solver.Maximize
-         ~jobs:1 ~seed:3 ~updates:200);
+         ~jobs:Helpers.default_jobs ~seed:3 ~updates:200);
     Alcotest.test_case "ratio/min: 220 mixed updates = cold solves (jobs=1)"
       `Quick
       (mixed_updates ~problem:Solver.Cycle_ratio ~objective:Solver.Minimize
-         ~jobs:1 ~seed:4 ~updates:220);
+         ~jobs:Helpers.default_jobs ~seed:4 ~updates:220);
     Alcotest.test_case "ratio/min: 200 mixed updates = cold solves (jobs=8)"
       `Quick
       (mixed_updates ~problem:Solver.Cycle_ratio ~objective:Solver.Minimize
@@ -347,7 +350,7 @@ let suite =
     Alcotest.test_case "ratio/max: 200 mixed updates = cold solves (jobs=1)"
       `Quick
       (mixed_updates ~problem:Solver.Cycle_ratio ~objective:Solver.Maximize
-         ~jobs:1 ~seed:6 ~updates:200);
+         ~jobs:Helpers.default_jobs ~seed:6 ~updates:200);
     Alcotest.test_case "journal replay reproduces the session" `Quick
       replay_roundtrip;
     Alcotest.test_case "zero-transit ratio: Solver's message, then cured"

@@ -60,6 +60,121 @@ let test_warm_start_with_scratch () =
   Helpers.check_ratio "re-solve from the optimal policy" l0 l1;
   Alcotest.(check bool) "witness is a cycle" true (Digraph.is_cycle g c1)
 
+(* ------------------------------------------------------------------ *)
+(* Chunked improvement sweep: bit-identical to the serial kernel       *)
+(* ------------------------------------------------------------------ *)
+
+(* The full kernel trajectory, not just the answer: λ, witness, final
+   policy, and every operation counter must match the serial run for
+   any pool size.  Tie-heavy families are the interesting inputs — with
+   all weights equal every arc into a node proposes the same candidate,
+   so any deviation from the lowest-arc-id merge rule shows up as a
+   different final policy. *)
+let check_chunked_matches_serial name g jobs =
+  let st0 = Stats.create () in
+  let l0, c0, p0 =
+    Howard.minimum_cycle_mean_warm ~stats:st0 ~sweep_min_arcs:64 g
+  in
+  let pool = Executor.create ~jobs in
+  Fun.protect
+    ~finally:(fun () -> Executor.shutdown pool)
+    (fun () ->
+      let st = Stats.create () in
+      let l, c, p =
+        Howard.minimum_cycle_mean_warm ~stats:st ~pool ~sweep_min_arcs:64 g
+      in
+      Helpers.check_ratio (name ^ ": lambda") l0 l;
+      Alcotest.(check (list int)) (name ^ ": cycle") c0 c;
+      Alcotest.(check (array int)) (name ^ ": final policy") p0 p;
+      Alcotest.(check bool)
+        (name ^ ": stats bit-equal") true (st0 = st))
+
+let test_chunked_sweep_tie_heavy () =
+  List.iter
+    (fun jobs ->
+      (* every arc weighs 7: maximal ties, m = 96·95 = 9120 arcs *)
+      check_chunked_matches_serial
+        (Printf.sprintf "uniform complete, jobs=%d" jobs)
+        (Families.complete ~weights:(7, 7) 96)
+        jobs;
+      check_chunked_matches_serial
+        (Printf.sprintf "unit ring, jobs=%d" jobs)
+        (Families.ring 8192) jobs;
+      check_chunked_matches_serial
+        (Printf.sprintf "sprand, jobs=%d" jobs)
+        (Sprand.generate ~seed:7 ~n:2048 ~m:6144 ())
+        jobs)
+    [ 2; 3; Helpers.default_jobs ]
+
+(* On arbitrary strongly connected graphs, with the chunking threshold
+   forced all the way down so even ~10-arc instances split. *)
+let qcheck_chunked_sweep_matches_serial =
+  QCheck.Test.make
+    ~name:"howard: chunked sweep bit-identical to serial (any graph)"
+    ~count:60
+    (Helpers.arb_strongly_connected ~max_n:10 ~max_extra:20 ~wlo:(-5) ~whi:5 ())
+    (fun g ->
+      let st0 = Stats.create () in
+      let l0, c0, p0 =
+        Howard.minimum_cycle_mean_warm ~stats:st0 ~sweep_min_arcs:2 g
+      in
+      List.for_all
+        (fun jobs ->
+          let pool = Executor.create ~jobs in
+          Fun.protect
+            ~finally:(fun () -> Executor.shutdown pool)
+            (fun () ->
+              let st = Stats.create () in
+              let l, c, p =
+                Howard.minimum_cycle_mean_warm ~stats:st ~pool
+                  ~sweep_min_arcs:2 g
+              in
+              Ratio.equal l0 l && c0 = c && p0 = p && st0 = st))
+        Helpers.jobs_sweep)
+
+(* The parallel sweep's only steady-state allocation is the O(chunks)
+   futures per iteration on the coordinating domain; the chunk winner
+   tables live in the preallocated scratch.  Same differential
+   technique as the serial test, with a bound that admits the futures
+   but would catch any per-arc or per-node allocation. *)
+let test_parallel_steady_state_allocation () =
+  let g = Sprand.generate ~seed:3 ~n:2000 ~m:6000 () in
+  let pool = Executor.create ~jobs:8 in
+  Fun.protect
+    ~finally:(fun () -> Executor.shutdown pool)
+    (fun () ->
+      let scratch = Howard.create_scratch () in
+      let stats = Stats.create () in
+      ignore
+        (Howard.minimum_cycle_mean ~stats ~init:`First_arc ~scratch ~pool
+           ~sweep_min_arcs:64 g);
+      let total = stats.Stats.iterations in
+      Alcotest.(check bool)
+        (Printf.sprintf "enough iterations to measure (%d)" total)
+        true (total >= 6);
+      let run k =
+        match
+          Howard.minimum_cycle_mean ~init:`First_arc
+            ~budget:(Budget.create ~max_iterations:k ())
+            ~scratch ~pool ~sweep_min_arcs:64 g
+        with
+        | exception Budget.Exceeded _ -> ()
+        | _ -> Alcotest.fail "the capped run should stop early"
+      in
+      let words k =
+        run k;
+        let before = Gc.minor_words () in
+        run k;
+        Gc.minor_words () -. before
+      in
+      let k1 = 2 and k2 = total - 1 in
+      let per_iter = (words k2 -. words k1) /. float_of_int (k2 - k1) in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "parallel steady-state iteration allocates %.1f words (< 512)"
+           per_iter)
+        true (per_iter < 512.0))
+
 let qcheck_random_init_agrees =
   QCheck.Test.make ~name:"howard: random init reaches the same optimum"
     ~count:60
@@ -79,5 +194,10 @@ let suite =
     Alcotest.test_case "scratch reuse across graphs" `Quick test_scratch_reuse;
     Alcotest.test_case "warm start threads scratch" `Quick
       test_warm_start_with_scratch;
+    Alcotest.test_case "chunked sweep bit-identical on tie-heavy graphs"
+      `Quick test_chunked_sweep_tie_heavy;
+    Alcotest.test_case "parallel steady state allocates O(chunks) words"
+      `Quick test_parallel_steady_state_allocation;
   ]
-  @ Helpers.qtests [ qcheck_random_init_agrees ]
+  @ Helpers.qtests
+      [ qcheck_random_init_agrees; qcheck_chunked_sweep_matches_serial ]

@@ -166,17 +166,17 @@ let same_report (a : Solver.report) (b : Solver.report) =
 
 let qcheck_parallel_determinism =
   QCheck.Test.make
-    ~name:"solver: jobs in {1,2,8} give bit-identical reports" ~count:25
+    ~name:"solver: every job count gives a bit-identical report" ~count:25
     (Helpers.arb_any_graph ~max_n:14 ~max_m:35 ())
     (fun g ->
-      match
-        ( Solver.solve ~jobs:1 ~algorithm:Registry.Howard g,
-          Solver.solve ~jobs:2 ~algorithm:Registry.Howard g,
-          Solver.solve ~jobs:8 ~algorithm:Registry.Howard g )
-      with
-      | None, None, None -> true
-      | Some a, Some b, Some c -> same_report a b && same_report a c
-      | _ -> false)
+      let base = Solver.solve ~jobs:1 ~algorithm:Registry.Howard g in
+      List.for_all
+        (fun jobs ->
+          match (base, Solver.solve ~jobs ~algorithm:Registry.Howard g) with
+          | None, None -> true
+          | Some a, Some b -> same_report a b
+          | _ -> false)
+        Helpers.jobs_sweep)
 
 let test_many_scc_parallel_identical () =
   let g = Families.many_scc ~seed:7 ~components:12 ~size:10 () in
@@ -189,6 +189,22 @@ let test_many_scc_parallel_identical () =
         (Printf.sprintf "jobs=%d matches jobs=1" jobs)
         true (same_report base r))
     [ 2; 3; 8 ]
+
+(* One giant SCC (SPRAND is strongly connected by construction): the
+   per-component fan-out degenerates to a single task, so this pins the
+   other level of parallelism — the chunked improvement sweep, which at
+   m = 6144 > 4096 arcs engages at the default threshold. *)
+let test_single_scc_parallel_identical () =
+  let g = Sprand.generate ~seed:9 ~n:2048 ~m:6144 () in
+  let base = Solver.minimum_cycle_mean ~jobs:1 g |> Option.get in
+  Alcotest.(check int) "one component" 1 base.Solver.components;
+  List.iter
+    (fun jobs ->
+      let r = Solver.minimum_cycle_mean ~jobs g |> Option.get in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d matches jobs=1" jobs)
+        true (same_report base r))
+    (List.filter (fun j -> j > 1) Helpers.jobs_sweep)
 
 let test_parallel_partial_report () =
   (* 8 components need well over 4 Howard iterations in total, so the
@@ -219,6 +235,8 @@ let suite =
   @ [
       Alcotest.test_case "many-SCC family: parallel = serial" `Quick
         test_many_scc_parallel_identical;
+      Alcotest.test_case "single giant SCC: chunked sweep = serial" `Quick
+        test_single_scc_parallel_identical;
       Alcotest.test_case "parallel partial report is sound" `Quick
         test_parallel_partial_report;
     ]
