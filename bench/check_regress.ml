@@ -150,7 +150,7 @@ let read_file path =
 (* index.                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let discriminators = [ "family"; "graph"; "n"; "m"; "jobs"; "workload";
+let discriminators = [ "family"; "graph"; "n"; "m"; "jobs"; "workload"; "trace";
                        "components_edited" ]
 
 let row_key = function

@@ -1072,7 +1072,93 @@ let e14 _cfg =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* E15: the cost of observability.  The E14 single-giant-SCC workload  *)
+(* solved twice per size — tracing disabled (the production default;   *)
+(* every record call is a taken branch) and tracing enabled with a     *)
+(* recording ring.  The disabled rows are the perf-gated ones: they    *)
+(* assert the instrumented kernel costs nothing when off.  The         *)
+(* enabled rows report the recording overhead, which documents the     *)
+(* <5% budget but is not gated (ring writes are allocation-free yet    *)
+(* clock-heavy, and CI clocks are noisy).  [identical] checks the      *)
+(* tracing run's report stays bit-equal to the untraced one.           *)
+(* --bench-json FILE writes the numbers (BENCH_pr5.json).              *)
+(* ------------------------------------------------------------------ *)
+
+let e15 _cfg =
+  let solve g = Option.get (Solver.solve ~algorithm:Registry.Howard ~jobs:1 g) in
+  let rows =
+    List.map
+      (fun n ->
+        let g = instance ~n ~density:3.0 ~seed:1 in
+        let m = Digraph.m g in
+        let base = solve g in
+        let off_ms = Timing.time_ms ~reps:5 (fun () -> ignore (solve g)) in
+        Trace.configure ~capacity:65536 ();
+        Obs.enable ();
+        let on_ms, traced =
+          Fun.protect
+            ~finally:(fun () ->
+              Obs.disable ();
+              Trace.configure ())
+            (fun () ->
+              let ms = Timing.time_ms ~reps:5 (fun () -> ignore (solve g)) in
+              (ms, solve g))
+        in
+        let identical =
+          Ratio.equal traced.Solver.lambda base.Solver.lambda
+          && traced.Solver.cycle = base.Solver.cycle
+          && traced.Solver.stats = base.Solver.stats
+        in
+        let overhead_pct = (on_ms -. off_ms) /. off_ms *. 100.0 in
+        (n, m, off_ms, on_ms, overhead_pct, identical))
+      [ 1024; 4096 ]
+  in
+  Tables.print
+    ~title:
+      "E15: tracing overhead on the E14 single-giant-SCC Howard solve \
+       (jobs=1); off = global switch disabled, on = spans and counters \
+       recorded into a 65536-record ring (identical = traced report \
+       bit-equal to untraced)"
+    ~header:[ "n"; "m"; "off ms/solve"; "on ms/solve"; "overhead"; "identical" ]
+    (List.map
+       (fun (n, m, off_ms, on_ms, pct, identical) ->
+         [
+           string_of_int n; string_of_int m; Tables.fmt_ms off_ms;
+           Tables.fmt_ms on_ms;
+           Printf.sprintf "%+.1f%%" pct;
+           (if identical then "yes" else "NO");
+         ])
+       rows);
+  match !bench_json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    let out fmt = Printf.fprintf oc fmt in
+    out "{\n  \"experiment\": \"E15\",\n";
+    out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+    out "  \"tracing_overhead\": [\n";
+    List.iteri
+      (fun i (n, m, off_ms, on_ms, pct, identical) ->
+        (* one off-row and one on-row per size, split by the "trace"
+           discriminator: the off rows carry the gated ms_per_solve,
+           the on rows only ungated informational metrics *)
+        out
+          "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
+           \"trace\": \"off\", \"ms_per_solve\": %.4f},\n"
+          n m off_ms;
+        out
+          "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
+           \"trace\": \"on\", \"traced_ms_per_solve\": %.4f, \
+           \"overhead_pct\": %.1f, \"identical\": %b}%s\n"
+          n m on_ms pct identical
+          (if i < List.length rows - 1 then "," else ""))
+      rows;
+    out "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let all : (string * (config -> unit)) list =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15) ]

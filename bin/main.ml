@@ -166,10 +166,28 @@ let solve_cmd =
             "Abort after MS milliseconds of wall time; exits 5 with a \
              timeout line (and the best partial bound, if any).")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record tracing spans during the solve and write them to FILE \
+             as Chrome trace-event JSON (open in Perfetto or \
+             about://tracing).")
+  in
   let run file algorithm objective problem verify show_stats show_cycle
-      deadline_ms jobs =
+      deadline_ms jobs trace =
     check_jobs jobs;
     let g = load_graph file in
+    (match trace with
+    | Some _ ->
+      Trace.configure ();
+      Obs.enable ()
+    | None -> ());
+    let finish_trace () =
+      Option.iter (fun path -> Trace.write_chrome_json path) trace
+    in
     let budget =
       Option.map
         (fun ms ->
@@ -180,6 +198,7 @@ let solve_cmd =
     in
     match Solver.solve ~objective ~problem ?budget ~jobs ~algorithm g with
     | exception Solver.Deadline_exceeded { partial } ->
+      finish_trace ();
       (match partial with
       | None -> print_endline "timeout: deadline exceeded"
       | Some r ->
@@ -187,9 +206,11 @@ let solve_cmd =
           (Ratio.to_string r.Solver.lambda));
       exit 5
     | None ->
+      finish_trace ();
       print_endline "acyclic graph: no cycle to optimize";
       exit 2
     | Some r ->
+      finish_trace ();
       Printf.printf "lambda = %s (%.6f)\n"
         (Ratio.to_string r.Solver.lambda)
         (Ratio.to_float r.Solver.lambda);
@@ -200,8 +221,20 @@ let solve_cmd =
                 (fun a ->
                   Printf.sprintf "%d->%d" (Digraph.src g a) (Digraph.dst g a))
                 r.Solver.cycle));
-      if show_stats then
+      if show_stats then begin
         Format.printf "stats: %a@." Stats.pp r.Solver.stats;
+        (* heap-based algorithms (ko, yto, oa2): break the aggregate
+           heap-op count of Stats.pp down by operation, the comparison
+           currency of the study's §4.2 *)
+        let h = r.Solver.stats.Stats.heap in
+        if Heap_stats.total h > 0 then
+          Printf.printf
+            "heap ops: inserts=%d extract_mins=%d decrease_keys=%d \
+             deletes=%d melds=%d total=%d\n"
+            h.Heap_stats.inserts h.Heap_stats.extract_mins
+            h.Heap_stats.decrease_keys h.Heap_stats.deletes h.Heap_stats.melds
+            (Heap_stats.total h)
+      end;
       if verify then begin
         match Verify.certify_report ~objective ~problem g r with
         | Ok () -> print_endline "certificate: OK"
@@ -215,7 +248,7 @@ let solve_cmd =
        ~doc:"Compute the optimum cycle mean or cost-to-time ratio of a graph.")
     Term.(
       const run $ graph_file_arg $ algorithm_arg $ objective_arg $ problem_arg
-      $ verify $ show_stats $ show_cycle $ deadline_ms $ jobs_arg)
+      $ verify $ show_stats $ show_cycle $ deadline_ms $ jobs_arg $ trace)
 
 (* ----------------------------------------------------------------- *)
 (* info                                                               *)
@@ -386,12 +419,36 @@ let batch_cmd =
       const run $ reqfile $ jobs_arg $ cache_size_arg $ wall_arg $ csv $ json)
 
 let serve_cmd =
-  let run jobs cache_size wall =
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write Prometheus text-format metrics (request counters, \
+             cache hits/misses, solve-latency histogram, pool health) to \
+             FILE on exit.  The 'metrics' protocol line prints the same \
+             exposition to stdout at any point of the session.")
+  in
+  let run jobs cache_size wall metrics =
     check_jobs jobs;
     let eng = Engine.create ~jobs ~cache_size () in
     let id = ref 0 in
+    let dump_metrics () =
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc
+                (Metrics.to_prometheus (Engine.metrics_snapshot eng))))
+        metrics
+    in
     Fun.protect
-      ~finally:(fun () -> Engine.shutdown eng)
+      ~finally:(fun () ->
+        dump_metrics ();
+        Engine.shutdown eng)
       (fun () ->
         try
           while true do
@@ -400,6 +457,11 @@ let serve_cmd =
             else if line = "quit" then raise Exit
             else if line = "telemetry" then
               print_telemetry_summary (Engine.telemetry eng)
+            else if line = "metrics" then begin
+              print_string
+                (Metrics.to_prometheus (Engine.metrics_snapshot eng));
+              flush stdout
+            end
             else begin
               match Request.parse_spec line with
               | Error msg -> Printf.printf "error msg=%S\n%!" msg
@@ -425,9 +487,9 @@ let serve_cmd =
        ~doc:
          "Line-protocol solve server on stdin/stdout.  Each input line is a \
           request ($(i,graph-file [key=value ...])); responses are emitted \
-          as they complete.  'telemetry' prints counters, 'quit' or EOF \
-          exits.")
-    Term.(const run $ jobs_arg $ cache_size_arg $ wall_arg)
+          as they complete.  'telemetry' prints counters, 'metrics' prints \
+          Prometheus text, 'quit' or EOF exits.")
+    Term.(const run $ jobs_arg $ cache_size_arg $ wall_arg $ metrics_arg)
 
 (* ----------------------------------------------------------------- *)
 (* stream (the ocr_dyn front-end)                                     *)
@@ -452,8 +514,23 @@ let stream_cmd =
             "Append one canonical protocol line per applied update and per \
              query to FILE (an $(b,--replay)able journal).")
   in
-  let run file problem objective jobs cache_size replay journal =
+  let metrics_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-every" ] ~docv:"N"
+          ~doc:
+            "After every N handled requests, emit one NDJSON metrics \
+             snapshot line (counters plus a solve-latency digest) to \
+             stdout.")
+  in
+  let run file problem objective jobs cache_size replay journal metrics_every =
     check_jobs jobs;
+    (match metrics_every with
+    | Some n when n < 1 ->
+      prerr_endline "ocr: --metrics-every must be >= 1";
+      exit 1
+    | _ -> ());
     let g = load_graph file in
     let session = Dyn.create ~problem ~objective ~jobs g in
     let jout = Option.map open_out journal in
@@ -463,6 +540,7 @@ let stream_cmd =
     let srv = Dyn_serve.create ~cache_size ?journal:log session in
     (* one request line -> one response line; malformed lines answer
        {"ok":false,...} and the stream continues *)
+    let handled = ref 0 in
     let handle_line line =
       let line = String.trim line in
       if line = "" || line.[0] = '#' then true
@@ -470,6 +548,11 @@ let stream_cmd =
         match Dyn_serve.handle srv line with
         | `Reply r ->
           print_endline r;
+          incr handled;
+          (match metrics_every with
+          | Some n when !handled mod n = 0 ->
+            print_endline (Dyn_serve.metrics_line srv)
+          | _ -> ());
           flush stdout;
           true
         | `Quit -> false
@@ -505,7 +588,53 @@ let stream_cmd =
           cache.  See docs/DYN.md for the protocol.")
     Term.(
       const run $ graph_file_arg $ problem_arg $ objective_arg $ jobs_arg
-      $ cache_size_arg $ replay_arg $ journal_arg)
+      $ cache_size_arg $ replay_arg $ journal_arg $ metrics_every_arg)
+
+(* ----------------------------------------------------------------- *)
+(* trace                                                              *)
+(* ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"Chrome trace-event JSON file (from $(b,ocr solve --trace)).")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Print at most N rows (default 10).")
+  in
+  let run file top =
+    match Trace_read.summarize_file file with
+    | Error msg ->
+      Printf.eprintf "ocr: trace summarize: %s\n" msg;
+      exit 1
+    | Ok rows ->
+      Printf.printf "%-24s %8s %14s %14s\n" "span" "count" "total(ms)"
+        "self(ms)";
+      List.iteri
+        (fun i r ->
+          if i < top then
+            Printf.printf "%-24s %8d %14.3f %14.3f\n" r.Trace_read.sr_name
+              r.Trace_read.sr_count
+              (r.Trace_read.sr_total_us /. 1000.0)
+              (r.Trace_read.sr_self_us /. 1000.0))
+        rows
+  in
+  let summarize =
+    Cmd.v
+      (Cmd.info "summarize"
+         ~doc:
+           "Aggregate a trace file's spans by name and print the top spans \
+            by self-time (total minus directly nested spans).  A malformed \
+            file is a structured error and exit 1.")
+      Term.(const run $ trace_file $ top)
+  in
+  Cmd.group (Cmd.info "trace" ~doc:"Inspect recorded trace files.")
+    [ summarize ]
 
 (* ----------------------------------------------------------------- *)
 (* compare                                                            *)
@@ -558,5 +687,5 @@ let () =
        (Cmd.group (Cmd.info "ocr" ~version:"1.0.0" ~doc)
           [
             gen_cmd; solve_cmd; batch_cmd; serve_cmd; stream_cmd; info_cmd;
-            critical_cmd; compare_cmd;
+            critical_cmd; compare_cmd; trace_cmd;
           ]))

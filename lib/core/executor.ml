@@ -5,6 +5,22 @@ type 'a state =
 
 type 'a future = { mutable st : 'a state } (* guarded by the pool mutex *)
 
+(* Pool-health observability.  The atomics are only touched when the
+   global switch is on, so the disabled path keeps the queue mutex as
+   its sole synchronization cost; the per-task span plus busy-time
+   accounting give worker utilization without any per-task clock read
+   when tracing is off. *)
+let sp_task = Obs.intern "exec.task"
+let sp_depth = Obs.intern "exec.queue_depth"
+
+type obs = {
+  enqueued : int Atomic.t;   (* tasks pushed via [async] *)
+  dequeued : int Atomic.t;   (* tasks popped by a worker domain *)
+  helped : int Atomic.t;     (* tasks stolen by a waiter in [await] *)
+  busy_ns : int Atomic.t;    (* cumulative ns spent inside task bodies *)
+  created_ns : int;          (* pool birth, for the utilization ratio *)
+}
+
 type t = {
   mutex : Mutex.t;
   pending : Condition.t;   (* a task was queued, or the pool is closing *)
@@ -13,9 +29,23 @@ type t = {
   mutable closing : bool;
   mutable workers : unit Domain.t list;
   jobs : int;
+  obs : obs;
 }
 
 let jobs t = t.jobs
+
+(* run one task body with the tracing span and busy-time accounting;
+   [from_help] distinguishes steals from worker dequeues *)
+let run_task t ~from_help task =
+  if !Obs.enabled_flag then begin
+    Atomic.incr (if from_help then t.obs.helped else t.obs.dequeued);
+    Trace.begin_span sp_task;
+    let t0 = Obs.now_ns () in
+    task ();
+    ignore (Atomic.fetch_and_add t.obs.busy_ns (Obs.now_ns () - t0));
+    Trace.end_span sp_task
+  end
+  else task ()
 
 let rec worker_loop t =
   Mutex.lock t.mutex;
@@ -28,7 +58,7 @@ let rec worker_loop t =
   else begin
     let task = Queue.pop t.queue in
     Mutex.unlock t.mutex;
-    task ();
+    run_task t ~from_help:false task;
     worker_loop t
   end
 
@@ -43,6 +73,14 @@ let create ~jobs =
       closing = false;
       workers = [];
       jobs;
+      obs =
+        {
+          enqueued = Atomic.make 0;
+          dequeued = Atomic.make 0;
+          helped = Atomic.make 0;
+          busy_ns = Atomic.make 0;
+          created_ns = Obs.now_ns ();
+        };
     }
   in
   (* the coordinating thread is the jobs-th worker: it executes queued
@@ -70,8 +108,13 @@ let async t f =
     invalid_arg "Executor.async: pool is shut down"
   end;
   Queue.push task t.queue;
+  let depth = Queue.length t.queue in
   Condition.signal t.pending;
   Mutex.unlock t.mutex;
+  if !Obs.enabled_flag then begin
+    Atomic.incr t.obs.enqueued;
+    Trace.counter_int sp_depth depth
+  end;
   fut
 
 let rec await t fut =
@@ -90,7 +133,7 @@ let rec await t fut =
          deadlock even with a single thread *)
       let task = Queue.pop t.queue in
       Mutex.unlock t.mutex;
-      task ();
+      run_task t ~from_help:true task;
       await t fut
     end
     else begin
@@ -106,3 +149,27 @@ let shutdown t =
   Mutex.unlock t.mutex;
   List.iter Domain.join t.workers;
   t.workers <- []
+
+(* Snapshot the pool-health counters into [m].  Utilization is the
+   cumulative task-body time over the pool's total capacity-seconds
+   (wall time since creation × jobs); it only accumulates while the
+   global observability switch is on, so with tracing off it reads 0. *)
+let sample_metrics t m =
+  Metrics.add (Metrics.counter m "ocr_exec_enqueued_total")
+    (Atomic.get t.obs.enqueued);
+  Metrics.add (Metrics.counter m "ocr_exec_dequeued_total")
+    (Atomic.get t.obs.dequeued);
+  Metrics.add (Metrics.counter m "ocr_exec_helped_total")
+    (Atomic.get t.obs.helped);
+  Mutex.lock t.mutex;
+  let depth = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  Metrics.set (Metrics.gauge m "ocr_exec_queue_depth") (float_of_int depth);
+  let wall = Obs.now_ns () - t.obs.created_ns in
+  let util =
+    if wall <= 0 then 0.0
+    else
+      float_of_int (Atomic.get t.obs.busy_ns)
+      /. (float_of_int wall *. float_of_int t.jobs)
+  in
+  Metrics.set (Metrics.gauge m "ocr_exec_utilization") util

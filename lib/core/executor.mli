@@ -31,3 +31,11 @@ val await : t -> 'a future -> 'a
 
 val shutdown : t -> unit
 (** Drain the queue, join the worker domains.  Idempotent. *)
+
+val sample_metrics : t -> Metrics.t -> unit
+(** Export pool-health counters into a metrics registry:
+    [ocr_exec_enqueued_total] / [ocr_exec_dequeued_total] /
+    [ocr_exec_helped_total] counters, an [ocr_exec_queue_depth] gauge,
+    and an [ocr_exec_utilization] gauge (cumulative task-body time over
+    wall-clock capacity).  The underlying counters only accumulate
+    while observability is enabled ({!Obs.enable}). *)

@@ -1,5 +1,16 @@
 type init = [ `Cheapest_arc | `First_arc | `Random of int ]
 
+(* Tracing span names, interned once at module initialization.  Every
+   recording below sits behind one [tr] check sampled at solve entry,
+   so the disabled path costs a handful of branches per iteration and
+   allocates nothing — the kernel's Gc tests run with the
+   instrumentation compiled in. *)
+let sp_solve = Obs.intern "howard.solve"
+let sp_iter = Obs.intern "howard.iteration"
+let sp_eval = Obs.intern "howard.eval"
+let sp_sweep = Obs.intern "howard.sweep"
+let sp_improved = Obs.intern "howard.improved"
+
 (* Reusable workspace: every array the steady-state policy iteration
    touches is preallocated here, so iterations allocate nothing on the
    minor heap (verified by the kernel's Gc.minor_words test).  One
@@ -29,7 +40,16 @@ type scratch = {
      [sweep_epoch], which increases monotonically across iterations and
      solves, so reusing a scratch never reads stale winners. *)
   mutable sweep_epoch : int;
-  mutable sweep_lambda : float;      (* current λ, read by chunk tasks *)
+  sweep_lambda : float array;        (* current λ, read by chunk tasks;
+                                        a 1-cell float array so the
+                                        per-iteration store stays
+                                        unboxed (a mutable float field
+                                        of this mixed record would box
+                                        on every write) *)
+  sweep_eps : float array;           (* convergence threshold ε·scale;
+                                        same 1-cell trick — passing it
+                                        as a float argument would box
+                                        at every apply_winners call *)
   mutable chunk_cap : int;           (* chunk tables allocated *)
   mutable chunk_n : int;             (* inner arrays valid for n <= chunk_n *)
   mutable chunk_cand : float array array; (* chunk -> node -> best cand *)
@@ -53,7 +73,8 @@ let create_scratch () =
     walk = [||];
     cycle_arcs = [||];
     sweep_epoch = 0;
-    sweep_lambda = 0.0;
+    sweep_lambda = Array.make 1 0.0;
+    sweep_eps = Array.make 1 0.0;
     chunk_cap = 0;
     chunk_n = 0;
     chunk_cand = [||];
@@ -99,7 +120,7 @@ let ensure_chunks s chunks =
    state lives in the preallocated chunk tables. *)
 let sweep_chunk s g den lo hi ci =
   let d = s.d in
-  let lambda = s.sweep_lambda in
+  let lambda = s.sweep_lambda.(0) in
   let epoch = s.sweep_epoch in
   let cand_t = s.chunk_cand.(ci)
   and arc_t = s.chunk_arc.(ci)
@@ -128,7 +149,8 @@ let sweep_chunk s g den lo hi ci =
    invisible here: the merged winner, the relaxation total, and the
    improvement verdict are identical for every chunk count, which is
    what makes reports bit-identical across job counts. *)
-let apply_winners s ~n ~chunks ~eps st =
+let apply_winners s ~n ~chunks st =
+  let eps = s.sweep_eps.(0) in
   let epoch = s.sweep_epoch in
   let d = s.d and pi = s.pi in
   let improved = ref false in
@@ -167,6 +189,8 @@ let default_sweep_min_arcs = 4096
 let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
     ?pool ?(sweep_min_arcs = default_sweep_min_arcs) ~den ~epsilon g =
   if Digraph.m g = 0 then invalid_arg "Howard: graph has no arcs";
+  let tr = !Obs.enabled_flag in
+  if tr then Trace.begin_span sp_solve;
   let n = Digraph.n g and m = Digraph.m g in
   let s = match scratch with Some s -> s | None -> create_scratch () in
   ensure_scratch s n;
@@ -289,7 +313,7 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
     done;
     float_of_int !acc
   in
-  let eps = epsilon *. scale in
+  s.sweep_eps.(0) <- epsilon *. scale;
   (* Policy evaluation (zero-allocation): find every cycle of the
      functional graph u -> dst(pi(u)) with colour stamps, track the one
      with the smallest exact ratio in the int refs below, and copy its
@@ -353,6 +377,10 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
     incr iter;
     (match budget with Some b -> Budget.tick b | None -> ());
     st.Stats.iterations <- st.Stats.iterations + 1;
+    if tr then begin
+      Trace.begin_span sp_iter;
+      Trace.begin_span sp_eval
+    end;
     eval_policy ();
     let lambda = float_of_int !best_num /. float_of_int !best_den in
     (* node distances by reverse BFS from the cycle entry over policy
@@ -402,15 +430,25 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
        per-node winners against the distances frozen above; the merge
        applies them.  With one chunk this is the serial kernel; with a
        pool, chunk 0 runs here while chunks 1.. run on the executor. *)
+    if tr then begin
+      Trace.end_span sp_eval;
+      Trace.begin_span sp_sweep
+    end;
+    let relax_before = st.Stats.relaxations in
     s.sweep_epoch <- s.sweep_epoch + 1;
-    s.sweep_lambda <- lambda;
+    s.sweep_lambda.(0) <- lambda;
     (match pool with
     | Some p when chunks > 1 ->
       let futs = Array.map (Executor.async p) tasks in
       sweep_chunk s g den 0 (chunk_lo 1) 0;
       Array.iter (fun fut -> Executor.await p fut) futs
     | _ -> sweep_chunk s g den 0 m 0);
-    if not (apply_winners s ~n ~chunks ~eps st) then converged := true
+    if not (apply_winners s ~n ~chunks st) then converged := true;
+    if tr then begin
+      Trace.counter_int sp_improved (st.Stats.relaxations - relax_before);
+      Trace.end_span sp_sweep;
+      Trace.end_span sp_iter
+    end
   done;
   (* iteration cap hit: the best policy cycle of the current policy is
      still a sound candidate; the exact finisher corrects any gap.
@@ -425,6 +463,7 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
   | Some pot -> Array.blit d 0 pot 0 n
   | None -> ());
   let lambda, witness = Critical.improve_to_optimal ?stats ~den g !cycle in
+  if tr then Trace.end_span sp_solve;
   (lambda, witness, Array.sub pi 0 n)
 
 let minimum_cycle_mean ?stats ?budget ?(epsilon = 1e-9) ?init ?scratch ?pool

@@ -45,6 +45,11 @@ let preflight ~problem g =
 
 exception Deadline_exceeded of { partial : report option }
 
+let sp_partition = Obs.intern "solver.partition"
+let sp_component = Obs.intern "solver.component"
+let sp_reduce = Obs.intern "solver.reduce"
+let sp_comp_arcs = Obs.intern "solver.component_arcs"
+
 let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ?(jobs = 1)
     ?pool ~algorithm g =
   if jobs < 1 then invalid_arg "Solver.solve: jobs must be >= 1";
@@ -57,14 +62,23 @@ let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ?(jobs = 1)
     | Cycle_mean -> Registry.minimum_cycle_mean algorithm
     | Cycle_ratio -> Registry.minimum_cycle_ratio algorithm
   in
+  let tr = !Obs.enabled_flag in
+  if tr then Trace.begin_span sp_partition;
   let scc = Scc.compute g_min in
   (* one O(n+m) sweep builds every cyclic-SCC subproblem, replacing the
      former per-component Digraph.induced scans (O(m · #SCCs)) *)
   let subs = Scc.partition g_min scc in
+  if tr then Trace.end_span sp_partition;
   let solve_sub ?pool (sp : Scc.subproblem) =
     (match budget with Some b -> Budget.check b | None -> ());
+    let tr = !Obs.enabled_flag in
+    if tr then begin
+      Trace.begin_span sp_component;
+      Trace.counter_int sp_comp_arcs (Digraph.m sp.Scc.sub)
+    end;
     let sub_stats = Stats.create () in
     let lambda, cycle = run ~stats:sub_stats ?budget ?pool sp.Scc.sub in
+    if tr then Trace.end_span sp_component;
     (lambda, List.map (fun a -> sp.Scc.arc_of_sub.(a)) cycle, sub_stats)
   in
   (* Per-component results in component (reverse topological) order;
@@ -108,6 +122,7 @@ let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ?(jobs = 1)
   (* deterministic reduction: fold completed components in component
      order, whatever order the domains finished in; ties keep the
      lower-id component's witness, exactly as the serial loop did *)
+  if tr then Trace.begin_span sp_reduce;
   let stats = ref (Stats.create ()) in
   let best = ref None in
   let components = ref 0 in
@@ -121,6 +136,7 @@ let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ?(jobs = 1)
         | Some (bl, _) when Ratio.leq bl lambda -> ()
         | _ -> best := Some (lambda, cycle)))
     results;
+  if tr then Trace.end_span sp_reduce;
   (* best-so-far as a full report, with the objective sign restored —
      this is both the happy-path return value and the partial result
      carried by Deadline_exceeded *)

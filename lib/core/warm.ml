@@ -1,5 +1,8 @@
 type problem = Mean | Ratio
 
+let sp_locate = Obs.intern "warm.locate"
+let sp_howard = Obs.intern "warm.howard"
+
 let repair_policy g policy =
   let n = Digraph.n g and m = Digraph.m g in
   if Array.length policy <> n then
@@ -38,6 +41,7 @@ let solve_warm ?stats ?policy ?potentials ?scratch ?hint ?pool problem g =
      bit-identical to Howard's.  [Above] hands a strictly better cycle
      to the same exact finisher Howard ends with.  Only [Below] (the
      optimum rose past the hint) needs the full policy iteration. *)
+  let tr = !Obs.enabled_flag in
   let fast =
     match hint, policy with
     | Some lambda, Some pol -> (
@@ -50,7 +54,10 @@ let solve_warm ?stats ?policy ?potentials ?scratch ?hint ?pool problem g =
           Critical.assert_ratio_well_posed g;
           Digraph.transit g
       in
-      match Critical.locate ?stats ~den g lambda with
+      if tr then Trace.begin_span sp_locate;
+      let located = Critical.locate ?stats ~den g lambda in
+      if tr then Trace.end_span sp_locate;
+      match located with
       | Critical.Optimal w -> Some (lambda, w, pol)
       | Critical.Above c ->
         let lambda', w = Critical.improve_to_optimal ?stats ~den g c in
@@ -60,14 +67,19 @@ let solve_warm ?stats ?policy ?potentials ?scratch ?hint ?pool problem g =
   in
   match fast with
   | Some result -> result
-  | None -> (
-    match problem with
-    | Mean ->
-      Howard.minimum_cycle_mean_warm ?stats ?policy ?potentials ?scratch
-        ?pool g
-    | Ratio ->
-      Howard.minimum_cycle_ratio_warm ?stats ?policy ?potentials ?scratch
-        ?pool g)
+  | None ->
+    if tr then Trace.begin_span sp_howard;
+    let result =
+      match problem with
+      | Mean ->
+        Howard.minimum_cycle_mean_warm ?stats ?policy ?potentials ?scratch
+          ?pool g
+      | Ratio ->
+        Howard.minimum_cycle_ratio_warm ?stats ?policy ?potentials ?scratch
+          ?pool g
+    in
+    if tr then Trace.end_span sp_howard;
+    result
 
 type t = {
   problem : problem;

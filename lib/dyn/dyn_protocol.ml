@@ -4,6 +4,7 @@ type op =
   | Epoch
   | Fingerprint_op
   | Telemetry_op
+  | Metrics_op
   | Quit
 
 let parse line =
@@ -43,6 +44,7 @@ let parse line =
     | Some "epoch" -> Ok Epoch
     | Some "fingerprint" -> Ok Fingerprint_op
     | Some "telemetry" -> Ok Telemetry_op
+    | Some "metrics" -> Ok Metrics_op
     | Some "quit" -> Ok Quit
     | Some other -> Error (Printf.sprintf "unknown op %S" other))
 
@@ -68,6 +70,7 @@ let render_op = function
   | Epoch -> Njson.obj [ ("op", {|"epoch"|}) ]
   | Fingerprint_op -> Njson.obj [ ("op", {|"fingerprint"|}) ]
   | Telemetry_op -> Njson.obj [ ("op", {|"telemetry"|}) ]
+  | Metrics_op -> Njson.obj [ ("op", {|"metrics"|}) ]
   | Quit -> Njson.obj [ ("op", {|"quit"|}) ]
 
 let error_line msg = Njson.obj [ ("ok", "false"); ("error", Njson.escape msg) ]

@@ -5,7 +5,7 @@
     ["op"] field: the four update ops mirror {!Dyn.update} ([add_arc]'s
     ["transit"] defaults to 1; its optional ["arc"] field is the
     replay-check id), plus ["query"], ["epoch"], ["fingerprint"],
-    ["telemetry"] and ["quit"]. *)
+    ["telemetry"], ["metrics"] and ["quit"]. *)
 
 type op =
   | Update of Dyn.update
@@ -13,6 +13,7 @@ type op =
   | Epoch
   | Fingerprint_op
   | Telemetry_op
+  | Metrics_op
   | Quit
 
 val parse : string -> (op, string) result

@@ -13,16 +13,22 @@ type cached = {
   c_components : int;
 }
 
+let sp_query = Obs.intern "dyn.query"
+
 type t = {
   session : Dyn.t;
   cache : (Fingerprint.t, cached option) Lru.t;
       (* [None] caches "acyclic" *)
   tel : Telemetry.t;
+  latency : Metrics.histogram; (* per-query wall ms, hits included *)
+  lat_reg : Metrics.t;
   journal : (string -> unit) option;
 }
 
 let create ?(cache_size = 256) ?journal session =
+  let lat_reg = Metrics.create () in
   { session; cache = Lru.create ~capacity:cache_size; tel = Telemetry.create ();
+    latency = Metrics.histogram lat_reg "ocr_solve_latency_ms"; lat_reg;
     journal }
 
 let session t = t.session
@@ -61,12 +67,48 @@ let telemetry_line t =
       ("cache_entries", string_of_int (Lru.length t.cache));
     ]
 
+(* The same registry shape the batch engine snapshots: deterministic
+   counters first, then the latency histogram (always recorded — the
+   tracing switch gates spans, not metrics). *)
+let metrics_snapshot t =
+  let m = Metrics.create () in
+  let tel = t.tel in
+  let c name v = Metrics.add (Metrics.counter m name) v in
+  c "ocr_requests_total" tel.Telemetry.requests;
+  c "ocr_solved_total" tel.Telemetry.solved;
+  c "ocr_cache_hits_total" tel.Telemetry.cache_hits;
+  c "ocr_cache_misses_total" tel.Telemetry.cache_misses;
+  c "ocr_acyclic_total" tel.Telemetry.acyclic;
+  c "ocr_rejected_total" tel.Telemetry.rejected;
+  Metrics.set (Metrics.gauge m "ocr_cache_entries") (float_of_int (Lru.length t.cache));
+  Metrics.merge_into ~into:m t.lat_reg;
+  m
+
+(* NDJSON metrics snapshot for the stream protocol: counters plus a
+   latency digest.  Quantiles are log2-bucket upper bounds, so the
+   numbers are coarse but stable. *)
+let metrics_line t =
+  let tel = t.tel in
+  let h = t.latency in
+  Njson.obj
+    [
+      ("ok", "true");
+      ("requests", string_of_int tel.Telemetry.requests);
+      ("cache_hits", string_of_int tel.Telemetry.cache_hits);
+      ("cache_misses", string_of_int tel.Telemetry.cache_misses);
+      ("latency_count", string_of_int (Metrics.hist_count h));
+      ("latency_mean_ms", Printf.sprintf "%.3f" (Metrics.hist_mean h));
+      ("latency_p50_ms", Printf.sprintf "%g" (Metrics.quantile h 0.5));
+      ("latency_p99_ms", Printf.sprintf "%g" (Metrics.quantile h 0.99));
+      ("latency_max_ms", Printf.sprintf "%.3f" (Metrics.hist_max h));
+    ]
+
 let log_journal t op =
   match t.journal with
   | Some log -> log (Dyn_protocol.render_op op)
   | None -> ()
 
-let do_query t =
+let do_query_inner t =
   t.tel.Telemetry.requests <- t.tel.Telemetry.requests + 1;
   let fp = Dyn.fingerprint t.session in
   match Lru.find t.cache fp with
@@ -101,6 +143,24 @@ let do_query t =
       answer_line t ~cached:false ~resolved:r.Dyn.resolved
         (Some (r.Dyn.lambda, r.Dyn.cycle, r.Dyn.components)))
 
+(* Wraps the query in its span and latency observation; a rejected
+   query (Invalid_argument propagating to [handle]) closes the span on
+   the way out so the trace stays balanced. *)
+let do_query t =
+  if !Obs.enabled_flag then Trace.begin_span sp_query;
+  let t0 = Obs.now_ns () in
+  let finish () =
+    Metrics.observe t.latency (float_of_int (Obs.now_ns () - t0) /. 1e6);
+    if !Obs.enabled_flag then Trace.end_span sp_query
+  in
+  match do_query_inner t with
+  | reply ->
+    finish ();
+    reply
+  | exception e ->
+    finish ();
+    raise e
+
 (* One request line -> one response line (or Quit).  Every failure —
    unparsable line, unknown op, bad arc id, ill-posed instance — turns
    into a structured error line and the stream continues; the session
@@ -124,6 +184,7 @@ let handle t line =
                  Njson.escape (Fingerprint.to_hex (Dyn.fingerprint t.session)))
               ]))
     | Dyn_protocol.Telemetry_op -> `Reply (telemetry_line t)
+    | Dyn_protocol.Metrics_op -> `Reply (metrics_line t)
     | Dyn_protocol.Query -> (
       match do_query t with
       | reply ->

@@ -19,6 +19,16 @@ val create : ?cache_size:int -> ?journal:(string -> unit) -> Dyn.t -> t
 val session : t -> Dyn.t
 val telemetry : t -> Telemetry.t
 
+val metrics_snapshot : t -> Metrics.t
+(** Counters plus the per-query [ocr_solve_latency_ms] histogram
+    (recorded on every query, cache hits included, independent of the
+    tracing switch) in the same registry shape as
+    [Engine.metrics_snapshot]. *)
+
+val metrics_line : t -> string
+(** One-line NDJSON metrics digest — the reply to the ["metrics"]
+    protocol op, also used by [ocr stream --metrics-every]. *)
+
 val handle : t -> string -> [ `Reply of string | `Quit ]
 (** Processes one request line.  Malformed or failing requests yield a
     structured [{"ok":false,...}] reply and leave the session

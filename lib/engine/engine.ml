@@ -26,18 +26,27 @@ type response = {
   wall_ms : float;
 }
 
+let sp_request = Obs.intern "engine.request"
+let sp_cache_hit = Obs.intern "engine.cache_hit"
+let sp_cache_miss = Obs.intern "engine.cache_miss"
+
 type t = {
   exec : Executor.t;
   cache : (Request.key, cache_entry) Lru.t;
   telemetry : Telemetry.t; (* engine lifetime; coordinator-only access *)
+  latency : Metrics.histogram; (* per-request wall ms; coordinator-only *)
+  lat_reg : Metrics.t; (* owns [latency], merged into snapshots *)
   now : unit -> float;
 }
 
 let create ?(jobs = 1) ?(cache_size = 256) ?(now = Unix.gettimeofday) () =
+  let lat_reg = Metrics.create () in
   {
     exec = Executor.create ~jobs;
     cache = Lru.create ~capacity:cache_size;
     telemetry = Telemetry.create ();
+    latency = Metrics.histogram lat_reg "ocr_solve_latency_ms";
+    lat_reg;
     now;
   }
 
@@ -46,6 +55,26 @@ let jobs t = Executor.jobs t.exec
 let telemetry t = t.telemetry
 
 let shutdown t = Executor.shutdown t.exec
+
+(* One coherent registry for the serve/stream exporters: the
+   deterministic telemetry counters, the solve-latency histogram, and
+   the executor pool-health sample, in that fixed order. *)
+let metrics_snapshot t =
+  let m = Metrics.create () in
+  let tel = t.telemetry in
+  let c name v = Metrics.add (Metrics.counter m name) v in
+  c "ocr_requests_total" tel.Telemetry.requests;
+  c "ocr_solved_total" tel.Telemetry.solved;
+  c "ocr_cache_hits_total" tel.Telemetry.cache_hits;
+  c "ocr_cache_misses_total" tel.Telemetry.cache_misses;
+  c "ocr_cache_collisions_total" tel.Telemetry.collisions;
+  c "ocr_acyclic_total" tel.Telemetry.acyclic;
+  c "ocr_timeouts_total" tel.Telemetry.timeouts;
+  c "ocr_rejected_total" tel.Telemetry.rejected;
+  c "ocr_fallbacks_total" tel.Telemetry.fallbacks;
+  Metrics.merge_into ~into:m t.lat_reg;
+  Executor.sample_metrics t.exec m;
+  m
 
 (* ------------------------------------------------------------------ *)
 (* deadline / portfolio policy                                         *)
@@ -237,10 +266,14 @@ let solve_task t req () =
   tel.Telemetry.wall_ms <- (t.now () -. t0) *. 1000.0;
   (outcome, tel)
 
-(* Classify a response into the deterministic coordinator counters. *)
+(* Classify a response into the deterministic coordinator counters;
+   when tracing is on, also drop a cache hit/miss instant on the
+   timeline. *)
 let count_outcome tel = function
   | Solved s ->
     tel.Telemetry.solved <- tel.Telemetry.solved + 1;
+    if !Obs.enabled_flag then
+      Trace.instant (if s.cached then sp_cache_hit else sp_cache_miss);
     if s.cached then tel.Telemetry.cache_hits <- tel.Telemetry.cache_hits + 1
     else tel.Telemetry.cache_misses <- tel.Telemetry.cache_misses + 1
   | Acyclic ->
@@ -303,6 +336,7 @@ let cache_insert t key = function
 (* ------------------------------------------------------------------ *)
 
 let solve t (req : Request.t) =
+  if !Obs.enabled_flag then Trace.begin_span sp_request;
   let t0 = t.now () in
   let tel = Telemetry.create () in
   tel.Telemetry.requests <- 1;
@@ -319,11 +353,14 @@ let solve t (req : Request.t) =
   count_outcome tel outcome;
   tel.Telemetry.wall_ms <- (t.now () -. t0) *. 1000.0;
   Telemetry.add t.telemetry tel;
+  let wall_ms = (t.now () -. t0) *. 1000.0 in
+  Metrics.observe t.latency wall_ms;
+  if !Obs.enabled_flag then Trace.end_span sp_request;
   {
     id = req.Request.id;
     path = req.Request.spec.Request.path;
     outcome;
-    wall_ms = (t.now () -. t0) *. 1000.0;
+    wall_ms;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -406,11 +443,13 @@ let run_batch t (reqs : Request.t list) =
         in
         count_outcome tel outcome;
         Telemetry.add t.telemetry tel;
+        let wall_ms = (t.now () -. t0) *. 1000.0 in
+        Metrics.observe t.latency wall_ms;
         {
           id = req.Request.id;
           path = req.Request.spec.Request.path;
           outcome;
-          wall_ms = (t.now () -. t0) *. 1000.0;
+          wall_ms;
         })
       plan
   in

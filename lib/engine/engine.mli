@@ -60,6 +60,14 @@ val telemetry : t -> Telemetry.t
 (** Cumulative over the engine's lifetime; read it only from the
     thread driving {!solve} / {!run_batch}. *)
 
+val metrics_snapshot : t -> Metrics.t
+(** A fresh registry holding the engine's cumulative counters
+    ([ocr_requests_total], [ocr_cache_hits_total], ...), the
+    [ocr_solve_latency_ms] histogram (always recorded, independent of
+    the tracing switch), and the executor pool-health sample.  Export
+    with {!Metrics.to_prometheus} or {!Metrics.pp_summary}; call it
+    from the coordinator thread only. *)
+
 val solve : t -> Request.t -> response
 (** Serve one request: probe the cache (re-certifying the hit against
     the request's actual graph when [verify] is set — a failing

@@ -109,8 +109,14 @@ let pp_summary ppf t =
 let to_csv t =
   let b = Buffer.create 512 in
   Buffer.add_string b "metric,value\n";
-  let i k v = Buffer.add_string b (Printf.sprintf "%s,%d\n" k v) in
-  let f k v = Buffer.add_string b (Printf.sprintf "%s,%.3f\n" k v) in
+  (* metric names embed user-supplied algorithm names: RFC 4180 quoting
+     keeps a name containing a comma, quote or newline on one record *)
+  let i k v =
+    Buffer.add_string b (Printf.sprintf "%s,%d\n" (Obs.csv_field k) v)
+  in
+  let f k v =
+    Buffer.add_string b (Printf.sprintf "%s,%.3f\n" (Obs.csv_field k) v)
+  in
   i "requests" t.requests;
   i "solved" t.solved;
   i "cache_hits" t.cache_hits;
@@ -137,10 +143,12 @@ let to_json t =
   let b = Buffer.create 512 in
   Buffer.add_string b "{";
   let first = ref true in
+  (* Obs.json_string, not %S: OCaml literal syntax escapes bytes >= 128
+     as decimal \ddd which is invalid JSON *)
   let field k v =
     if not !first then Buffer.add_string b ", ";
     first := false;
-    Buffer.add_string b (Printf.sprintf "%S: %s" k v)
+    Buffer.add_string b (Printf.sprintf "%s: %s" (Obs.json_string k) v)
   in
   let i k v = field k (string_of_int v) in
   let f k v = field k (Printf.sprintf "%.3f" v) in
@@ -158,9 +166,9 @@ let to_json t =
     (let parts =
        List.map
          (fun (name, c) ->
-           Printf.sprintf "{\"name\": %S, \"runs\": %d, \"blowouts\": %d, \
+           Printf.sprintf "{\"name\": %s, \"runs\": %d, \"blowouts\": %d, \
                            \"wall_ms\": %.3f}"
-             name c.runs c.blowouts c.alg_wall_ms)
+             (Obs.json_string name) c.runs c.blowouts c.alg_wall_ms)
          (sorted_algs t)
      in
      "[" ^ String.concat ", " parts ^ "]");

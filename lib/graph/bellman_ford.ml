@@ -2,6 +2,14 @@ type outcome =
   | Feasible of int array
   | Negative_cycle of int list
 
+(* relax-pass spans: one span per engine run, with the node count as a
+   counter sample, recorded only when tracing is on — the engine is
+   the inner loop of the exact finisher and must stay allocation-free
+   when observability is off *)
+let sp_run = Obs.intern "bf.run"
+let sp_run_float = Obs.intern "bf.run_float"
+let sp_nodes = Obs.intern "bf.nodes"
+
 (* Searches the predecessor graph (at most one pred arc per node) for a
    cycle and returns its arcs in path order.  A classic invariant of
    Bellman-Ford (Cherkassky & Goldberg, "Negative-cycle detection
@@ -56,6 +64,11 @@ let cycle_in_pred_graph g pred_arc =
    predecessor-graph cycle search; its counter is reset if the search
    is inconclusive, so the scan amortizes to O(1) per update. *)
 let engine ?on_relax ~costs g ~sources =
+  let tr = !Obs.enabled_flag in
+  if tr then begin
+    Trace.begin_span sp_run;
+    Trace.counter_int sp_nodes (Digraph.n g)
+  end;
   let n = Digraph.n g in
   let dist = Array.make n max_int in
   let pred_arc = Array.make n (-1) in
@@ -125,6 +138,7 @@ let engine ?on_relax ~costs g ~sources =
       done
     end
   done;
+  if tr then Trace.end_span sp_run;
   match !found with
   | Some cycle -> Error cycle
   | None -> Ok (dist, pred_arc)
@@ -158,6 +172,8 @@ let shortest_from ~cost g s =
    Kept separate rather than functorized so the hot integer path stays
    monomorphic and unboxed. *)
 let engine_float ?on_relax ~cost g =
+  let tr = !Obs.enabled_flag in
+  if tr then Trace.begin_span sp_run_float;
   let n = Digraph.n g in
   let dist = Array.make n 0.0 in
   let pred_arc = Array.make n (-1) in
@@ -196,6 +212,7 @@ let engine_float ?on_relax ~cost g =
           end
         end)
   done;
+  if tr then Trace.end_span sp_run_float;
   match !found with
   | Some cycle -> Error cycle
   | None -> Ok dist

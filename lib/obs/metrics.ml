@@ -1,0 +1,213 @@
+(* Metrics registry: named counters, gauges, and log2-bucketed
+   histograms.
+
+   A registry is NOT thread-safe, on purpose: it follows the same
+   per-domain-instances rule as Telemetry and Stats — each concurrent
+   task records into its own registry (or its own metric cells), and
+   the coordinator merges the shards at the join in task order, so the
+   merged result is deterministic for every job count.  Registration
+   (find-or-create by name) is an O(#metrics) scan over a handful of
+   entries and is meant for setup paths; recording into an obtained
+   cell is O(1) and allocation-free. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+(* Bucket i of a histogram counts observations v with
+   2^(i-1) < v <= 2^i (bucket 0: v <= 1); the last bucket is the
+   catch-all.  62 buckets cover every finite latency this repo can
+   measure. *)
+let histogram_buckets = 62
+
+type histogram = {
+  h_name : string;
+  h_counts : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+}
+
+type item = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { mutable items : item list (* reverse creation order *) }
+
+let create () = { items = [] }
+
+let item_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let items t = List.rev t.items
+
+let find t name =
+  List.find_opt (fun it -> item_name it = name) t.items
+
+let counter t name =
+  match find t name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    t.items <- Counter c :: t.items;
+    c
+
+let gauge t name =
+  match find t name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+  | None ->
+    let g = { g_name = name; g_value = 0.0; g_set = false } in
+    t.items <- Gauge g :: t.items;
+    g
+
+let histogram t name =
+  match find t name with
+  | Some (Histogram h) -> h
+  | Some _ ->
+    invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+  | None ->
+    let h =
+      { h_name = name; h_counts = Array.make (histogram_buckets + 1) 0;
+        h_count = 0; h_sum = 0.0; h_max = 0.0 }
+    in
+    t.items <- Histogram h :: t.items;
+    h
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let set g v =
+  g.g_value <- v;
+  g.g_set <- true
+
+let gauge_value g = g.g_value
+
+(* smallest bucket whose upper bound 2^i holds v; loop-only, so the
+   hot path never boxes a float or calls frexp *)
+let bucket_of v =
+  if not (v > 1.0) then 0
+  else begin
+    let i = ref 0 and bound = ref 1.0 in
+    while !i < histogram_buckets && v > !bound do
+      i := !i + 1;
+      bound := !bound *. 2.0
+    done;
+    !i
+  end
+
+let observe h v =
+  let b = bucket_of v in
+  h.h_counts.(b) <- h.h_counts.(b) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v > h.h_max then h.h_max <- v
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+let hist_max h = h.h_max
+
+let hist_mean h =
+  if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+(* upper-bound estimate: the bucket boundary at or above quantile q *)
+let quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let target =
+      int_of_float (Float.round (q *. float_of_int h.h_count))
+    in
+    let target = max 1 (min h.h_count target) in
+    let cum = ref 0 and b = ref 0 in
+    (try
+       for i = 0 to histogram_buckets do
+         cum := !cum + h.h_counts.(i);
+         if !cum >= target then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    2.0 ** float_of_int !b
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic shard merging                                         *)
+(* ------------------------------------------------------------------ *)
+
+let merge_into ~into src =
+  List.iter
+    (fun it ->
+      match it with
+      | Counter c -> add (counter into c.c_name) c.c_value
+      | Gauge g -> if g.g_set then set (gauge into g.g_name) g.g_value
+      | Histogram h ->
+        let dst = histogram into h.h_name in
+        Array.iteri
+          (fun i n -> dst.h_counts.(i) <- dst.h_counts.(i) + n)
+          h.h_counts;
+        dst.h_count <- dst.h_count + h.h_count;
+        dst.h_sum <- dst.h_sum +. h.h_sum;
+        if h.h_max > dst.h_max then dst.h_max <- h.h_max)
+    (items src)
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Prometheus text exposition format, version 0.0.4: one # TYPE line
+   per metric, histogram buckets as cumulative le-labelled counters
+   with the mandatory +Inf bucket, _sum and _count. *)
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun it ->
+      match it with
+      | Counter c ->
+        let n = Obs.prometheus_name c.c_name in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+        Buffer.add_string b (Printf.sprintf "%s %d\n" n c.c_value)
+      | Gauge g ->
+        let n = Obs.prometheus_name g.g_name in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+        Buffer.add_string b (Printf.sprintf "%s %g\n" n g.g_value)
+      | Histogram h ->
+        let n = Obs.prometheus_name h.h_name in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+        let top = ref 0 in
+        Array.iteri (fun i c -> if c > 0 then top := i) h.h_counts;
+        let cum = ref 0 in
+        for i = 0 to !top do
+          cum := !cum + h.h_counts.(i);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" n
+               (2.0 ** float_of_int i)
+               !cum)
+        done;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.h_count);
+        Buffer.add_string b (Printf.sprintf "%s_sum %g\n" n h.h_sum);
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.h_count))
+    (items t);
+  Buffer.contents b
+
+let pp_summary ppf t =
+  let first = ref true in
+  List.iter
+    (fun it ->
+      if !first then first := false else Format.fprintf ppf "@,";
+      match it with
+      | Counter c -> Format.fprintf ppf "%s = %d" c.c_name c.c_value
+      | Gauge g -> Format.fprintf ppf "%s = %g" g.g_name g.g_value
+      | Histogram h ->
+        Format.fprintf ppf
+          "%s: count=%d mean=%.3f p50<=%g p99<=%g max=%.3f" h.h_name
+          h.h_count (hist_mean h) (quantile h 0.5) (quantile h 0.99) h.h_max)
+    (items t)

@@ -1,0 +1,36 @@
+(** Global observability switchboard: the enabled flag, the monotonic
+    clock, interned event names, and the escaping helpers shared by
+    every exporter.  `ocr_obs` sits below every other library of the
+    repo — see docs/OBS.md for the design rules. *)
+
+external now_ns : unit -> int = "ocr_obs_clock_ns" [@@noalloc]
+(** Monotonic nanoseconds since an arbitrary epoch, allocation-free. *)
+
+val enabled_flag : bool ref
+(** The raw hot-path check.  Instrumented loops guard their recording
+    with [if !Obs.enabled_flag then ...] so the disabled path compiles
+    to one load and branch; everything else should use {!enabled}. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val intern : string -> int
+(** Intern an event/span name, returning its stable small-int id.
+    Idempotent; thread-safe; meant for module-initialization time so
+    hot paths only touch ints. *)
+
+val name_of : int -> string
+(** Inverse of {!intern} (["?<id>"] for unknown ids). *)
+
+val json_string : string -> string
+(** JSON string literal with correct escaping of quotes, backslashes
+    and control bytes (unlike OCaml's [%S]). *)
+
+val csv_field : string -> string
+(** RFC 4180 quoting: fields containing commas, quotes or newlines
+    are quoted with inner quotes doubled; other fields pass
+    unchanged. *)
+
+val prometheus_name : string -> string
+(** Sanitize a string into a valid Prometheus metric name. *)

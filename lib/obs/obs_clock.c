@@ -1,0 +1,36 @@
+/* Monotonic clock for the tracing substrate.
+
+   Returns nanoseconds since an arbitrary epoch as an OCaml immediate
+   int (63 bits hold ~146 years of nanoseconds), so the external is
+   [@@noalloc] and a span record costs no heap words for its
+   timestamp.  CLOCK_MONOTONIC never jumps backwards, which the span
+   nesting reconstruction in the exporter relies on. */
+
+#include <caml/mlvalues.h>
+
+#ifdef _WIN32
+#include <windows.h>
+
+value ocr_obs_clock_ns(value unit)
+{
+  (void)unit;
+  static LARGE_INTEGER freq;
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0)
+    QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return Val_long((long)(now.QuadPart * (1000000000.0 / freq.QuadPart)));
+}
+
+#else
+#include <time.h>
+
+value ocr_obs_clock_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + ts.tv_nsec);
+}
+
+#endif

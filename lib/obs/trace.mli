@@ -1,0 +1,57 @@
+(** Span/event recording into preallocated per-domain ring buffers,
+    and the Chrome/Perfetto trace-event exporter.
+
+    Recording is lock-free (each domain writes only its own ring) and
+    allocation-free; all recording entry points are no-ops while
+    [Obs.enabled] is false.  Names are interned ints from
+    {!Obs.intern}. *)
+
+val begin_span : int -> unit
+val end_span : int -> unit
+
+val instant : int -> unit
+(** A zero-duration event (ph ["i"] in the export). *)
+
+val counter_int : int -> int -> unit
+(** Sample a counter track (ph ["C"]).  The int is converted to float
+    only after the enabled check, so disabled call sites stay
+    allocation-free without a caller-side guard. *)
+
+val counter : int -> float -> unit
+(** Float variant of {!counter_int}.  In alloc-sensitive code guard
+    the call with [if !Obs.enabled_flag then ...] — the float argument
+    is boxed at the call boundary regardless of the flag. *)
+
+val configure : ?capacity:int -> unit -> unit
+(** Drop all rings and start fresh; [capacity] (rounded up to a power
+    of two, default 65536 records) applies to rings created after the
+    call.  Call before enabling tracing, never mid-recording. *)
+
+val reset : unit -> unit
+(** Clear every ring without deallocating it. *)
+
+type event = {
+  ev_dom : int;
+  ev_ts : int;
+  ev_kind : [ `Begin | `End | `Instant | `Counter ];
+  ev_id : int;
+  ev_arg : float;
+}
+
+val events : unit -> event list
+(** Snapshot: all surviving records, tracks in domain-id order,
+    chronological within a track. *)
+
+val recorded : unit -> int
+(** Total records ever written (including overwritten ones). *)
+
+val dropped : unit -> int
+(** Records lost to ring wrap-around. *)
+
+val to_chrome_json : unit -> string
+(** Chrome trace-event JSON (the format Perfetto and about://tracing
+    load): one thread track per domain, spans as complete events
+    (ph ["X"], microsecond [ts]/[dur]), instants as ph ["i"], counter
+    samples as ph ["C"]. *)
+
+val write_chrome_json : string -> unit

@@ -1,0 +1,308 @@
+(* Reader side of the trace pipeline: parse a Chrome trace-event JSON
+   file (ours, or any tool's) and aggregate spans by self-time for
+   `ocr trace summarize`.
+
+   The JSON reader is a full recursive-descent parser — unlike
+   Njson.parse_flat it accepts nested values, because trace events
+   carry an args object — but stays ~80 lines by not streaming.  Every
+   failure is an [Error] with a byte position, never an exception: the
+   CLI turns it into a structured error line and a nonzero exit. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_exn (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          (* decode as a raw byte when in range, else '?' — span names
+             are ASCII and this reader only aggregates by name *)
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let hex = String.sub s (!pos + 1) 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+          | Some _ -> Buffer.add_char b '?'
+          | None -> fail "bad \\u escape");
+          pos := !pos + 4
+        | c -> Buffer.add_char b c);
+        advance ();
+        go ()
+      | '\255' -> fail "unterminated string"
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while num_char (peek ()) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}' in object"
+        in
+        members []
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']' in array"
+        in
+        elements []
+    | '"' -> Str (string_lit ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (number ())
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse_json s =
+  match parse_exn s with v -> Ok v | exception Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Span aggregation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type span_row = {
+  sr_name : string;
+  sr_count : int;
+  sr_total_us : float; (* summed wall time of the spans *)
+  sr_self_us : float;  (* total minus time in directly nested spans *)
+}
+
+let field o k = match o with Obj l -> List.assoc_opt k l | _ -> None
+
+let num_field o k =
+  match field o k with
+  | Some (Num f) -> Some f
+  | _ -> None
+
+let str_field o k =
+  match field o k with
+  | Some (Str s) -> Some s
+  | _ -> None
+
+(* mutable per-open-span cell for the nesting scan *)
+type open_span = {
+  os_name : string;
+  os_dur : float;
+  os_end : float;
+  mutable os_children : float;
+}
+
+let summarize contents =
+  match parse_json contents with
+  | Error e -> Error ("bad JSON: " ^ e)
+  | Ok json -> (
+    let events =
+      match json with
+      | Arr evs -> Ok evs (* the bare JSON-array trace format *)
+      | Obj _ -> (
+        match field json "traceEvents" with
+        | Some (Arr evs) -> Ok evs
+        | Some _ -> Error "\"traceEvents\" is not an array"
+        | None -> Error "no \"traceEvents\" array")
+      | _ -> Error "top level is neither an object nor an array"
+    in
+    match events with
+    | Error e -> Error e
+    | Ok events ->
+      (* complete events only; metadata, instants and counters carry
+         no duration.  Events missing a field are skipped, not fatal —
+         third-party traces decorate events freely. *)
+      let spans =
+        List.filter_map
+          (fun e ->
+            match (str_field e "ph", str_field e "name") with
+            | Some "X", Some name -> (
+              match (num_field e "ts", num_field e "dur") with
+              | Some ts, Some dur ->
+                let tid =
+                  match num_field e "tid" with Some t -> t | None -> 0.0
+                in
+                let pid =
+                  match num_field e "pid" with Some p -> p | None -> 0.0
+                in
+                Some ((pid, tid), name, ts, dur)
+              | _ -> None)
+            | _ -> None)
+          events
+      in
+      let by_name : (string, int ref * float ref * float ref) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let account name dur self =
+        let cnt, total, slf =
+          match Hashtbl.find_opt by_name name with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0, ref 0.0, ref 0.0) in
+            Hashtbl.replace by_name name cell;
+            cell
+        in
+        incr cnt;
+        total := !total +. dur;
+        slf := !slf +. self
+      in
+      (* per-track nesting: sort by start (longer spans first on a
+         tie, so parents precede their children), then a stack scan
+         attributes each span's duration to its innermost enclosure *)
+      let tracks = Hashtbl.create 4 in
+      List.iter
+        (fun ((key, _, _, _) as sp) ->
+          let l =
+            match Hashtbl.find_opt tracks key with Some l -> l | None -> []
+          in
+          Hashtbl.replace tracks key (sp :: l))
+        spans;
+      Hashtbl.iter
+        (fun _ track ->
+          let track =
+            List.sort
+              (fun (_, _, ts1, d1) (_, _, ts2, d2) ->
+                match compare ts1 ts2 with 0 -> compare d2 d1 | c -> c)
+              track
+          in
+          let stack = ref [] in
+          let close os =
+            account os.os_name os.os_dur
+              (Float.max 0.0 (os.os_dur -. os.os_children))
+          in
+          let rec pop_until ts =
+            match !stack with
+            | os :: rest when os.os_end <= ts ->
+              close os;
+              stack := rest;
+              pop_until ts
+            | _ -> ()
+          in
+          List.iter
+            (fun (_, name, ts, dur) ->
+              pop_until ts;
+              (match !stack with
+              | parent :: _ -> parent.os_children <- parent.os_children +. dur
+              | [] -> ());
+              stack :=
+                { os_name = name; os_dur = dur; os_end = ts +. dur;
+                  os_children = 0.0 }
+                :: !stack)
+            track;
+          List.iter close !stack)
+        tracks;
+      let rows =
+        Hashtbl.fold
+          (fun name (cnt, total, slf) acc ->
+            { sr_name = name; sr_count = !cnt; sr_total_us = !total;
+              sr_self_us = !slf }
+            :: acc)
+          by_name []
+      in
+      Ok
+        (List.sort
+           (fun a b ->
+             match compare b.sr_self_us a.sr_self_us with
+             | 0 -> compare a.sr_name b.sr_name
+             | c -> c)
+           rows))
+
+let summarize_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | contents -> summarize contents

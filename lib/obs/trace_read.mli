@@ -1,0 +1,33 @@
+(** Trace-file reader: parse Chrome trace-event JSON and aggregate
+    spans by self-time (the `ocr trace summarize` engine).
+
+    Failures are values, never exceptions — the CLI maps an [Error]
+    to a structured message and a nonzero exit. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse_json : string -> (json, string) result
+(** Full (nested) JSON parser; error messages carry a byte offset. *)
+
+type span_row = {
+  sr_name : string;
+  sr_count : int;
+  sr_total_us : float;  (** summed duration of all spans of the name *)
+  sr_self_us : float;
+      (** total minus the time spent in directly nested spans *)
+}
+
+val summarize : string -> (span_row list, string) result
+(** Aggregate the complete events (ph ["X"]) of a trace — given as the
+    file contents — per name, rows sorted by self-time descending.
+    Accepts both the object form ([{"traceEvents": [...]}]) and the
+    bare JSON-array form; individual events missing fields are
+    skipped, a malformed file is an [Error]. *)
+
+val summarize_file : string -> (span_row list, string) result

@@ -1,0 +1,106 @@
+Observability: `--trace` Chrome/Perfetto export, `trace summarize`,
+Prometheus metrics from `serve`, NDJSON metrics from `stream`, and the
+per-heap operation breakdown under `solve --stats`.
+
+  $ ocr gen sprand 8 16 --seed 5 --output g.ocr
+  wrote 8 nodes, 16 arcs to g.ocr
+
+Solving with `--trace` writes a Chrome trace-event JSON file; span
+timings vary run to run, but which spans fire and how often is
+deterministic, so summarize the trace and keep the name/count columns:
+
+  $ ocr solve g.ocr --trace t.json
+  lambda = 4677/4 (1169.250000)
+  $ ocr trace summarize t.json | tail -n +2 | awk '{print $1, $2}' | sort
+  bf.run 1
+  howard.eval 1
+  howard.iteration 1
+  howard.solve 1
+  howard.sweep 1
+  solver.component 1
+  solver.partition 1
+  solver.reduce 1
+
+The file is valid JSON holding one complete event per span plus the
+track metadata Perfetto needs:
+
+  $ grep -c '"ph":"X"' t.json
+  8
+  $ grep -c '"ph":"M"' t.json
+  2
+
+A committed miniature trace pins the full table: timestamps are fixed,
+so totals and self-times are exact (`solve` covers 100us, its two
+`eval` children 40us, leaving 60us of self-time):
+
+  $ cat > mini.json << EOF
+  > [ {"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"ocr"}},
+  >   {"ph":"X","pid":0,"tid":0,"ts":0,"dur":100,"name":"solve"},
+  >   {"ph":"X","pid":0,"tid":0,"ts":10,"dur":30,"name":"eval"},
+  >   {"ph":"X","pid":0,"tid":0,"ts":50,"dur":10,"name":"eval"},
+  >   {"ph":"i","pid":0,"tid":0,"ts":60,"name":"cache.hit"} ]
+  > EOF
+  $ ocr trace summarize mini.json
+  span                        count      total(ms)       self(ms)
+  solve                           1          0.100          0.060
+  eval                            2          0.040          0.040
+
+`--top` truncates the table:
+
+  $ ocr trace summarize mini.json --top 1 | tail -n +2
+  solve                           1          0.100          0.060
+
+Malformed input is a structured error on stderr and a nonzero exit,
+never an exception trace:
+
+  $ printf 'not json' > bad.json
+  $ ocr trace summarize bad.json
+  ocr: trace summarize: bad JSON: expected 'u' at byte 1
+  [1]
+  $ ocr trace summarize missing.json
+  ocr: trace summarize: missing.json: No such file or directory
+  [1]
+
+`serve --metrics` dumps Prometheus text exposition on exit, and the
+`metrics` protocol line prints the same snapshot mid-session; the
+counters are deterministic (latency samples are not, so keep the
+counter lines):
+
+  $ printf 'g.ocr\ng.ocr\nmetrics\nquit\n' | ocr serve --metrics m.prom | grep -E '^(ocr_(requests|solved|cache)|# TYPE ocr_solve_latency)'
+  ocr_requests_total 2
+  ocr_solved_total 2
+  ocr_cache_hits_total 1
+  ocr_cache_misses_total 1
+  ocr_cache_collisions_total 0
+  # TYPE ocr_solve_latency_ms histogram
+  $ grep -E '^ocr_(requests|cache_hits)' m.prom
+  ocr_requests_total 2
+  ocr_cache_hits_total 1
+  $ grep -c 'ocr_solve_latency_ms_count 2' m.prom
+  1
+
+`stream --metrics-every N` interleaves an NDJSON metrics digest after
+every Nth handled line, and `{"op":"metrics"}` asks for one on demand:
+
+  $ cat > g3.ocr << EOF
+  > p ocr 3 3
+  > a 1 2 2 1
+  > a 2 1 4 1
+  > a 3 3 9 1
+  > EOF
+  $ printf '%s\n' '{"op":"query"}' '{"op":"set_weight","arc":0,"weight":2}' \
+  >   '{"op":"metrics"}' '{"op":"quit"}' | ocr stream g3.ocr --metrics-every 2 \
+  >   | grep -o '"ok":true,"requests":[0-9]*,"cache_hits":[0-9]*,"cache_misses":[0-9]*'
+  "ok":true,"requests":1,"cache_hits":0,"cache_misses":1
+  "ok":true,"requests":1,"cache_hits":0,"cache_misses":1
+
+Heap-based algorithms expose their heap-operation breakdown under
+`--stats` (KO drives a meldable heap, YTO a decrease-key heap; Howard
+uses no heap, so no breakdown line):
+
+  $ ocr solve g.ocr -a ko --stats | tail -1
+  heap ops: inserts=14 extract_mins=10 decrease_keys=0 deletes=7 melds=0 total=31
+  $ ocr solve g.ocr -a yto --stats | tail -1
+  heap ops: inserts=6 extract_mins=3 decrease_keys=5 deletes=0 melds=0 total=14
+  $ ocr solve g.ocr -a howard --stats | tail -1
+  stats: iter=1 relax=4 arcs=0 cycles=1 oracle=1 level=0 heap:[ins=0 ext=0 dec=0 del=0 meld=0]

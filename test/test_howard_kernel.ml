@@ -175,6 +175,88 @@ let test_parallel_steady_state_allocation () =
            per_iter)
         true (per_iter < 512.0))
 
+(* ------------------------------------------------------------------ *)
+(* Observability: free when off, invisible when on                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The kernel is now instrumented with spans and counters; with the
+   global switch off every record call must compile down to a taken
+   branch, so the steady-state per-iteration allocation stays exactly
+   zero.  Same differential technique as above, but with the strict
+   bound the instrumentation must preserve. *)
+let test_disabled_tracing_zero_allocation () =
+  Alcotest.(check bool) "tracing is off" false (Obs.enabled ());
+  let g = Sprand.generate ~seed:3 ~n:2000 ~m:6000 () in
+  let scratch = Howard.create_scratch () in
+  let stats = Stats.create () in
+  ignore (Howard.minimum_cycle_mean ~stats ~init:`First_arc ~scratch g);
+  let total = stats.Stats.iterations in
+  Alcotest.(check bool)
+    (Printf.sprintf "enough iterations to measure (%d)" total)
+    true (total >= 6);
+  let run k =
+    match
+      Howard.minimum_cycle_mean ~init:`First_arc
+        ~budget:(Budget.create ~max_iterations:k ())
+        ~scratch g
+    with
+    | exception Budget.Exceeded _ -> ()
+    | _ -> Alcotest.fail "the capped run should stop early"
+  in
+  let words k =
+    run k;
+    let before = Gc.minor_words () in
+    run k;
+    Gc.minor_words () -. before
+  in
+  let k1 = 2 and k2 = total - 1 in
+  let per_iter = (words k2 -. words k1) /. float_of_int (k2 - k1) in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "instrumented kernel, tracing off: %.2f words/iteration (= 0)"
+       per_iter)
+    true (per_iter = 0.0)
+
+(* Enabling tracing must not perturb any observable output: λ, witness,
+   final policy and every Stats counter bit-equal with recording on and
+   off, serial and parallel.  (Ring capacity is tiny on purpose — wrap
+   -around drops records, never correctness.) *)
+let qcheck_tracing_invisible =
+  QCheck.Test.make
+    ~name:"howard: enabling tracing changes no report (jobs 1 and 8)"
+    ~count:40
+    (Helpers.arb_strongly_connected ~max_n:10 ~max_extra:20 ~wlo:(-5) ~whi:5 ())
+    (fun g ->
+      let solve pool =
+        let st = Stats.create () in
+        let l, c, p =
+          Howard.minimum_cycle_mean_warm ~stats:st ?pool ~sweep_min_arcs:2 g
+        in
+        (l, c, p, st)
+      in
+      let with_pool jobs f =
+        if jobs = 1 then f None
+        else begin
+          let pool = Executor.create ~jobs in
+          Fun.protect
+            ~finally:(fun () -> Executor.shutdown pool)
+            (fun () -> f (Some pool))
+        end
+      in
+      List.for_all
+        (fun jobs ->
+          with_pool jobs (fun pool ->
+              let l0, c0, p0, st0 = solve pool in
+              Trace.configure ~capacity:1024 ();
+              Obs.enable ();
+              let result =
+                Fun.protect ~finally:Obs.disable (fun () -> solve pool)
+              in
+              let l, c, p, st = result in
+              Trace.configure ();
+              Ratio.equal l0 l && c0 = c && p0 = p && st0 = st))
+        [ 1; 8 ])
+
 let qcheck_random_init_agrees =
   QCheck.Test.make ~name:"howard: random init reaches the same optimum"
     ~count:60
@@ -198,6 +280,11 @@ let suite =
       `Quick test_chunked_sweep_tie_heavy;
     Alcotest.test_case "parallel steady state allocates O(chunks) words"
       `Quick test_parallel_steady_state_allocation;
+    Alcotest.test_case "instrumented kernel allocates 0 words with tracing off"
+      `Quick test_disabled_tracing_zero_allocation;
   ]
   @ Helpers.qtests
-      [ qcheck_random_init_agrees; qcheck_chunked_sweep_matches_serial ]
+      [
+        qcheck_random_init_agrees; qcheck_chunked_sweep_matches_serial;
+        qcheck_tracing_invisible;
+      ]

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "ocr"
     [
+      ("obs", Test_obs.suite);
       ("vec", Test_vec.suite);
       ("digraph", Test_digraph.suite);
       ("traversal", Test_traversal.suite);

@@ -1,0 +1,312 @@
+(* The ocr_obs substrate: ring-buffer recording, the metrics registry,
+   the exporters, the trace reader, and the escaping helpers the
+   telemetry exporters now rely on. *)
+
+let sp_a = Obs.intern "test.a"
+let sp_b = Obs.intern "test.b"
+let sp_c = Obs.intern "test.counter"
+
+(* run [f] with tracing on in a fresh ring configuration, restoring the
+   disabled default afterwards so the allocation tests of other suites
+   stay valid *)
+let with_tracing ?capacity f =
+  Trace.configure ?capacity ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Trace.configure ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* interning and recording                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_intern () =
+  Alcotest.(check int) "idempotent" sp_a (Obs.intern "test.a");
+  Alcotest.(check string) "inverse" "test.a" (Obs.name_of sp_a);
+  Alcotest.(check bool) "distinct names, distinct ids" true (sp_a <> sp_b)
+
+let test_recording_roundtrip () =
+  with_tracing (fun () ->
+      Trace.begin_span sp_a;
+      Trace.begin_span sp_b;
+      Trace.counter_int sp_c 42;
+      Trace.end_span sp_b;
+      Trace.instant sp_b;
+      Trace.end_span sp_a;
+      let evs = Trace.events () in
+      Alcotest.(check int) "six records" 6 (List.length evs);
+      let kinds = List.map (fun e -> e.Trace.ev_kind) evs in
+      Alcotest.(check bool)
+        "kind sequence" true
+        (kinds = [ `Begin; `Begin; `Counter; `End; `Instant; `End ]);
+      let ts = List.map (fun e -> e.Trace.ev_ts) evs in
+      Alcotest.(check bool)
+        "timestamps monotone" true
+        (List.sort compare ts = ts);
+      match List.nth evs 2 with
+      | { Trace.ev_id; ev_arg; _ } ->
+        Alcotest.(check int) "counter id" sp_c ev_id;
+        Alcotest.(check (float 0.0)) "counter value" 42.0 ev_arg)
+
+let test_disabled_records_nothing () =
+  Trace.configure ();
+  Alcotest.(check bool) "disabled" false (Obs.enabled ());
+  Trace.begin_span sp_a;
+  Trace.end_span sp_a;
+  Trace.instant sp_b;
+  Trace.counter_int sp_c 1;
+  Alcotest.(check int) "no records" 0 (List.length (Trace.events ()))
+
+let test_ring_wraparound () =
+  with_tracing ~capacity:16 (fun () ->
+      for _ = 1 to 50 do
+        Trace.instant sp_a
+      done;
+      let evs = Trace.events () in
+      Alcotest.(check int) "ring keeps capacity records" 16 (List.length evs);
+      Alcotest.(check int) "all recorded counted" 50 (Trace.recorded ());
+      Alcotest.(check int) "drops counted" 34 (Trace.dropped ()))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export -> reader round trip                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_json_roundtrip () =
+  with_tracing (fun () ->
+      Trace.begin_span sp_a;
+      Trace.begin_span sp_b;
+      Trace.end_span sp_b;
+      Trace.end_span sp_a;
+      Trace.instant sp_c;
+      let json = Trace.to_chrome_json () in
+      (match Trace_read.parse_json json with
+      | Error e -> Alcotest.fail ("export is not valid JSON: " ^ e)
+      | Ok (Trace_read.Obj fields) ->
+        Alcotest.(check bool)
+          "has traceEvents" true
+          (List.mem_assoc "traceEvents" fields)
+      | Ok _ -> Alcotest.fail "export is not a JSON object");
+      match Trace_read.summarize json with
+      | Error e -> Alcotest.fail e
+      | Ok rows ->
+        let row name =
+          List.find (fun r -> r.Trace_read.sr_name = name) rows
+        in
+        Alcotest.(check int) "outer span count" 1 (row "test.a").sr_count;
+        Alcotest.(check int) "inner span count" 1 (row "test.b").sr_count;
+        (* the inner span nests inside the outer one, so the outer
+           self-time is its total minus the inner total *)
+        let a = row "test.a" and b = row "test.b" in
+        Alcotest.(check (float 0.001))
+          "self = total - nested" (a.sr_total_us -. b.sr_total_us)
+          a.sr_self_us)
+
+(* ------------------------------------------------------------------ *)
+(* trace reader on hand-built inputs                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mini_trace =
+  {|{"traceEvents":[
+      {"name":"outer","ph":"X","ts":0,"dur":100,"pid":0,"tid":0},
+      {"name":"inner","ph":"X","ts":10,"dur":30,"pid":0,"tid":0},
+      {"name":"inner","ph":"X","ts":50,"dur":20,"pid":0,"tid":0},
+      {"name":"other","ph":"X","ts":0,"dur":5,"pid":0,"tid":1},
+      {"name":"noise","ph":"i","ts":1,"pid":0,"tid":0}
+  ]}|}
+
+let test_summarize_self_time () =
+  match Trace_read.summarize mini_trace with
+  | Error e -> Alcotest.fail e
+  | Ok rows ->
+    let row name = List.find (fun r -> r.Trace_read.sr_name = name) rows in
+    Alcotest.(check (float 1e-9)) "outer total" 100.0 (row "outer").sr_total_us;
+    Alcotest.(check (float 1e-9)) "outer self" 50.0 (row "outer").sr_self_us;
+    Alcotest.(check int) "inner count" 2 (row "inner").sr_count;
+    Alcotest.(check (float 1e-9)) "inner self" 50.0 (row "inner").sr_self_us;
+    (* rows sorted by self-time descending; "other" is on its own track *)
+    Alcotest.(check (float 1e-9)) "other self" 5.0 (row "other").sr_self_us;
+    Alcotest.(check bool)
+      "sorted by self desc" true
+      (match rows with
+      | r1 :: r2 :: r3 :: _ ->
+        r1.Trace_read.sr_self_us >= r2.Trace_read.sr_self_us
+        && r2.Trace_read.sr_self_us >= r3.Trace_read.sr_self_us
+      | _ -> false)
+
+let test_summarize_bare_array () =
+  match
+    Trace_read.summarize
+      {|[{"name":"x","ph":"X","ts":0,"dur":7,"pid":0,"tid":0}]|}
+  with
+  | Error e -> Alcotest.fail e
+  | Ok [ r ] ->
+    Alcotest.(check string) "name" "x" r.Trace_read.sr_name;
+    Alcotest.(check (float 1e-9)) "total" 7.0 r.Trace_read.sr_total_us
+  | Ok _ -> Alcotest.fail "expected exactly one row"
+
+let test_summarize_malformed () =
+  let is_error s =
+    match Trace_read.summarize s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "garbage" true (is_error "not json at all");
+  Alcotest.(check bool) "truncated" true (is_error {|{"traceEvents":[|});
+  Alcotest.(check bool) "wrong shape" true (is_error {|{"traceEvents":42}|});
+  Alcotest.(check bool) "number literal" true (is_error "123abc");
+  (* events missing fields are skipped, not fatal *)
+  match
+    Trace_read.summarize
+      {|{"traceEvents":[{"ph":"X"},{"name":"ok","ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]}|}
+  with
+  | Ok [ r ] -> Alcotest.(check string) "survivor" "ok" r.Trace_read.sr_name
+  | Ok _ -> Alcotest.fail "expected one surviving row"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "reqs" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  Alcotest.(check bool)
+    "find-or-create returns the same cell" true
+    (Metrics.counter m "reqs" == c);
+  let g = Metrics.gauge m "depth" in
+  Metrics.set g 3.5;
+  Alcotest.(check (float 0.0)) "gauge" 3.5 (Metrics.gauge_value g);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics.gauge: reqs is not a gauge") (fun () ->
+      ignore (Metrics.gauge m "reqs"))
+
+let test_histogram_buckets () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 3.0; 100.0 ];
+  Alcotest.(check int) "count" 6 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 108.0 (Metrics.hist_sum h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Metrics.hist_max h);
+  Alcotest.(check (float 1e-9)) "mean" 18.0 (Metrics.hist_mean h);
+  (* log2 bucket upper bounds: p50 of {<=1,<=1,<=2,<=2,<=4,<=128} is 2 *)
+  Alcotest.(check (float 1e-9)) "p50 bound" 2.0 (Metrics.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p100 bound" 128.0 (Metrics.quantile h 1.0)
+
+let test_metrics_merge_deterministic () =
+  let shard i =
+    let m = Metrics.create () in
+    Metrics.add (Metrics.counter m "n") i;
+    Metrics.observe (Metrics.histogram m "h") (float_of_int i);
+    m
+  in
+  let merged = Metrics.merge (shard 1) (shard 2) in
+  Alcotest.(check int) "counters sum" 3
+    (Metrics.counter_value (Metrics.counter merged "n"));
+  Alcotest.(check int) "histogram counts sum" 2
+    (Metrics.hist_count (Metrics.histogram merged "h"));
+  (* same shards, either nesting: identical exposition *)
+  let a = Metrics.merge (Metrics.merge (shard 1) (shard 2)) (shard 3) in
+  let b = Metrics.merge (shard 1) (Metrics.merge (shard 2) (shard 3)) in
+  Alcotest.(check string)
+    "associative exposition" (Metrics.to_prometheus a)
+    (Metrics.to_prometheus b)
+
+let test_prometheus_format () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "ocr_requests_total") 7;
+  let h = Metrics.histogram m "ocr_solve_latency_ms" in
+  List.iter (Metrics.observe h) [ 0.5; 3.0 ];
+  let text = Metrics.to_prometheus m in
+  let has s =
+    let n = String.length text and k = String.length s in
+    let rec scan i = i + k <= n && (String.sub text i k = s || scan (i + 1)) in
+    scan 0
+  in
+  List.iter
+    (fun line -> Alcotest.(check bool) ("has " ^ line) true (has line))
+    [
+      "# TYPE ocr_requests_total counter"; "ocr_requests_total 7";
+      "# TYPE ocr_solve_latency_ms histogram";
+      "ocr_solve_latency_ms_bucket{le=\"1\"} 1";
+      "ocr_solve_latency_ms_bucket{le=\"4\"} 2";
+      "ocr_solve_latency_ms_bucket{le=\"+Inf\"} 2";
+      "ocr_solve_latency_ms_sum 3.5"; "ocr_solve_latency_ms_count 2";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* escaping helpers and the telemetry export fix                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_string_escaping () =
+  let roundtrip s =
+    match Trace_read.parse_json (Obs.json_string s) with
+    | Ok (Trace_read.Str s') -> s'
+    | Ok _ -> Alcotest.fail "not a string literal"
+    | Error e -> Alcotest.fail e
+  in
+  List.iter
+    (fun s -> Alcotest.(check string) "roundtrip" s (roundtrip s))
+    [ "plain"; "with \"quotes\""; "back\\slash"; "tab\tnewline\n"; "\x01\x1f" ]
+
+let test_csv_field_quoting () =
+  Alcotest.(check string) "plain untouched" "plain" (Obs.csv_field "plain");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Obs.csv_field "a,b");
+  Alcotest.(check string)
+    "inner quotes doubled" "\"a\"\"b\"" (Obs.csv_field "a\"b");
+  Alcotest.(check string)
+    "newline quoted" "\"a\nb\"" (Obs.csv_field "a\nb")
+
+(* the PR-motivating bug: an algorithm name with quotes/commas must
+   leave to_json parseable and to_csv one-field-safe *)
+let test_telemetry_export_escaping () =
+  let tel = Telemetry.create () in
+  let evil = "ho\"ward, the \\ 2nd" in
+  Telemetry.record_run tel evil ~wall_ms:1.5;
+  tel.Telemetry.requests <- 1;
+  (match Trace_read.parse_json (Telemetry.to_json tel) with
+  | Error e -> Alcotest.fail ("to_json unparsable: " ^ e)
+  | Ok (Trace_read.Obj fields) -> (
+    match List.assoc "algorithms" fields with
+    | Trace_read.Arr [ Trace_read.Obj alg ] -> (
+      match List.assoc "name" alg with
+      | Trace_read.Str name ->
+        Alcotest.(check string) "name round-trips" evil name
+      | _ -> Alcotest.fail "name is not a string")
+    | _ -> Alcotest.fail "algorithms is not a one-object array")
+  | Ok _ -> Alcotest.fail "to_json is not an object");
+  let csv = Telemetry.to_csv tel in
+  let quoted = Printf.sprintf "\"alg_ho\"\"ward, the \\ 2nd_runs\",1" in
+  Alcotest.(check bool)
+    "csv quotes the metric name" true
+    (List.mem quoted (String.split_on_char '\n' csv))
+
+let suite =
+  [
+    Alcotest.test_case "interning" `Quick test_intern;
+    Alcotest.test_case "recording round-trip" `Quick test_recording_roundtrip;
+    Alcotest.test_case "disabled records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "ring wrap-around" `Quick test_ring_wraparound;
+    Alcotest.test_case "chrome export parses and nests" `Quick
+      test_chrome_json_roundtrip;
+    Alcotest.test_case "summarize computes self-time" `Quick
+      test_summarize_self_time;
+    Alcotest.test_case "summarize accepts bare arrays" `Quick
+      test_summarize_bare_array;
+    Alcotest.test_case "summarize rejects malformed files" `Quick
+      test_summarize_malformed;
+    Alcotest.test_case "counters and gauges" `Quick test_metrics_basics;
+    Alcotest.test_case "histogram log2 buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "shard merge is deterministic" `Quick
+      test_metrics_merge_deterministic;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus_format;
+    Alcotest.test_case "json_string escapes correctly" `Quick
+      test_json_string_escaping;
+    Alcotest.test_case "csv_field quotes correctly" `Quick
+      test_csv_field_quoting;
+    Alcotest.test_case "telemetry exports escape names" `Quick
+      test_telemetry_export_escaping;
+  ]
