@@ -151,7 +151,7 @@ let read_file path =
 (* ------------------------------------------------------------------ *)
 
 let discriminators = [ "family"; "graph"; "n"; "m"; "jobs"; "workload"; "trace";
-                       "components_edited" ]
+                       "components_edited"; "cluster"; "workers" ]
 
 let row_key = function
   | Obj fields ->
@@ -204,8 +204,8 @@ let leaf_name path =
    rates depend on them and would double-report the same regression *)
 let gated_metric path =
   List.mem (leaf_name path)
-    [ "ms"; "ms_per_solve"; "one_pass_ms"; "induced_scan_ms"; "cold_ms";
-      "warm_ms_median"; "cold_ms_median" ]
+    [ "ms"; "ms_per_solve"; "ms_per_req"; "one_pass_ms"; "induced_scan_ms";
+      "cold_ms"; "warm_ms_median"; "cold_ms_median" ]
 
 let failures = ref 0
 let warnings = ref 0

@@ -1158,7 +1158,174 @@ let e15 _cfg =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* E16: cluster serving.  The same one-shot request batch pushed       *)
+(* through `ocr serve` (single process) and `ocr cluster` at           *)
+(* workers = 1, 2, 4 — ms/request measures the router's multiplexing   *)
+(* and sharding overhead (workers=1 vs serve) and the fan-out gain     *)
+(* (workers=2,4); [identical] checks the response multiset matches     *)
+(* serve exactly, including the cached= flags (fingerprint sharding    *)
+(* gives each graph exactly one cold miss cluster-wide, like one       *)
+(* process does).  A second scenario wedges nothing but floods one     *)
+(* worker (queue-depth 4) and reports the shed rate — informational,   *)
+(* not gated, since it depends on drain speed.  Needs the built ocr    *)
+(* binary: $OCR_BIN, or the dune default path, else the experiment     *)
+(* skips.  --bench-json FILE writes the numbers (BENCH_pr6.json).      *)
+(* ------------------------------------------------------------------ *)
+
+let e16 _cfg =
+  let ocr_bin =
+    match Sys.getenv_opt "OCR_BIN" with
+    | Some p when Sys.file_exists p -> Some p
+    | Some p ->
+      Printf.printf "E16: $OCR_BIN=%s not found\n" p;
+      None
+    | None ->
+      let dflt = "_build/default/bin/main.exe" in
+      if Sys.file_exists dflt then Some dflt else None
+  in
+  match ocr_bin with
+  | None ->
+    print_endline
+      "E16: skipped (no ocr binary; build bin/ or set $OCR_BIN)"
+  | Some bin ->
+    let n = 512 and density = 3.0 and pool = 8 and reps = 200 in
+    let dir = Filename.temp_file "ocr_e16_" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let graphs =
+      List.init pool (fun i ->
+          let g = instance ~n ~density ~seed:(i + 1) in
+          let path = Filename.concat dir (Printf.sprintf "g%d.ocr" i) in
+          Graph_io.write_file path g;
+          (path, Digraph.m g))
+    in
+    let m = snd (List.hd graphs) in
+    let batch =
+      List.init reps (fun i -> fst (List.nth graphs (i mod pool)))
+    in
+    (* one warmed, timed pass through a serving subprocess: spawn, one
+       request per graph to absorb startup and cold solves, then the
+       timed batch (one response line per request line, so a plain
+       write-all / read-all is deadlock-free at this size) *)
+    let run_server argv =
+      let ic, oc =
+        Unix.open_process_args bin (Array.of_list (bin :: argv))
+      in
+      let ask lines =
+        List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+        flush oc;
+        List.map (fun _ -> input_line ic) lines
+      in
+      ignore (ask (List.map fst graphs));
+      let t0 = Unix.gettimeofday () in
+      let responses = ask batch in
+      let dt_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      output_string oc "quit\n";
+      flush oc;
+      ignore (Unix.close_process (ic, oc));
+      (dt_ms /. float_of_int reps, responses)
+    in
+    let ms_serve, ref_responses = run_server [ "serve" ] in
+    let cluster_rows =
+      List.map
+        (fun workers ->
+          (* the whole batch is written before the first read, so the
+             queue bound must exceed it — admission control is the
+             overload scenario's subject, not this one's *)
+          let ms, responses =
+            run_server
+              [
+                "cluster"; "--workers"; string_of_int workers;
+                "--queue-depth"; string_of_int (2 * reps);
+              ]
+          in
+          let identical =
+            List.sort compare responses = List.sort compare ref_responses
+          in
+          (workers, ms, identical))
+        [ 1; 2; 4 ]
+    in
+    (* overload: every request hits the same graph, hence one worker;
+       with its queue bounded at 4 most of the flood is shed *)
+    let overload_reqs = 300 in
+    let shed =
+      let ic, oc =
+        Unix.open_process_args bin
+          [| bin; "cluster"; "--workers"; "1"; "--queue-depth"; "4" |]
+      in
+      let g0 = fst (List.hd graphs) in
+      for _ = 1 to overload_reqs do
+        output_string oc (g0 ^ "\n")
+      done;
+      output_string oc "quit\n";
+      flush oc;
+      let shed = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if
+             String.length line > 0
+             && line.[0] = '{'
+             && String.length line >= 21
+             && String.sub line 0 21 = {|{"ok":false,"err":"ov|}
+           then incr shed
+         done
+       with End_of_file -> ());
+      ignore (Unix.close_process (ic, oc));
+      !shed
+    in
+    let shed_rate = 100.0 *. float_of_int shed /. float_of_int overload_reqs in
+    List.iter (fun (p, _) -> Sys.remove p) graphs;
+    Unix.rmdir dir;
+    Tables.print
+      ~title:
+        (Printf.sprintf
+           "E16: cluster serving, %d requests over %d sprand graphs \
+            (n=%d, m=%d); serve = single process baseline (identical = \
+            response multiset matches serve); overload = %d requests \
+            of one graph at queue-depth 4"
+           reps pool n m overload_reqs)
+      ~header:[ "server"; "workers"; "ms/req"; "identical" ]
+      (([ "serve"; "1"; Tables.fmt_ms ms_serve; "-" ]
+       :: List.map
+            (fun (w, ms, identical) ->
+              [
+                "cluster"; string_of_int w; Tables.fmt_ms ms;
+                (if identical then "yes" else "NO");
+              ])
+            cluster_rows)
+      @ [ [ "overload"; "1"; Printf.sprintf "%.0f%% shed" shed_rate; "-" ] ]);
+    match !bench_json_path with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      let out fmt = Printf.fprintf oc fmt in
+      out "{\n  \"experiment\": \"E16\",\n";
+      out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+      out "  \"cluster_throughput\": [\n";
+      out
+        "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
+         \"cluster\": \"serve\", \"workers\": 0, \"requests\": %d, \
+         \"ms_per_req\": %.4f},\n"
+        n m reps ms_serve;
+      List.iter
+        (fun (w, ms, identical) ->
+          out
+            "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
+             \"cluster\": \"cluster\", \"workers\": %d, \"requests\": %d, \
+             \"ms_per_req\": %.4f, \"identical\": %b},\n"
+            n m w reps ms identical)
+        cluster_rows;
+      out
+        "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
+         \"cluster\": \"overload\", \"workers\": 1, \"requests\": %d, \
+         \"shed_rate_pct\": %.1f}\n"
+        n m overload_reqs shed_rate;
+      out "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
 let all : (string * (config -> unit)) list =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16) ]

@@ -69,18 +69,9 @@ let check_jobs jobs =
   end
 
 (* .gr files use the DIMACS shortest-path format; anything else the
-   native p/a format *)
-let load_graph path =
-  if Filename.check_suffix path ".gr" then begin
-    let ic = open_in path in
-    let contents =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    Graph_io.of_dimacs contents
-  end
-  else Graph_io.read_file path
+   native p/a format — the dispatch lives in Graph_io.load so every
+   front-end (and the cluster workers) agrees on it *)
+let load_graph = Graph_io.load
 
 let emit output g =
   match output with
@@ -325,12 +316,6 @@ let wall_arg =
     & info [ "wall" ]
         ~doc:"Append per-request wall times (nondeterministic) to responses.")
 
-let print_telemetry_summary tel =
-  let s = Format.asprintf "@[<v>%a@]" Telemetry.pp_summary tel in
-  List.iter
-    (fun line -> print_endline ("# " ^ line))
-    (String.split_on_char '\n' s)
-
 let write_telemetry tel csv json =
   let dump path contents =
     let oc = open_out path in
@@ -405,9 +390,8 @@ let batch_cmd =
       (fun () ->
         let responses = Engine.run_batch eng reqs in
         List.iter (fun r -> print_endline (Engine.response_line ~wall r)) responses;
-        let tel = Engine.telemetry eng in
-        print_telemetry_summary tel;
-        write_telemetry tel csv json)
+        Serve_loop.print_telemetry eng stdout;
+        write_telemetry (Engine.telemetry eng) csv json)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -433,7 +417,6 @@ let serve_cmd =
   let run jobs cache_size wall metrics =
     check_jobs jobs;
     let eng = Engine.create ~jobs ~cache_size () in
-    let id = ref 0 in
     let dump_metrics () =
       Option.iter
         (fun path ->
@@ -449,38 +432,7 @@ let serve_cmd =
       ~finally:(fun () ->
         dump_metrics ();
         Engine.shutdown eng)
-      (fun () ->
-        try
-          while true do
-            let line = String.trim (input_line stdin) in
-            if line = "" || line.[0] = '#' then ()
-            else if line = "quit" then raise Exit
-            else if line = "telemetry" then
-              print_telemetry_summary (Engine.telemetry eng)
-            else if line = "metrics" then begin
-              print_string
-                (Metrics.to_prometheus (Engine.metrics_snapshot eng));
-              flush stdout
-            end
-            else begin
-              match Request.parse_spec line with
-              | Error msg -> Printf.printf "error msg=%S\n%!" msg
-              | Ok spec -> (
-                incr id;
-                (* corrupt graph files (Failure from the parsers) must
-                   not abort the session any more than unreadable ones:
-                   emit a structured error line and keep serving *)
-                match load_graph spec.Request.path with
-                | exception (Sys_error e | Failure e) ->
-                  Printf.printf "req=%d file=%s status=error msg=%S\n%!" !id
-                    spec.Request.path e
-                | g ->
-                  let r = Engine.solve eng (Request.make ~id:!id ~graph:g spec) in
-                  print_endline (Engine.response_line ~wall r);
-                  flush stdout)
-            end
-          done
-        with End_of_file | Exit -> ())
+      (fun () -> Serve_loop.serve ~wall eng stdin stdout)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -540,31 +492,7 @@ let stream_cmd =
     let srv = Dyn_serve.create ~cache_size ?journal:log session in
     (* one request line -> one response line; malformed lines answer
        {"ok":false,...} and the stream continues *)
-    let handled = ref 0 in
-    let handle_line line =
-      let line = String.trim line in
-      if line = "" || line.[0] = '#' then true
-      else
-        match Dyn_serve.handle srv line with
-        | `Reply r ->
-          print_endline r;
-          incr handled;
-          (match metrics_every with
-          | Some n when !handled mod n = 0 ->
-            print_endline (Dyn_serve.metrics_line srv)
-          | _ -> ());
-          flush stdout;
-          true
-        | `Quit -> false
-    in
-    let drain ic =
-      try
-        let continue = ref true in
-        while !continue do
-          continue := handle_line (input_line ic)
-        done
-      with End_of_file -> ()
-    in
+    let drain ic = Serve_loop.stream ?metrics_every srv ic stdout in
     Fun.protect
       ~finally:(fun () ->
         Option.iter close_out jout;
@@ -589,6 +517,96 @@ let stream_cmd =
     Term.(
       const run $ graph_file_arg $ problem_arg $ objective_arg $ jobs_arg
       $ cache_size_arg $ replay_arg $ journal_arg $ metrics_every_arg)
+
+(* ----------------------------------------------------------------- *)
+(* cluster (sharded multi-process serving)                            *)
+(* ----------------------------------------------------------------- *)
+
+let cluster_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Number of worker processes (each with its own cache and pool).")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Per-worker in-flight bound.  Requests routed to a full worker \
+             are shed with {\"ok\":false,\"err\":\"overloaded\",...}.")
+  in
+  let request_timeout_arg =
+    Arg.(
+      value & opt float 30_000.
+      & info [ "request-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Kill and respawn a worker that spends longer than MS on one \
+             request (<= 0 disables).")
+  in
+  let drain_timeout_arg =
+    Arg.(
+      value & opt float 5_000.
+      & info [ "drain-timeout-ms" ] ~docv:"MS"
+          ~doc:"Grace period for in-flight work on shutdown.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the final aggregated Prometheus exposition to FILE on \
+             exit.  The 'metrics' protocol line prints the same aggregation \
+             to stdout at any point.")
+  in
+  let run workers jobs cache_size wall queue_depth request_timeout_ms
+      drain_timeout_ms metrics_file =
+    if workers < 1 then begin
+      prerr_endline "ocr: --workers must be >= 1";
+      exit 1
+    end;
+    check_jobs jobs;
+    let cfg =
+      Router.config ~workers ~jobs ~cache_size ~queue_depth
+        ~request_timeout_ms ~drain_timeout_ms ~wall ?metrics_file ()
+    in
+    Router.run cfg Unix.stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Sharded multi-process serving on stdin/stdout: a router forks \
+          $(b,--workers) shared-nothing worker processes and multiplexes \
+          the $(b,serve) and $(b,stream) line protocols across them.  \
+          One-shot solve lines are routed by structural graph fingerprint \
+          (cache-affine, consistent across worker loss); \
+          {\"op\":\"open\",\"session\":ID,\"graph\":FILE,...} opens a sticky \
+          dyn session whose subsequent lines carry the \"session\" field.  \
+          Crashed workers are respawned and their sessions replayed from \
+          the router's update journal; 'status' prints per-worker pids, \
+          'metrics' a cluster-wide aggregated exposition.  $(b,--cache-size) \
+          is the cluster-total LRU budget, divided across workers.  See \
+          docs/CLUSTER.md.")
+    Term.(
+      const run $ workers_arg $ jobs_arg $ cache_size_arg $ wall_arg
+      $ queue_depth_arg $ request_timeout_arg $ drain_timeout_arg
+      $ metrics_arg)
+
+(* the hidden worker-side mode the router re-execs; not for humans *)
+let cluster_worker_cmd =
+  let worker_id_arg =
+    Arg.(value & opt int 0 & info [ "worker-id" ] ~docv:"N" ~doc:"Worker index.")
+  in
+  let run worker_id jobs cache_size wall =
+    check_jobs jobs;
+    Cluster_worker.run ~wall ~jobs ~cache_size ~worker_id stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "cluster-worker" ~docs:Manpage.s_none
+       ~doc:"Internal: one cluster worker process (spawned by 'cluster').")
+    Term.(const run $ worker_id_arg $ jobs_arg $ cache_size_arg $ wall_arg)
 
 (* ----------------------------------------------------------------- *)
 (* trace                                                              *)
@@ -686,6 +704,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "ocr" ~version:"1.0.0" ~doc)
           [
-            gen_cmd; solve_cmd; batch_cmd; serve_cmd; stream_cmd; info_cmd;
-            critical_cmd; compare_cmd; trace_cmd;
+            gen_cmd; solve_cmd; batch_cmd; serve_cmd; stream_cmd; cluster_cmd;
+            cluster_worker_cmd; info_cmd; critical_cmd; compare_cmd; trace_cmd;
           ]))

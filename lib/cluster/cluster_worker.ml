@@ -1,0 +1,178 @@
+(* Worker-process loop: one engine, many sticky dyn sessions, one
+   request line in -> one response line out, always flushed.  The
+   router relies on the one-line-per-request contract to match
+   responses FIFO, and on every failure being a structured error line
+   rather than a dead process — the only way a worker should die is
+   the router killing it (or a crash this subsystem exists to absorb). *)
+
+type session = { sid : string; srv : Dyn_serve.t; dyn : Dyn.t }
+
+type t = {
+  worker_id : int;
+  eng : Engine.t;
+  wall : bool;
+  cache_size : int;
+  pool : Executor.t option; (* engine's pool, shared with sessions *)
+  sessions : (string, session) Hashtbl.t;
+  mutable order : session list; (* creation order, newest first *)
+  mutable next_id : int; (* serve request ids, worker-local *)
+}
+
+let reply oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let error_line msg = Njson.obj [ ("ok", "false"); ("error", Njson.escape msg) ]
+
+let session_error sid msg =
+  Njson.obj
+    [ ("session", Njson.escape sid); ("ok", "false"); ("error", Njson.escape msg) ]
+
+(* splice the session id into a `{...}` reply from the stream protocol *)
+let inject_session sid json_line =
+  if String.length json_line > 0 && json_line.[0] = '{' then
+    "{\"session\":" ^ Njson.escape sid ^ ","
+    ^ String.sub json_line 1 (String.length json_line - 1)
+  else json_line
+
+(* one registry for the whole process: engine counters + pool health,
+   then each session's counters/latency in creation order, then the
+   worker-level gauges *)
+let metrics_exposition t =
+  let m = Engine.metrics_snapshot t.eng in
+  List.iter
+    (fun s -> Metrics.merge_into ~into:m (Dyn_serve.metrics_snapshot s.srv))
+    (List.rev t.order);
+  Metrics.set
+    (Metrics.gauge m "ocr_worker_sessions")
+    (float_of_int (Hashtbl.length t.sessions));
+  Metrics.to_prometheus m
+
+let metrics_line t =
+  Njson.obj
+    [
+      ("ok", "true");
+      ("worker", string_of_int t.worker_id);
+      ("metrics", Njson.escape (metrics_exposition t));
+    ]
+
+let handle_open t fields =
+  match Njson.field_string fields "session" with
+  | None -> error_line "open: missing session field"
+  | Some sid -> (
+    if Hashtbl.mem t.sessions sid then
+      session_error sid ("session already open: " ^ sid)
+    else
+      match Njson.field_string fields "graph" with
+      | None -> session_error sid "open: missing graph field"
+      | Some path -> (
+        let problem =
+          match Njson.field_string fields "problem" with
+          | Some "ratio" -> Ok Solver.Cycle_ratio
+          | Some "mean" | None -> Ok Solver.Cycle_mean
+          | Some other -> Error ("open: unknown problem " ^ other)
+        in
+        let objective =
+          match Njson.field_string fields "objective" with
+          | Some "max" -> Ok Solver.Maximize
+          | Some "min" | None -> Ok Solver.Minimize
+          | Some other -> Error ("open: unknown objective " ^ other)
+        in
+        match (problem, objective) with
+        | Error e, _ | _, Error e -> session_error sid e
+        | Ok problem, Ok objective -> (
+          match Graph_io.load path with
+          | exception (Sys_error e | Failure e) -> session_error sid e
+          | g ->
+            let dyn = Dyn.create ~problem ~objective ?pool:t.pool g in
+            let srv = Dyn_serve.create ~cache_size:t.cache_size dyn in
+            let s = { sid; srv; dyn } in
+            Hashtbl.replace t.sessions sid s;
+            t.order <- s :: t.order;
+            Njson.obj
+              [
+                ("session", Njson.escape sid);
+                ("ok", "true");
+                ("epoch", string_of_int (Dyn.epoch dyn));
+                ("nodes", string_of_int (Dyn.n dyn));
+                ("arcs", string_of_int (Dyn.live_arcs dyn));
+              ])))
+
+let close_session t s =
+  Dyn.close s.dyn;
+  Hashtbl.remove t.sessions s.sid;
+  t.order <- List.filter (fun s' -> s'.sid <> s.sid) t.order;
+  Njson.obj
+    [ ("session", Njson.escape s.sid); ("ok", "true"); ("closed", "true") ]
+
+let handle_json t line =
+  match Njson.parse_flat line with
+  | Error e -> error_line ("bad json: " ^ e)
+  | Ok fields -> (
+    match Njson.field_string fields "op" with
+    | None -> error_line "missing string field \"op\""
+    | Some "open" -> handle_open t fields
+    | Some "close" -> (
+      match Njson.field_string fields "session" with
+      | None -> error_line "close: missing session field"
+      | Some sid -> (
+        match Hashtbl.find_opt t.sessions sid with
+        | None -> session_error sid ("unknown session: " ^ sid)
+        | Some s -> close_session t s))
+    | Some _ -> (
+      match Njson.field_string fields "session" with
+      | None -> error_line "missing session field"
+      | Some sid -> (
+        match Hashtbl.find_opt t.sessions sid with
+        | None -> session_error sid ("unknown session: " ^ sid)
+        | Some s -> (
+          (* the stream codec ignores the extra "session" field, so the
+             raw line is forwarded untouched *)
+          match Dyn_serve.handle s.srv line with
+          | `Reply r -> inject_session sid r
+          | `Quit -> close_session t s))))
+
+let run ?(wall = false) ?(jobs = 1) ?(cache_size = 256) ~worker_id ic oc =
+  let eng = Engine.create ~jobs ~cache_size () in
+  let t =
+    {
+      worker_id;
+      eng;
+      wall;
+      cache_size;
+      pool = (if jobs > 1 then Some (Engine.pool eng) else None);
+      sessions = Hashtbl.create 16;
+      order = [];
+      next_id = 0;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun s -> Dyn.close s.dyn) t.order;
+      Engine.shutdown eng)
+    (fun () ->
+      try
+        while true do
+          let line = String.trim (input_line ic) in
+          if line = "" || line.[0] = '#' then ()
+          else if line = "quit" then raise Exit
+          else if line = "ping" then
+            reply oc
+              (Njson.obj
+                 [ ("ok", "true"); ("pong", string_of_int t.worker_id) ])
+          else if line = "metrics" then reply oc (metrics_line t)
+          else if line.[0] = '{' then
+            reply oc
+              (try handle_json t line
+               with e -> error_line (Printexc.to_string e))
+          else begin
+            t.next_id <- t.next_id + 1;
+            reply oc
+              (try Serve_loop.handle_request ~wall:t.wall eng ~id:t.next_id line
+               with e ->
+                 Printf.sprintf "req=%d status=error msg=%S" t.next_id
+                   (Printexc.to_string e))
+          end
+        done
+      with End_of_file | Exit -> ())

@@ -1,0 +1,29 @@
+(** The cluster worker loop — the process behind the hidden
+    [ocr cluster-worker] mode the router re-execs.
+
+    One worker owns one batch {!Engine} (its own result LRU and domain
+    pool) plus any number of sticky {!Dyn} sessions, multiplexed over
+    a single line-protocol channel pair to the router:
+
+    - a line starting with [{] is an NDJSON session op.  [op=open]
+      creates a session ([session], [graph], optional [problem],
+      [objective]); [op=close] drops one; any other op carrying a
+      [session] field is the existing [ocr stream] protocol dispatched
+      to that session (the extra field is ignored by the codec), and
+      the reply is the stream reply with the [session] echoed first.
+    - [ping] answers [{"ok":true,"pong":<worker-id>}] (health check);
+    - [metrics] answers one NDJSON line carrying the worker's merged
+      Prometheus exposition (engine plus every session, in session
+      creation order) as an escaped string — framed so the router can
+      aggregate it with {!Metrics.of_prometheus};
+    - [quit] or EOF exits after the current request (the loop is
+      serial, so this is the graceful drain);
+    - anything else is an [ocr serve] request line answered by
+      {!Serve_loop.handle_request}.
+
+    Every request line produces exactly one response line, flushed —
+    the router matches responses to requests FIFO per worker. *)
+
+val run :
+  ?wall:bool -> ?jobs:int -> ?cache_size:int -> worker_id:int ->
+  in_channel -> out_channel -> unit

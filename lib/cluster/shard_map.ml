@@ -1,0 +1,63 @@
+(* Rendezvous hashing over a fixed worker set with an up/down mask.
+   Scores are SplitMix64 finalizer outputs over (key XOR worker salt);
+   comparisons are unsigned so the sign bit of the mixed value does
+   not bias worker 0. *)
+
+type t = { up : bool array }
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Shard_map.create: workers must be >= 1";
+  { up = Array.make workers true }
+
+let workers t = Array.length t.up
+
+let up_count t = Array.fold_left (fun n u -> if u then n + 1 else n) 0 t.up
+
+let is_up t w =
+  if w < 0 || w >= Array.length t.up then
+    invalid_arg "Shard_map.is_up: worker out of range";
+  t.up.(w)
+
+let set_up t w v =
+  if w < 0 || w >= Array.length t.up then
+    invalid_arg "Shard_map.set_up: worker out of range";
+  t.up.(w) <- v
+
+(* SplitMix64 finalizer (Steele et al.), the same mixer the graph
+   fingerprints use.  Int64 because the canonical constants need all
+   64 bits; a shard choice is setup-path work, boxing is irrelevant. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul z 0xbf58476d1ce4e5b9L in
+  let z = logxor z (shift_right_logical z 27) in
+  let z = mul z 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+(* per-worker salts: successive SplitMix64 stream values *)
+let salt w = mix64 (Int64.mul (Int64.of_int (w + 1)) 0x9e3779b97f4a7c15L)
+
+let score key w = mix64 (Int64.logxor key (salt w))
+
+let assign t key =
+  let key = Int64.of_int key in
+  let best = ref (-1) and best_score = ref 0L in
+  Array.iteri
+    (fun w up ->
+      if up then
+        let s = score key w in
+        if !best < 0 || Int64.unsigned_compare !best_score s < 0 then begin
+          best := w;
+          best_score := s
+        end)
+    t.up;
+  if !best < 0 then None else Some !best
+
+let hash_string s =
+  let h = ref 0x9e3779b97f4a7c15L in
+  String.iter
+    (fun c ->
+      h := mix64 (Int64.add (Int64.mul !h 31L) (Int64.of_int (Char.code c))))
+    s;
+  Int64.to_int !h
+
+let assign_string t s = assign t (hash_string s)

@@ -1,0 +1,41 @@
+(** Consistent request sharding across cluster workers.
+
+    Rendezvous (highest-random-weight) hashing: a key is assigned to
+    the up worker with the largest SplitMix64 score of
+    [(key, worker)], so
+
+    - assignment is deterministic — same key, same up-set, same
+      worker, in every process that computes it;
+    - worker loss reshuffles {e minimally}: keys assigned to a still-up
+      worker keep their assignment exactly, only the dead worker's
+      keys move (and return to it when it comes back up);
+    - distribution is balanced to within the usual 1/√k hash variance
+      (property-tested in [test_cluster.ml]).
+
+    The router shards one-shot solve requests by the structural
+    fingerprint of their graph and pins dyn sessions by their session
+    id at open time (stickiness is the stored assignment; the map only
+    picks the initial owner). *)
+
+type t
+
+val create : workers:int -> t
+(** [workers >= 1] workers, all initially up.
+    @raise Invalid_argument otherwise. *)
+
+val workers : t -> int
+val up_count : t -> int
+val is_up : t -> int -> bool
+val set_up : t -> int -> bool -> unit
+
+val assign : t -> int -> int option
+(** Owner of an (already hashed) integer key among the up workers;
+    [None] iff every worker is down. *)
+
+val assign_string : t -> string -> int option
+(** {!assign} of {!hash_string}[ s] (for session ids and path
+    fallbacks). *)
+
+val hash_string : string -> int
+(** SplitMix64-absorbed hash of a string, suitable as an {!assign}
+    key. *)

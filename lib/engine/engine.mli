@@ -56,6 +56,15 @@ val create : ?jobs:int -> ?cache_size:int -> ?now:(unit -> float) -> unit -> t
     and is injectable for tests. *)
 
 val jobs : t -> int
+
+val pool : t -> Executor.t
+(** The engine's executor — shareable with co-hosted [Dyn] sessions
+    (cluster workers run the batch engine and their sticky dyn
+    sessions on one pool) so a process never oversubscribes domains. *)
+
+val resize_cache : t -> int -> unit
+(** Re-budget the result LRU in place ({!Lru.resize} semantics). *)
+
 val telemetry : t -> Telemetry.t
 (** Cumulative over the engine's lifetime; read it only from the
     thread driving {!solve} / {!run_batch}. *)

@@ -6,7 +6,7 @@ type ('k, 'v) node = {
 }
 
 type ('k, 'v) t = {
-  capacity : int;
+  mutable capacity : int;
   table : ('k, ('k, 'v) node) Hashtbl.t;
   mutable head : ('k, 'v) node option; (* most recently used *)
   mutable tail : ('k, 'v) node option; (* least recently used *)
@@ -78,3 +78,20 @@ let add t k v =
         done)
 
 let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let resize t capacity =
+  locked t (fun () ->
+      t.capacity <- capacity;
+      if capacity <= 0 then begin
+        Hashtbl.reset t.table;
+        t.head <- None;
+        t.tail <- None
+      end
+      else
+        while Hashtbl.length t.table > capacity do
+          match t.tail with
+          | None -> assert false
+          | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.table lru.key
+        done)

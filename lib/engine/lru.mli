@@ -20,3 +20,10 @@ val find : ('k, 'v) t -> 'k -> 'v option
 val add : ('k, 'v) t -> 'k -> 'v -> unit
 (** Inserts (or refreshes) the entry as most-recently-used, evicting
     least-recently-used entries while over capacity. *)
+
+val resize : ('k, 'v) t -> int -> unit
+(** Changes the capacity in place.  Shrinking evicts from the
+    least-recently-used end immediately; a capacity [<= 0] clears the
+    cache and disables it (as at {!create}).  Lets a per-process cache
+    budget be re-split at runtime — e.g. a cluster dividing one
+    [--cache-size] across its workers. *)

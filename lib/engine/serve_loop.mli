@@ -1,0 +1,37 @@
+(** The [ocr serve] and [ocr stream] protocol loops as library
+    functions over explicit channels.
+
+    [bin/main.ml] used to own these loops, which made them untestable
+    and unshareable; now the CLI, the cluster workers and the test
+    suite all drive the same code over whatever channel pair they hold
+    (stdin/stdout, socketpairs, pipes).  Every protocol line — response,
+    error, telemetry, metrics — is followed by an explicit flush, so a
+    socket or pipe peer sees each reply as soon as it is produced
+    instead of whenever the runtime's buffer happens to fill. *)
+
+val serve : ?wall:bool -> Engine.t -> in_channel -> out_channel -> unit
+(** The [ocr serve] line protocol: each input line is a request
+    ([<graph-file> key=value ...]); [telemetry] prints counters,
+    [metrics] the Prometheus exposition, [quit] or EOF returns.
+    Malformed requests and unreadable/corrupt graph files answer a
+    structured error line and the session continues. *)
+
+val handle_request : ?wall:bool -> Engine.t -> id:int -> string -> string
+(** One request spec line to one response line, under the caller's
+    request id: parse failures answer
+    [req=<id> status=error msg=...], load failures
+    [req=<id> file=<path> status=error msg=...], and everything else
+    {!Engine.response_line}.  This is the per-line entry the cluster
+    worker multiplexes (the router matches responses to requests by
+    FIFO order, so every request line must produce exactly one
+    response line). *)
+
+val print_telemetry : Engine.t -> out_channel -> unit
+(** The [telemetry] reply: the {!Telemetry.pp_summary} block, one
+    [# ]-prefixed line each, flushed. *)
+
+val stream : ?metrics_every:int -> Dyn_serve.t -> in_channel -> out_channel -> unit
+(** The [ocr stream] NDJSON loop: one request line, one response line,
+    until [quit] or EOF; blank and [#] lines are skipped.  With
+    [metrics_every:n], every n-th handled request is followed by one
+    NDJSON metrics snapshot line. *)

@@ -64,6 +64,7 @@ let read_file path =
       really_input_string ic len)
   |> of_string
 
+
 let of_dimacs s =
   let builder = ref None in
   let lineno = ref 0 in
@@ -125,3 +126,14 @@ let to_dot ?(name = "g") ?(highlight = []) g =
            (Digraph.dst g a) attrs));
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+let load path =
+  if Filename.check_suffix path ".gr" then
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        really_input_string ic len)
+    |> of_dimacs
+  else read_file path

@@ -15,6 +15,11 @@ val of_string : string -> Digraph.t
 val write_file : string -> Digraph.t -> unit
 val read_file : string -> Digraph.t
 
+val load : string -> Digraph.t
+(** {!read_file}, except that a [.gr] suffix selects {!of_dimacs} —
+    the one format-dispatch rule every front-end (solve, batch, serve,
+    stream, cluster workers) shares. *)
+
 val to_dot : ?name:string -> ?highlight:int list -> Digraph.t -> string
 (** GraphViz export; [highlight] arcs are drawn bold red (used for
     critical cycles). *)

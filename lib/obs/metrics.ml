@@ -164,23 +164,46 @@ let merge a b =
 
 (* Prometheus text exposition format, version 0.0.4: one # TYPE line
    per metric, histogram buckets as cumulative le-labelled counters
-   with the mandatory +Inf bucket, _sum and _count. *)
+   with the mandatory +Inf bucket, _sum and _count.
+
+   Counter and gauge names may carry a label part — everything from
+   the first '{' on is emitted verbatim (labels must not contain
+   spaces), only the base name is sanitized, and series sharing a base
+   share one # TYPE line.  That is how the cluster router exports
+   per-worker series (ocr_worker_up{worker="0"}) from a label-less
+   registry.  Histogram names must be label-free (the bucket lines own
+   the label position). *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (Obs.prometheus_name name, "")
+  | Some i ->
+    ( Obs.prometheus_name (String.sub name 0 i),
+      String.sub name i (String.length name - i) )
+
 let to_prometheus t =
   let b = Buffer.create 1024 in
+  let typed = Hashtbl.create 16 in
+  let type_line base kind =
+    if not (Hashtbl.mem typed base) then begin
+      Hashtbl.add typed base ();
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" base kind)
+    end
+  in
   List.iter
     (fun it ->
       match it with
       | Counter c ->
-        let n = Obs.prometheus_name c.c_name in
-        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
-        Buffer.add_string b (Printf.sprintf "%s %d\n" n c.c_value)
+        let base, labels = split_labels c.c_name in
+        type_line base "counter";
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %d\n" base labels c.c_value)
       | Gauge g ->
-        let n = Obs.prometheus_name g.g_name in
-        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
-        Buffer.add_string b (Printf.sprintf "%s %g\n" n g.g_value)
+        let base, labels = split_labels g.g_name in
+        type_line base "gauge";
+        Buffer.add_string b (Printf.sprintf "%s%s %g\n" base labels g.g_value)
       | Histogram h ->
         let n = Obs.prometheus_name h.h_name in
-        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+        type_line n "histogram";
         let top = ref 0 in
         Array.iteri (fun i c -> if c > 0 then top := i) h.h_counts;
         let cum = ref 0 in
@@ -197,6 +220,158 @@ let to_prometheus t =
         Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.h_count))
     (items t);
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Importing an exposition (the cluster's snapshot-merge entry point)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Parses text produced by [to_prometheus] (same subset: # TYPE lines,
+   space-free labels, log2 bucket boundaries) back into a registry, so
+   a router can fold per-worker snapshots shipped as text into one
+   cluster-wide registry with [merge_into].  Histogram max is not on
+   the wire; it is restored as the upper bound of the top non-empty
+   bucket. *)
+let of_prometheus text =
+  let t = create () in
+  let kinds = Hashtbl.create 16 in
+  (* base -> (le, cumulative) list ref, sum ref, count ref, cell *)
+  let hists = Hashtbl.create 4 in
+  let error = ref None in
+  let fail lineno msg =
+    if !error = None then
+      error := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  let base_of name =
+    match String.index_opt name '{' with
+    | None -> name
+    | Some i -> String.sub name 0 i
+  in
+  let chop name suffix =
+    if Filename.check_suffix name suffix then
+      Some (Filename.chop_suffix name suffix)
+    else None
+  in
+  let hist_parts base =
+    match Hashtbl.find_opt hists base with
+    | Some parts -> parts
+    | None ->
+      let parts = (ref [], ref 0.0, ref 0, histogram t base) in
+      Hashtbl.add hists base parts;
+      parts
+  in
+  let le_of name lineno =
+    (* le="..." somewhere in the label part *)
+    match String.index_opt name '{' with
+    | None ->
+      fail lineno "bucket line without labels";
+      infinity
+    | Some i -> (
+      let labels = String.sub name i (String.length name - i) in
+      let prefix = {|{le="|} in
+      if String.length labels > String.length prefix + 1
+         && String.sub labels 0 (String.length prefix) = prefix
+      then
+        let rest =
+          String.sub labels (String.length prefix)
+            (String.length labels - String.length prefix)
+        in
+        match String.index_opt rest '"' with
+        | Some j -> (
+          let v = String.sub rest 0 j in
+          if v = "+Inf" then infinity
+          else
+            match float_of_string_opt v with
+            | Some f -> f
+            | None ->
+              fail lineno ("bad le value " ^ v);
+              infinity)
+        | None ->
+          fail lineno "unterminated le label";
+          infinity
+      else begin
+        fail lineno ("unsupported bucket labels " ^ labels);
+        infinity
+      end)
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" then ()
+      else if String.length line > 0 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; base; kind ] -> Hashtbl.replace kinds base kind
+        | _ -> () (* other comments are legal exposition *)
+      end
+      else
+        match String.rindex_opt line ' ' with
+        | None -> fail lineno "expected <name> <value>"
+        | Some sp -> (
+          let name = String.sub line 0 sp in
+          let sval =
+            String.sub line (sp + 1) (String.length line - sp - 1)
+          in
+          match float_of_string_opt sval with
+          | None -> fail lineno ("bad value " ^ sval)
+          | Some v -> (
+            let base = base_of name in
+            let hist_member suffix =
+              match chop base suffix with
+              | Some h when Hashtbl.find_opt kinds h = Some "histogram" ->
+                Some h
+              | _ -> None
+            in
+            match
+              (hist_member "_bucket", hist_member "_sum", hist_member "_count")
+            with
+            | Some h, _, _ ->
+              let buckets, _, _, _ = hist_parts h in
+              buckets := (le_of name lineno, int_of_float v) :: !buckets
+            | _, Some h, _ ->
+              let _, sum, _, _ = hist_parts h in
+              sum := v
+            | _, _, Some h ->
+              let _, _, count, _ = hist_parts h in
+              count := int_of_float v
+            | None, None, None -> (
+              match Hashtbl.find_opt kinds base with
+              | Some "counter" -> add (counter t name) (int_of_float v)
+              | Some "gauge" -> set (gauge t name) v
+              | Some "histogram" ->
+                fail lineno ("bare sample for histogram " ^ name)
+              | Some k -> fail lineno ("unknown metric kind " ^ k)
+              | None -> fail lineno ("no # TYPE for " ^ name)))))
+    (String.split_on_char '\n' text);
+  (* rebuild per-bucket counts from the cumulative le series *)
+  Hashtbl.iter
+    (fun base (buckets, sum, count, h) ->
+      let finite =
+        List.filter (fun (le, _) -> le <> infinity) !buckets
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let prev = ref 0 and top_cum = ref 0 in
+      List.iter
+        (fun (le, cum) ->
+          let idx = bucket_of le in
+          if cum < !prev then
+            fail 0 (Printf.sprintf "non-monotone buckets for %s" base)
+          else begin
+            h.h_counts.(idx) <- h.h_counts.(idx) + (cum - !prev);
+            if cum > !prev then h.h_max <- 2.0 ** float_of_int idx;
+            prev := cum;
+            top_cum := cum
+          end)
+        finite;
+      if !count > !top_cum then
+        (* +Inf strictly above the top finite bucket: catch-all *)
+        h.h_counts.(histogram_buckets) <-
+          h.h_counts.(histogram_buckets) + (!count - !top_cum);
+      h.h_count <- !count;
+      h.h_sum <- !sum)
+    hists;
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok t
 
 let pp_summary ppf t =
   let first = ref true in

@@ -52,7 +52,22 @@ val merge : t -> t -> t
 val to_prometheus : t -> string
 (** Prometheus text exposition (format 0.0.4): [# TYPE] lines,
     cumulative [le]-labelled histogram buckets with the mandatory
-    [+Inf] bucket, [_sum] and [_count]. *)
+    [+Inf] bucket, [_sum] and [_count].
+
+    Counter and gauge names may embed a label part
+    ([ocr_worker_up{worker="0"}]): the base name is sanitized, the
+    label part is emitted verbatim (it must not contain spaces), and
+    series sharing a base share one [# TYPE] line.  Histogram names
+    must be label-free. *)
+
+val of_prometheus : string -> (t, string) result
+(** Parses {!to_prometheus} output back into a fresh registry — the
+    merge entry point for aggregating per-process snapshots shipped as
+    text (an [ocr cluster] router folds its workers' expositions
+    together with {!merge_into}).  Counters and gauges round-trip
+    exactly; histograms round-trip their bucket counts, [_sum] and
+    [_count], while the max — absent from the wire format — is
+    restored as the upper bound of the top non-empty bucket. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** One line per metric inside the caller's vertical box. *)

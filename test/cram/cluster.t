@@ -1,0 +1,113 @@
+Sharded multi-process serving: `ocr cluster` forks shared-nothing
+workers, shards one-shot solves by structural graph fingerprint, pins
+dyn sessions to a worker, sheds overload, and survives worker death by
+respawning and replaying the session journal.
+
+  $ cat > g3.ocr << EOF
+  > p ocr 3 3
+  > a 1 2 2 1
+  > a 2 1 4 1
+  > a 3 3 9 1
+  > EOF
+
+One-shot solves ride the serve protocol; the second request for the
+same graph lands on the same worker (fingerprint affinity) and hits
+its cache:
+
+  $ printf '%s\n' g3.ocr g3.ocr quit | ocr cluster --workers 2 2>/dev/null
+  req=1 file=g3.ocr status=ok lambda=3 float=3.000000 alg=howard components=2 fallbacks=0 cached=false
+  req=2 file=g3.ocr status=ok lambda=3 float=3.000000 alg=howard components=2 fallbacks=0 cached=true
+
+Admission control: with the one worker wedged (SIGSTOP), a queue depth
+of 2 admits exactly two requests and sheds the rest with structured
+errors; the admitted ones are answered after the worker resumes:
+
+  $ mkfifo req1
+  $ ocr cluster --workers 1 --queue-depth 2 < req1 > shed.log 2> shed.err &
+  $ CLUSTER=$!
+  $ exec 3>req1
+  $ printf 'status\n' >&3
+  $ for _ in $(seq 1 100); do grep -q pid0 shed.log && break; sleep 0.1; done
+  $ PID=$(grep -o '"pid0":[0-9]*' shed.log | tail -1 | cut -d: -f2)
+  $ kill -STOP $PID
+  $ printf '%s\n' g3.ocr g3.ocr g3.ocr g3.ocr g3.ocr >&3
+  $ for _ in $(seq 1 100); do [ $(grep -c overloaded shed.log) -eq 3 ] && break; sleep 0.1; done
+  $ kill -CONT $PID
+  $ printf 'quit\n' >&3
+  $ exec 3>&-
+  $ wait $CLUSTER
+  $ grep -v '"workers"' shed.log
+  {"ok":false,"err":"overloaded","req":3}
+  {"ok":false,"err":"overloaded","req":4}
+  {"ok":false,"err":"overloaded","req":5}
+  req=1 file=g3.ocr status=ok lambda=3 float=3.000000 alg=howard components=2 fallbacks=0 cached=false
+  req=2 file=g3.ocr status=ok lambda=3 float=3.000000 alg=howard components=2 fallbacks=0 cached=true
+
+Sticky sessions and recovery.  Session "a" is pinned to worker 1 (the
+placement is itself pinned by a unit test).  We update, query, then
+kill the hosting worker twice — once outright (SIGKILL by the pid the
+status line reports), once by wedging it with a query in flight so the
+request timeout fires — and each time the respawned worker replays the
+router's journal and answers the re-query bit-identically:
+
+  $ waitlog () { for _ in $(seq 1 200); do grep -q "$1" out.log && return 0; sleep 0.1; done; echo "TIMEOUT waiting for $1"; }
+  $ mkfifo req2
+  $ ocr cluster --workers 2 --request-timeout-ms 600 < req2 > out.log 2> err.log &
+  $ CLUSTER=$!
+  $ exec 3>req2
+  $ printf '%s\n' \
+  >   '{"op":"open","session":"a","graph":"g3.ocr"}' \
+  >   '{"op":"set_weight","session":"a","arc":0,"weight":10}' \
+  >   '{"op":"query","session":"a"}' >&3
+  $ waitlog '"lambda"'
+  $ printf 'status\n' >&3
+  $ waitlog '"pid1"'
+  $ PID=$(grep -o '"pid1":[0-9]*' out.log | tail -1 | cut -d: -f2)
+  $ kill -9 $PID
+  $ for _ in $(seq 1 200); do printf 'status\n' >&3; sleep 0.1; grep -q '"restarts1":1' out.log && break; done
+  $ printf '%s\n' '{"op":"query","session":"a"}' >&3
+  $ for _ in $(seq 1 200); do [ $(grep -c '"lambda"' out.log) -ge 2 ] && break; sleep 0.1; done
+  $ PID=$(grep '"restarts1":1' out.log | tail -1 | grep -o '"pid1":[0-9]*' | cut -d: -f2)
+  $ kill -STOP $PID
+  $ printf '%s\n' '{"op":"query","session":"a"}' >&3
+  $ for _ in $(seq 1 200); do printf 'status\n' >&3; sleep 0.1; grep -q '"restarts1":2' out.log && break; done
+  $ printf '%s\n' '{"op":"query","session":"a"}' >&3
+  $ for _ in $(seq 1 200); do [ $(grep -c '"lambda"' out.log) -ge 3 ] && break; sleep 0.1; done
+  $ printf 'metrics\n' >&3
+  $ waitlog ocr_worker_sessions
+  $ printf 'quit\n' >&3
+  $ exec 3>&-
+  $ wait $CLUSTER
+
+The session's protocol lines, in order: open, update, the pre-crash
+query, the query replayed after the SIGKILL, the in-flight query
+failed by the second crash, and the final replayed query — every
+answer bit-identical to the first:
+
+  $ grep '"session"' out.log
+  {"session":"a","ok":true,"epoch":0,"nodes":3,"arcs":3}
+  {"session":"a","ok":true,"epoch":1}
+  {"session":"a","ok":true,"epoch":1,"lambda":"7","float":7.000000,"cycle":[0,1],"components":2,"resolved":2,"cached":false}
+  {"session":"a","ok":true,"epoch":1,"lambda":"7","float":7.000000,"cycle":[0,1],"components":2,"resolved":2,"cached":false}
+  {"session":"a","ok":false,"err":"worker died"}
+  {"session":"a","ok":true,"epoch":1,"lambda":"7","float":7.000000,"cycle":[0,1],"components":2,"resolved":2,"cached":false}
+
+Every recovered answer equals the uninterrupted single-process run of
+the same ops (modulo the session tag the router adds):
+
+  $ printf '%s\n' '{"op":"set_weight","arc":0,"weight":10}' '{"op":"query"}' '{"op":"quit"}' \
+  >   | ocr stream g3.ocr | grep '"lambda"' > single.txt
+  $ grep '"lambda"' out.log | sed 's/"session":"a",//' | sort -u > cluster.txt
+  $ diff single.txt cluster.txt
+
+The aggregated exposition reports both restarts against the right
+worker, and the router saw both deaths:
+
+  $ grep '^ocr_worker_restarts_total' out.log
+  ocr_worker_restarts_total 2
+  ocr_worker_restarts_total{worker="0"} 0
+  ocr_worker_restarts_total{worker="1"} 2
+  $ grep '^ocr_cluster_workers ' out.log
+  ocr_cluster_workers 2
+  $ grep -c respawned err.log
+  2

@@ -21,5 +21,6 @@ let () =
       ("generators", Test_gen.suite);
       ("engine", Test_engine.suite);
       ("dyn", Test_dyn.suite);
+      ("cluster", Test_cluster.suite);
       ("applications", Test_apps.suite);
     ]
