@@ -1,21 +1,37 @@
 (* CI perf-regression gate.
 
      check_regress.exe BASELINE.json CURRENT.json [BASELINE CURRENT ...]
+     check_regress.exe --speedup CURRENT.json JOBS MIN [pairs ...]
 
    Each pair is a committed baseline (BENCH_pr*.json, recorded on the
-   1-core container that grew this repo) against the JSON a CI smoke
-   run just wrote (bench-e1N.json).  Absolute CI timings are noisy and
-   the hardware differs, so the gate is deliberately loose: a timing
+   container that grew this repo) against the JSON a CI smoke run just
+   wrote (bench-e1N.json).  Absolute CI timings are noisy and the
+   hardware differs, so the gate is deliberately loose: a timing
    metric fails only when
 
      current > 2.5 * baseline + 1.0   (milliseconds)
 
    i.e. a >2.5x slowdown with a 1 ms slack floor so micro-rows (tens of
    microseconds) never trip on scheduler jitter.  Speedups, ratios and
-   counts are never gated.  What *is* gated hard, with no tolerance, is
-   every "identical" flag in the current file: those encode the
-   determinism guarantee (parallel report bit-equal to jobs=1), and a
-   false there is a correctness bug, not noise.
+   counts are never gated by pairs.  What *is* gated hard, with no
+   tolerance, is every "identical" flag in the current file: those
+   encode the determinism guarantee (parallel report bit-equal to
+   jobs=1), and a false there is a correctness bug, not noise.
+
+   Core-count awareness: every bench file stamps "host_cores"
+   (Domain.recommended_domain_count at recording time).  When baseline
+   and current were recorded on hosts with different core counts, the
+   timing comparison of every jobs>1 row is skipped with a notice —
+   a jobs=4 timing from a 1-core box against one from an 8-core box is
+   apples against oranges in both directions.  jobs=1 rows and the
+   identical flags still gate.
+
+   The --speedup mode is the multicore promise: it reads CURRENT.json,
+   finds every row with "jobs" = JOBS and a "speedup" field, and fails
+   unless the best of them is >= MIN.  On a host reporting fewer than
+   JOBS cores it prints a notice and passes (the promise only binds
+   where the cores exist).  Remaining arguments are processed as
+   ordinary baseline/current pairs.
 
    Rows inside arrays are matched by their discriminator fields
    (family/n/m/jobs/components_edited), not by position, so reordering
@@ -211,10 +227,50 @@ let failures = ref 0
 let warnings = ref 0
 let checked = ref 0
 
+(* the top-level "host_cores" stamp of a bench file *)
+let host_cores_of = function
+  | Obj fields -> (
+    match List.assoc_opt "host_cores" fields with
+    | Some (Num f) -> Some (int_of_float f)
+    | _ -> None)
+  | _ -> None
+
+(* the jobs count baked into a flattened row path by [row_key]
+   (".../rows[family=sprand,n=4096,jobs=4]/ms_per_solve" -> Some 4) *)
+let path_jobs path =
+  let tag = "jobs=" in
+  let tl = String.length tag in
+  let n = String.length path in
+  let rec find i =
+    if i + tl > n then None
+    else if String.sub path i tl = tag then begin
+      let j = ref (i + tl) in
+      while
+        !j < n && (match path.[!j] with '0' .. '9' -> true | _ -> false)
+      do
+        incr j
+      done;
+      int_of_string_opt (String.sub path (i + tl) (!j - (i + tl)))
+    end
+    else find (i + 1)
+  in
+  find 0
+
 let check_pair ~baseline ~current =
   Printf.printf "== %s vs %s\n" baseline current;
-  let base = flatten (parse (read_file baseline)) in
-  let cur = flatten (parse (read_file current)) in
+  let base_json = parse (read_file baseline) in
+  let cur_json = parse (read_file current) in
+  let cores_differ =
+    match (host_cores_of base_json, host_cores_of cur_json) with
+    | Some b, Some c -> b <> c
+    | _ -> false
+  in
+  if cores_differ then
+    Printf.printf
+      "  note: baseline and current recorded on different core counts; \
+       jobs>1 timing rows are skipped\n";
+  let base = flatten base_json in
+  let cur = flatten cur_json in
   (* determinism flags in the *current* run gate unconditionally *)
   List.iter
     (fun (path, leaf) ->
@@ -231,6 +287,11 @@ let check_pair ~baseline ~current =
   List.iter
     (fun (path, leaf) ->
       match leaf with
+      | Num _
+        when gated_metric path && cores_differ
+             && (match path_jobs path with Some j -> j > 1 | None -> false)
+        ->
+        Printf.printf "  skip %s: differing host core counts\n" path
       | Num b when gated_metric path -> (
         match List.assoc_opt path cur with
         | Some (Num c) ->
@@ -251,22 +312,76 @@ let check_pair ~baseline ~current =
       | _ -> ())
     base
 
+(* The multicore promise: the best "speedup" among rows with the given
+   jobs count must reach [min_speedup] — but only on a host with at
+   least that many cores; elsewhere the curve cannot physically show a
+   speedup and the gate passes with a notice. *)
+let check_speedup ~file ~jobs ~min_speedup =
+  let j = parse (read_file file) in
+  match host_cores_of j with
+  | Some cores when cores < jobs ->
+    Printf.printf
+      "notice: %s records host_cores=%d < jobs=%d; multicore speedup gate \
+       skipped (needs a >=%d-core host)\n"
+      file cores jobs jobs
+  | cores ->
+    if cores = None then begin
+      incr warnings;
+      Printf.printf "  warn %s: no host_cores stamp; gating speedup anyway\n"
+        file
+    end;
+    let best =
+      List.fold_left
+        (fun acc (path, leaf) ->
+          match leaf with
+          | Num v when leaf_name path = "speedup" && path_jobs path = Some jobs
+            -> (
+            match acc with Some b when b >= v -> acc | _ -> Some v)
+          | _ -> acc)
+        None (flatten j)
+    in
+    incr checked;
+    (match best with
+    | None ->
+      incr failures;
+      Printf.printf "FAIL %s: no jobs=%d rows with a speedup field\n" file jobs
+    | Some b when b < min_speedup ->
+      incr failures;
+      Printf.printf "FAIL %s: best jobs=%d speedup %.2fx < required %.2fx\n"
+        file jobs b min_speedup
+    | Some b ->
+      Printf.printf "  ok %s: best jobs=%d speedup %.2fx (>= %.2fx)\n" file
+        jobs b min_speedup)
+
+let usage () =
+  prerr_endline
+    "usage: check_regress [--speedup CURRENT.json JOBS MIN] BASELINE.json \
+     CURRENT.json [B C ...]";
+  exit 2
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let speedup, args =
+    match args with
+    | "--speedup" :: file :: jobs :: min_s :: rest -> (
+      match (int_of_string_opt jobs, float_of_string_opt min_s) with
+      | Some j, Some m when j >= 1 -> (Some (file, j, m), rest)
+      | _ -> usage ())
+    | "--speedup" :: _ -> usage ()
+    | args -> (None, args)
+  in
   let rec pairs = function
     | [] -> []
     | b :: c :: rest -> (b, c) :: pairs rest
-    | [ _ ] ->
-      prerr_endline
-        "usage: check_regress BASELINE.json CURRENT.json [B C ...]";
-      exit 2
+    | [ _ ] -> usage ()
   in
   let ps = pairs args in
-  if ps = [] then begin
-    prerr_endline "usage: check_regress BASELINE.json CURRENT.json [B C ...]";
-    exit 2
-  end;
-  (try List.iter (fun (b, c) -> check_pair ~baseline:b ~current:c) ps
+  if ps = [] && speedup = None then usage ();
+  (try
+     (match speedup with
+     | Some (file, jobs, min_speedup) -> check_speedup ~file ~jobs ~min_speedup
+     | None -> ());
+     List.iter (fun (b, c) -> check_pair ~baseline:b ~current:c) ps
    with
   | Bad_json msg ->
     Printf.eprintf "malformed JSON: %s\n" msg;

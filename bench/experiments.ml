@@ -681,6 +681,12 @@ let e11 cfg =
 
 let bench_json_path : string option ref = ref None
 
+(* stamped at the top level of every bench JSON file AND into every
+   row: check_regress.ml reads the top-level value to decide whether
+   jobs>1 timings are comparable across files, and the per-row copy
+   keeps rows self-describing when they are quoted in isolation *)
+let host_cores () = Domain.recommended_domain_count ()
+
 let e12 _cfg =
   (* a) Howard kernel ns/op per family, scratch reused across reps *)
   let scratch = Howard.create_scratch () in
@@ -780,31 +786,33 @@ let e12 _cfg =
   | Some path ->
     let oc = open_out path in
     let out fmt = Printf.fprintf oc fmt in
+    let cores = host_cores () in
     out "{\n  \"experiment\": \"E12\",\n";
-    out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+    out "  \"host_cores\": %d,\n" cores;
     out "  \"howard_kernel\": [\n";
     List.iteri
       (fun i (family, n, m, ms, ns) ->
         out
-          "    {\"family\": %S, \"n\": %d, \"m\": %d, \"ms_per_solve\": \
-           %.4f, \"ns_per_arc\": %.1f}%s\n"
-          family n m ms ns
+          "    {\"family\": %S, \"n\": %d, \"m\": %d, \"host_cores\": %d, \
+           \"ms_per_solve\": %.4f, \"ns_per_arc\": %.1f}%s\n"
+          family n m cores ms ns
           (if i < List.length kernel - 1 then "," else ""))
       kernel;
     out "  ],\n";
     out
       "  \"scc_partition\": {\"graph\": \"many_scc %dx%d\", \"n\": %d, \
-       \"m\": %d, \"one_pass_ms\": %.4f, \"induced_scan_ms\": %.4f, \
-       \"speedup\": %.2f},\n"
-      components size (Digraph.n gp) (Digraph.m gp) one_pass_ms induced_ms
+       \"m\": %d, \"host_cores\": %d, \"one_pass_ms\": %.4f, \
+       \"induced_scan_ms\": %.4f, \"speedup\": %.2f},\n"
+      components size (Digraph.n gp) (Digraph.m gp) cores one_pass_ms
+      induced_ms
       (induced_ms /. one_pass_ms);
     out "  \"parallel_solve\": [\n";
     List.iteri
       (fun i (jobs, ms, identical) ->
         out
-          "    {\"jobs\": %d, \"ms\": %.4f, \"speedup\": %.2f, \
-           \"identical\": %b}%s\n"
-          jobs ms (serial_ms /. ms) identical
+          "    {\"jobs\": %d, \"host_cores\": %d, \"ms\": %.4f, \
+           \"speedup\": %.2f, \"identical\": %b}%s\n"
+          jobs cores ms (serial_ms /. ms) identical
           (if i < List.length parallel - 1 then "," else ""))
       parallel;
     out "  ]\n}\n";
@@ -945,28 +953,30 @@ let e13 _cfg =
   | Some path ->
     let oc = open_out path in
     let out fmt = Printf.fprintf oc fmt in
+    let cores = host_cores () in
     out "{\n  \"experiment\": \"E13\",\n";
-    out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+    out "  \"host_cores\": %d,\n" cores;
     out "  \"sprand_single_edit\": [\n";
     List.iteri
       (fun i (n, m, wm, cm) ->
         out
-          "    {\"n\": %d, \"m\": %d, \"edits\": %d, \"warm_ms_median\": \
-           %.4f, \"cold_ms_median\": %.4f, \"speedup\": %.2f}%s\n"
-          n m edits wm cm (cm /. wm)
+          "    {\"n\": %d, \"m\": %d, \"edits\": %d, \"host_cores\": %d, \
+           \"warm_ms_median\": %.4f, \"cold_ms_median\": %.4f, \
+           \"speedup\": %.2f}%s\n"
+          n m edits cores wm cm (cm /. wm)
           (if i < List.length sprand - 1 then "," else ""))
       sprand;
     out "  ],\n";
     out
-      "  \"edit_locality\": {\"graph\": \"many_scc %dx%d\", \"cold_ms\": \
-       %.4f, \"rounds\": [\n"
-      components size cold_ms;
+      "  \"edit_locality\": {\"graph\": \"many_scc %dx%d\", \"host_cores\": \
+       %d, \"cold_ms\": %.4f, \"rounds\": [\n"
+      components size cores cold_ms;
     List.iteri
       (fun i (k, resolved, ms) ->
         out
-          "    {\"components_edited\": %d, \"resolved\": %d, \"ms\": %.4f, \
-           \"speedup\": %.2f}%s\n"
-          k resolved ms (cold_ms /. ms)
+          "    {\"components_edited\": %d, \"resolved\": %d, \"host_cores\": \
+           %d, \"ms\": %.4f, \"speedup\": %.2f}%s\n"
+          k resolved cores ms (cold_ms /. ms)
           (if i < List.length locality - 1 then "," else ""))
       locality;
     out "  ]}\n}\n";
@@ -978,9 +988,11 @@ let e13 _cfg =
 (* strongly connected by construction, so Solver's per-component       *)
 (* fan-out has exactly one task and any scaling across --jobs comes    *)
 (* from Howard's intra-SCC sweep alone.  The n=1024 row (m=3072) sits  *)
-(* below the 4096-arc chunking threshold on purpose: it shows the      *)
-(* sweep staying serial where fan-out overhead would dominate.         *)
-(* --bench-json FILE writes the numbers (BENCH_pr4.json).              *)
+(* below the arcs-per-chunk grain (OCR_CHUNK_ARCS, default 4096) on    *)
+(* purpose: it shows the sweep staying serial where fan-out overhead   *)
+(* would dominate.  --bench-json FILE writes the numbers per job       *)
+(* count with host_cores stamped (BENCH_pr7.json); the CI multicore    *)
+(* leg gates jobs=4 speedup >= 1.2x on >=4-core hosts from this file.  *)
 (* ------------------------------------------------------------------ *)
 
 let e14 _cfg =
@@ -1046,8 +1058,10 @@ let e14 _cfg =
   | Some path ->
     let oc = open_out path in
     let out fmt = Printf.fprintf oc fmt in
+    let cores = host_cores () in
     out "{\n  \"experiment\": \"E14\",\n";
-    out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+    out "  \"host_cores\": %d,\n" cores;
+    out "  \"chunk_arcs\": %d,\n" (Executor.chunk_arcs ());
     out "  \"giant_scc_sweep\": [\n";
     let rows =
       List.concat_map
@@ -1064,8 +1078,9 @@ let e14 _cfg =
       (fun i (n, m, jobs, ms, serial_ms, identical) ->
         out
           "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": %d, \
-           \"ms_per_solve\": %.4f, \"speedup\": %.2f, \"identical\": %b}%s\n"
-          n m jobs ms (serial_ms /. ms) identical
+           \"host_cores\": %d, \"ms_per_solve\": %.4f, \"speedup\": %.2f, \
+           \"identical\": %b}%s\n"
+          n m jobs cores ms (serial_ms /. ms) identical
           (if i < List.length rows - 1 then "," else ""))
       rows;
     out "  ]\n}\n";
@@ -1135,8 +1150,9 @@ let e15 _cfg =
   | Some path ->
     let oc = open_out path in
     let out fmt = Printf.fprintf oc fmt in
+    let cores = host_cores () in
     out "{\n  \"experiment\": \"E15\",\n";
-    out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+    out "  \"host_cores\": %d,\n" cores;
     out "  \"tracing_overhead\": [\n";
     List.iteri
       (fun i (n, m, off_ms, on_ms, pct, identical) ->
@@ -1145,13 +1161,13 @@ let e15 _cfg =
            the on rows only ungated informational metrics *)
         out
           "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
-           \"trace\": \"off\", \"ms_per_solve\": %.4f},\n"
-          n m off_ms;
+           \"host_cores\": %d, \"trace\": \"off\", \"ms_per_solve\": %.4f},\n"
+          n m cores off_ms;
         out
           "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
-           \"trace\": \"on\", \"traced_ms_per_solve\": %.4f, \
-           \"overhead_pct\": %.1f, \"identical\": %b}%s\n"
-          n m on_ms pct identical
+           \"host_cores\": %d, \"trace\": \"on\", \"traced_ms_per_solve\": \
+           %.4f, \"overhead_pct\": %.1f, \"identical\": %b}%s\n"
+          n m cores on_ms pct identical
           (if i < List.length rows - 1 then "," else ""))
       rows;
     out "  ]\n}\n";
@@ -1300,27 +1316,28 @@ let e16 _cfg =
     | Some path ->
       let oc = open_out path in
       let out fmt = Printf.fprintf oc fmt in
+      let cores = host_cores () in
       out "{\n  \"experiment\": \"E16\",\n";
-      out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+      out "  \"host_cores\": %d,\n" cores;
       out "  \"cluster_throughput\": [\n";
       out
         "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
-         \"cluster\": \"serve\", \"workers\": 0, \"requests\": %d, \
-         \"ms_per_req\": %.4f},\n"
-        n m reps ms_serve;
+         \"host_cores\": %d, \"cluster\": \"serve\", \"workers\": 0, \
+         \"requests\": %d, \"ms_per_req\": %.4f},\n"
+        n m cores reps ms_serve;
       List.iter
         (fun (w, ms, identical) ->
           out
             "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
-             \"cluster\": \"cluster\", \"workers\": %d, \"requests\": %d, \
-             \"ms_per_req\": %.4f, \"identical\": %b},\n"
-            n m w reps ms identical)
+             \"host_cores\": %d, \"cluster\": \"cluster\", \"workers\": %d, \
+             \"requests\": %d, \"ms_per_req\": %.4f, \"identical\": %b},\n"
+            n m cores w reps ms identical)
         cluster_rows;
       out
         "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
-         \"cluster\": \"overload\", \"workers\": 1, \"requests\": %d, \
-         \"shed_rate_pct\": %.1f}\n"
-        n m overload_reqs shed_rate;
+         \"host_cores\": %d, \"cluster\": \"overload\", \"workers\": 1, \
+         \"requests\": %d, \"shed_rate_pct\": %.1f}\n"
+        n m cores overload_reqs shed_rate;
       out "  ]\n}\n";
       close_out oc;
       Printf.printf "wrote %s\n" path

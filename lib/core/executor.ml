@@ -34,6 +34,27 @@ type t = {
 
 let jobs t = t.jobs
 
+(* Granularity cost model: work is split by items-per-chunk, not by a
+   fixed chunk count, so tiny inputs never pay task-spawn overhead.
+   The 4096-arc default is the measured break-even of the Howard
+   improvement sweep: below roughly that many arcs per chunk, queueing
+   a task plus the per-chunk winner merge costs more than sweeping the
+   arcs on the calling domain (docs/PERF.md, "Granularity").  The env
+   knob exists for bench sweeps of the threshold itself. *)
+let default_chunk_arcs = 4096
+
+let chunk_arcs () =
+  match Sys.getenv_opt "OCR_CHUNK_ARCS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v > 0 -> v
+    | _ -> default_chunk_arcs)
+  | None -> default_chunk_arcs
+
+let chunks_for t ~work ~grain =
+  if t.jobs <= 1 || grain <= 0 || work <= 0 then 1
+  else max 1 (min t.jobs (work / grain))
+
 (* run one task body with the tracing span and busy-time accounting;
    [from_help] distinguishes steals from worker dequeues *)
 let run_task t ~from_help task =

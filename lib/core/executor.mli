@@ -21,6 +21,24 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
+val default_chunk_arcs : int
+(** The built-in arcs-per-chunk grain: [4096]. *)
+
+val chunk_arcs : unit -> int
+(** The arcs-per-chunk grain for data-parallel sweeps: the value of
+    [OCR_CHUNK_ARCS] when set to a positive integer, else
+    {!default_chunk_arcs}.  Read per call, so tests and bench sweeps
+    can vary the knob between solves. *)
+
+val chunks_for : t -> work:int -> grain:int -> int
+(** [chunks_for t ~work ~grain] is the number of chunks a sweep over
+    [work] items should use on this pool:
+    [max 1 (min (jobs t) (work / grain))] — at least [grain] items per
+    chunk, never more chunks than workers, and always [1] on a
+    single-worker pool.  [1] means "stay serial": callers skip the
+    fan-out entirely.  The split never affects results, only where the
+    items are processed. *)
+
 val async : t -> (unit -> 'a) -> 'a future
 (** Queue a task.  @raise Invalid_argument after {!shutdown}. *)
 

@@ -11,28 +11,45 @@ let sp_eval = Obs.intern "howard.eval"
 let sp_sweep = Obs.intern "howard.sweep"
 let sp_improved = Obs.intern "howard.improved"
 
+type int_array1 = Digraph.int_array1
+type float_array1 = Digraph.float_array1
+
+let ia len = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len
+let fa len = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len
+
 (* Reusable workspace: every array the steady-state policy iteration
    touches is preallocated here, so iterations allocate nothing on the
-   minor heap (verified by the kernel's Gc.minor_words test).  One
-   record serves repeated solves — Incremental keeps a single scratch
-   across warm-start re-solves — growing monotonically to the largest
-   instance seen. *)
+   minor heap (verified by the kernel's Gc.minor_words test).  The hot
+   state — distances, the policy-reverse CSR, the BFS ring, and the
+   per-chunk winner tables — lives in unboxed Bigarrays: off the OCaml
+   heap (the GC never scans or moves it) and therefore shareable
+   across domains without copying, which is what lets sweep chunks on
+   worker domains read [d] and write their winner tables in place.
+   One record serves repeated solves — Incremental keeps a single
+   scratch across warm-start re-solves — growing monotonically to the
+   largest instance seen. *)
 type scratch = {
   mutable cap : int; (* arrays valid for n <= cap *)
-  mutable d : float array;
+  mutable d : float_array1;
   mutable pi : int array;
   (* policy-reverse adjacency in CSR form, rebuilt by counting sort
      each iteration: predecessors of v under u -> dst(pi(u)) are
-     rev_nodes.(rev_start.(v) .. rev_start.(v+1) - 1) *)
-  mutable rev_start : int array;  (* n+1 *)
-  mutable rev_cursor : int array; (* n+1, fill cursors for the sort *)
-  mutable rev_nodes : int array;  (* n: each node is one predecessor *)
-  mutable queue : int array;      (* n: BFS buffer (each node enters once) *)
-  mutable visited : bool array;   (* n *)
-  mutable color : int array;      (* n: 0 unseen, 1 on walk, 2 done *)
-  mutable pos : int array;        (* n *)
-  mutable walk : int array;       (* n+1 *)
-  mutable cycle_arcs : int array; (* n: best policy cycle, path order *)
+     rev_nodes.{rev_start.{v} .. rev_start.{v+1} - 1} *)
+  mutable rev_start : int_array1;  (* n+1 *)
+  mutable rev_cursor : int_array1; (* n+1, fill cursors for the sort *)
+  mutable rev_nodes : int_array1;  (* n: each node is one predecessor *)
+  mutable queue : int_array1;      (* n: BFS buffer (each node enters once) *)
+  mutable visited : bool array;    (* n *)
+  mutable color : int array;       (* n: 0 unseen, 1 on walk, 2 done *)
+  mutable pos : int array;         (* n *)
+  mutable walk : int array;        (* n+1 *)
+  mutable cycle_arcs : int array;  (* n: best policy cycle, path order *)
+  (* all-ones float denominator, the cycle-mean counterpart of the
+     graph's transit mirror: the sweep reads one uniform [denf] array
+     for both problems, and multiplying by an exact 1.0 is bit-identical
+     to the mean form's plain [-. lambda] *)
+  mutable ones_cap : int;
+  mutable ones : float_array1;     (* ones_cap >= m, every entry 1.0 *)
   (* Chunked improvement sweep (serial and parallel paths share it):
      chunk [ci] records, for every node it saw as an arc source, the
      best candidate value and the lowest arc id attaining it.  Stamps
@@ -52,26 +69,28 @@ type scratch = {
                                         at every apply_winners call *)
   mutable chunk_cap : int;           (* chunk tables allocated *)
   mutable chunk_n : int;             (* inner arrays valid for n <= chunk_n *)
-  mutable chunk_cand : float array array; (* chunk -> node -> best cand *)
-  mutable chunk_arc : int array array;    (* chunk -> node -> best arc *)
-  mutable chunk_stamp : int array array;  (* chunk -> node -> epoch *)
-  mutable chunk_relax : int array;        (* chunk -> improving-arc count *)
+  mutable chunk_cand : float_array1 array; (* chunk -> node -> best cand *)
+  mutable chunk_arc : int_array1 array;    (* chunk -> node -> best arc *)
+  mutable chunk_stamp : int_array1 array;  (* chunk -> node -> epoch *)
+  mutable chunk_relax : int array;         (* chunk -> improving-arc count *)
 }
 
 let create_scratch () =
   {
     cap = 0;
-    d = [||];
+    d = fa 0;
     pi = [||];
-    rev_start = [||];
-    rev_cursor = [||];
-    rev_nodes = [||];
-    queue = [||];
+    rev_start = ia 0;
+    rev_cursor = ia 0;
+    rev_nodes = ia 0;
+    queue = ia 0;
     visited = [||];
     color = [||];
     pos = [||];
     walk = [||];
     cycle_arcs = [||];
+    ones_cap = 0;
+    ones = fa 0;
     sweep_epoch = 0;
     sweep_lambda = Array.make 1 0.0;
     sweep_eps = Array.make 1 0.0;
@@ -86,39 +105,66 @@ let create_scratch () =
 let ensure_scratch s n =
   if n > s.cap then begin
     s.cap <- n;
-    s.d <- Array.make n 0.0;
+    s.d <- fa n;
     s.pi <- Array.make n (-1);
-    s.rev_start <- Array.make (n + 1) 0;
-    s.rev_cursor <- Array.make (n + 1) 0;
-    s.rev_nodes <- Array.make n 0;
-    s.queue <- Array.make n 0;
+    s.rev_start <- ia (n + 1);
+    s.rev_cursor <- ia (n + 1);
+    s.rev_nodes <- ia n;
+    s.queue <- ia n;
     s.visited <- Array.make n false;
     s.color <- Array.make n 0;
     s.pos <- Array.make n (-1);
-    s.walk <- Array.make (n + 1) (-1);
-    s.cycle_arcs <- Array.make n (-1)
-  end
+    s.walk <- Array.make (n + 1) (-1)
+  end;
+  if Array.length s.cycle_arcs < n then s.cycle_arcs <- Array.make n (-1)
+
+(* the all-ones denominator never changes after the fill, so growing it
+   is the only write it ever sees *)
+let ensure_ones s m =
+  if m > s.ones_cap then begin
+    s.ones <- fa m;
+    Bigarray.Array1.fill s.ones 1.0;
+    s.ones_cap <- m
+  end;
+  s.ones
 
 let ensure_chunks s chunks =
   if chunks > s.chunk_cap || s.chunk_n < s.cap then begin
     let k = max chunks s.chunk_cap in
     s.chunk_cap <- k;
     s.chunk_n <- s.cap;
-    s.chunk_cand <- Array.init k (fun _ -> Array.make s.cap infinity);
-    s.chunk_arc <- Array.init k (fun _ -> Array.make s.cap (-1));
-    s.chunk_stamp <- Array.init k (fun _ -> Array.make s.cap 0);
+    s.chunk_cand <-
+      Array.init k (fun _ ->
+          let t = fa s.cap in
+          Bigarray.Array1.fill t infinity;
+          t);
+    s.chunk_arc <-
+      Array.init k (fun _ ->
+          let t = ia s.cap in
+          Bigarray.Array1.fill t (-1);
+          t);
+    s.chunk_stamp <-
+      Array.init k (fun _ ->
+          let t = ia s.cap in
+          Bigarray.Array1.fill t 0;
+          t);
     s.chunk_relax <- Array.make k 0
   end
 
 (* One chunk of the improvement sweep (Figure 1, lines 13-18) over the
    arc range [lo, hi).  Candidates are evaluated against the node
    distances FROZEN at the start of the sweep — [d] is only read here,
-   so chunks race-freely share it across domains — and the chunk's
-   winner table keeps, per source node, the smallest candidate with the
-   lowest arc id on ties (arcs are visited in increasing id order, so a
-   strict comparison keeps the first minimum).  Allocation-free: all
+   so chunks race-freely share it across domains (it is a Bigarray:
+   plain memory no domain's GC ever moves) — and the chunk's winner
+   table keeps, per source node, the smallest candidate with the lowest
+   arc id on ties (arcs are visited in increasing id order, so a strict
+   comparison keeps the first minimum).  [srcs]/[dsts]/[wf] are the
+   graph's own CSR Bigarrays and [denf] the float64 denominator mirror
+   (all ones for the mean problem, the transit mirror for the ratio
+   problem — both exact, so the float arithmetic is bit-identical to
+   the [float_of_int] version it replaces).  Allocation-free: all
    state lives in the preallocated chunk tables. *)
-let sweep_chunk s g den lo hi ci =
+let sweep_chunk s ~srcs ~dsts ~wf ~denf lo hi ci =
   let d = s.d in
   let lambda = s.sweep_lambda.(0) in
   let epoch = s.sweep_epoch in
@@ -127,16 +173,15 @@ let sweep_chunk s g den lo hi ci =
   and stamp_t = s.chunk_stamp.(ci) in
   let relax = ref 0 in
   for a = lo to hi - 1 do
-    let u = Digraph.src g a and v = Digraph.dst g a in
+    let u = (srcs : int_array1).{a} and v = (dsts : int_array1).{a} in
     let cand =
-      d.(v) +. float_of_int (Digraph.weight g a)
-      -. (lambda *. float_of_int (den a))
+      d.{v} +. (wf : float_array1).{a} -. (lambda *. (denf : float_array1).{a})
     in
-    if cand < d.(u) then incr relax;
-    if stamp_t.(u) <> epoch || cand < cand_t.(u) then begin
-      stamp_t.(u) <- epoch;
-      cand_t.(u) <- cand;
-      arc_t.(u) <- a
+    if cand < d.{u} then incr relax;
+    if stamp_t.{u} <> epoch || cand < cand_t.{u} then begin
+      stamp_t.{u} <- epoch;
+      cand_t.{u} <- cand;
+      arc_t.{u} <- a
     end
   done;
   s.chunk_relax.(ci) <- !relax
@@ -158,16 +203,16 @@ let apply_winners s ~n ~chunks st =
     let bc = ref (-1) in
     for ci = 0 to chunks - 1 do
       if
-        s.chunk_stamp.(ci).(u) = epoch
-        && (!bc < 0 || s.chunk_cand.(ci).(u) < s.chunk_cand.(!bc).(u))
+        s.chunk_stamp.(ci).{u} = epoch
+        && (!bc < 0 || s.chunk_cand.(ci).{u} < s.chunk_cand.(!bc).{u})
       then bc := ci
     done;
     if !bc >= 0 then begin
-      let cand = s.chunk_cand.(!bc).(u) in
-      let delta = d.(u) -. cand in
+      let cand = s.chunk_cand.(!bc).{u} in
+      let delta = d.{u} -. cand in
       if delta > 0.0 then begin
-        d.(u) <- cand;
-        pi.(u) <- s.chunk_arc.(!bc).(u);
+        d.{u} <- cand;
+        pi.(u) <- s.chunk_arc.(!bc).{u};
         if delta > eps then improved := true
       end
     end
@@ -177,32 +222,42 @@ let apply_winners s ~n ~chunks st =
   done;
   !improved
 
-(* Below this many arcs the chunked sweep runs on the calling domain
-   even when a pool is supplied: per-iteration fan-out overhead (task
-   queueing plus an O(chunks · n) merge) beats the sweep itself on
-   small components.  [sweep_min_arcs] overrides the default — bench
-   E14 and the tie-merge property tests force chunking on small
-   instances with it.  The cutoff never affects results, only where
-   the arcs are swept. *)
-let default_sweep_min_arcs = 4096
+(* Arcs-per-chunk grain for the sweep: a chunk below this many arcs is
+   not worth a task spawn (queueing plus an O(chunks · n) merge beats
+   the sweep itself), so the chunk count is
+   [min jobs (m / grain)] — small components and small sweeps stay
+   serial, big ones split into at-least-[grain]-arc chunks.  The
+   default comes from [Executor.chunk_arcs ()] (4096, overridable via
+   OCR_CHUNK_ARCS); [sweep_min_arcs] overrides it per solve — bench E14
+   and the tie-merge property tests force chunking on small instances
+   with it.  The grain never affects results, only where the arcs are
+   swept. *)
 
 let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
-    ?pool ?(sweep_min_arcs = default_sweep_min_arcs) ~den ~epsilon g =
+    ?pool ?sweep_min_arcs ~ratio ~epsilon g =
   if Digraph.m g = 0 then invalid_arg "Howard: graph has no arcs";
   let tr = !Obs.enabled_flag in
   if tr then Trace.begin_span sp_solve;
   let n = Digraph.n g and m = Digraph.m g in
   let s = match scratch with Some s -> s | None -> create_scratch () in
   ensure_scratch s n;
-  (* chunk count for the improvement sweep: one chunk (the serial path)
-     without a multi-worker pool or below the size cutoff, else up to
-     [jobs] chunks of at least half the cutoff each *)
+  (* the graph's unboxed arrays: endpoints, the float64 weight mirror,
+     and the denominator mirror (exact by construction; see Digraph) *)
+  let srcs = Digraph.Unsafe.srcs g
+  and dsts = Digraph.Unsafe.dsts g
+  and wf = Digraph.Unsafe.weights_float g in
+  let denf = if ratio then Digraph.Unsafe.transits_float g else ensure_ones s m in
+  let den = if ratio then Digraph.transit g else fun _ -> 1 in
+  (* chunk count for the improvement sweep, by the arcs-per-chunk cost
+     model above: 1 (the serial path) without a multi-worker pool or
+     on a sweep too small to amortize the fan-out *)
+  let grain =
+    match sweep_min_arcs with Some v -> v | None -> Executor.chunk_arcs ()
+  in
   let chunks =
     match pool with
-    | Some p when Executor.jobs p > 1 && m >= sweep_min_arcs ->
-      let floor = max 1 (sweep_min_arcs / 2) in
-      min (Executor.jobs p) (max 1 (m / floor))
-    | _ -> 1
+    | Some p -> Executor.chunks_for p ~work:m ~grain
+    | None -> 1
   in
   ensure_chunks s chunks;
   let chunk_lo ci = ci * m / chunks in
@@ -216,7 +271,7 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
       Array.init (chunks - 1) (fun i ->
           let ci = i + 1 in
           let lo = chunk_lo ci and hi = chunk_lo (ci + 1) in
-          fun () -> sweep_chunk s g den lo hi ci)
+          fun () -> sweep_chunk s ~srcs ~dsts ~wf ~denf lo hi ci)
   in
   (* unconditional counter updates beat an option match in the hot
      loop; the dummy costs one allocation per un-instrumented solve *)
@@ -226,8 +281,10 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
      default; a caller-supplied warm-start policy overrides [init]
      (the incremental re-solve path); the alternatives ablate how much
      the improved initialization buys (bench E9) *)
-  Array.fill d 0 n infinity;
-  Array.fill pi 0 n (-1);
+  for u = 0 to n - 1 do
+    d.{u} <- infinity;
+    pi.(u) <- -1
+  done;
   (match policy with
   | Some p ->
     if Array.length p <> n then invalid_arg "Howard: wrong policy length";
@@ -236,7 +293,7 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
         if a < 0 || a >= m || Digraph.src g a <> u then
           invalid_arg "Howard: invalid warm-start policy";
         pi.(u) <- a;
-        d.(u) <- float_of_int (Digraph.weight g a))
+        d.{u} <- wf.{a})
       p
   | None -> ());
   (* warm-started distances: the weight init above only seeds nodes the
@@ -248,25 +305,30 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
   | Some pot ->
     if Array.length pot <> n then
       invalid_arg "Howard: wrong potentials length";
-    if policy <> None then Array.blit pot 0 d 0 n
+    if policy <> None then
+      for u = 0 to n - 1 do
+        d.{u} <- pot.(u)
+      done
   | None -> ());
   (match (policy, init) with
   | Some _, _ -> ()
   | None, `Cheapest_arc ->
-    Digraph.iter_arcs g (fun a ->
-        let u = Digraph.src g a in
-        let w = float_of_int (Digraph.weight g a) in
-        if w < d.(u) then begin
-          d.(u) <- w;
-          pi.(u) <- a
-        end)
+    for a = 0 to m - 1 do
+      let u = srcs.{a} in
+      let w = wf.{a} in
+      if w < d.{u} then begin
+        d.{u} <- w;
+        pi.(u) <- a
+      end
+    done
   | None, `First_arc ->
-    Digraph.iter_arcs g (fun a ->
-        let u = Digraph.src g a in
-        if pi.(u) < 0 then begin
-          pi.(u) <- a;
-          d.(u) <- float_of_int (Digraph.weight g a)
-        end)
+    for a = 0 to m - 1 do
+      let u = srcs.{a} in
+      if pi.(u) < 0 then begin
+        pi.(u) <- a;
+        d.{u} <- wf.{a}
+      end
+    done
   | None, `Random seed ->
     (* xorshift-mixed reservoir choice among each node's out-arcs *)
     let state = ref (seed lxor 0x2545F4914F6CDD1D) in
@@ -297,7 +359,7 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
         Digraph.iter_out g u (fun a ->
             if !i = pick then begin
               pi.(u) <- a;
-              d.(u) <- float_of_int (Digraph.weight g a)
+              d.{u} <- wf.{a}
             end;
             incr i)
       end
@@ -334,7 +396,7 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
           s.pos.(!x) <- !len;
           s.walk.(!len) <- !x;
           incr len;
-          x := Digraph.dst g pi.(!x)
+          x := dsts.{pi.(!x)}
         done;
         if s.color.(!x) = 1 then begin
           (* new cycle: walk.(pos(!x)) .. walk.(len-1) *)
@@ -385,43 +447,47 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
     let lambda = float_of_int !best_num /. float_of_int !best_den in
     (* node distances by reverse BFS from the cycle entry over policy
        arcs (Figure 1, lines 10-12).  The policy-reverse adjacency is
-       counting-sorted into two preallocated int arrays — no cons
-       cells, no Queue nodes. *)
+       counting-sorted into two preallocated int Bigarrays — no cons
+       cells, no Queue nodes.  Subrange fills and the cursor copy are
+       explicit loops: [Bigarray.Array1.sub] would allocate a view on
+       every iteration. *)
     let rev_start = s.rev_start
     and rev_cursor = s.rev_cursor
     and rev_nodes = s.rev_nodes in
-    Array.fill rev_start 0 (n + 1) 0;
+    for v = 0 to n do
+      rev_start.{v} <- 0
+    done;
     for u = 0 to n - 1 do
-      let v = Digraph.dst g pi.(u) in
-      rev_start.(v + 1) <- rev_start.(v + 1) + 1
+      let v = dsts.{pi.(u)} in
+      rev_start.{v + 1} <- rev_start.{v + 1} + 1
     done;
     for v = 1 to n do
-      rev_start.(v) <- rev_start.(v) + rev_start.(v - 1)
+      rev_start.{v} <- rev_start.{v} + rev_start.{v - 1}
     done;
-    Array.blit rev_start 0 rev_cursor 0 (n + 1);
+    for v = 0 to n do
+      rev_cursor.{v} <- rev_start.{v}
+    done;
     for u = 0 to n - 1 do
-      let v = Digraph.dst g pi.(u) in
-      rev_nodes.(rev_cursor.(v)) <- u;
-      rev_cursor.(v) <- rev_cursor.(v) + 1
+      let v = dsts.{pi.(u)} in
+      rev_nodes.{rev_cursor.{v}} <- u;
+      rev_cursor.{v} <- rev_cursor.{v} + 1
     done;
     Array.fill s.visited 0 n false;
     let queue = s.queue in
     let head = ref 0 and tail = ref 0 in
     s.visited.(!best_start) <- true;
-    queue.(!tail) <- !best_start;
+    queue.{!tail} <- !best_start;
     incr tail;
     while !head < !tail do
-      let x = queue.(!head) in
+      let x = queue.{!head} in
       incr head;
-      for i = rev_start.(x) to rev_start.(x + 1) - 1 do
-        let u = rev_nodes.(i) in
+      for i = rev_start.{x} to rev_start.{x + 1} - 1 do
+        let u = rev_nodes.{i} in
         if not s.visited.(u) then begin
           s.visited.(u) <- true;
           let a = pi.(u) in
-          d.(u) <-
-            d.(x) +. float_of_int (Digraph.weight g a)
-            -. (lambda *. float_of_int (den a));
-          queue.(!tail) <- u;
+          d.{u} <- d.{x} +. wf.{a} -. (lambda *. denf.{a});
+          queue.{!tail} <- u;
           incr tail
         end
       done
@@ -440,9 +506,9 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
     (match pool with
     | Some p when chunks > 1 ->
       let futs = Array.map (Executor.async p) tasks in
-      sweep_chunk s g den 0 (chunk_lo 1) 0;
+      sweep_chunk s ~srcs ~dsts ~wf ~denf 0 (chunk_lo 1) 0;
       Array.iter (fun fut -> Executor.await p fut) futs
-    | _ -> sweep_chunk s g den 0 m 0);
+    | _ -> sweep_chunk s ~srcs ~dsts ~wf ~denf 0 m 0);
     if not (apply_winners s ~n ~chunks st) then converged := true;
     if tr then begin
       Trace.counter_int sp_improved (st.Stats.relaxations - relax_before);
@@ -460,7 +526,10 @@ let solve ?stats ?budget ?(init = `Cheapest_arc) ?policy ?potentials ?scratch
     cycle := s.cycle_arcs.(i) :: !cycle
   done;
   (match potentials with
-  | Some pot -> Array.blit d 0 pot 0 n
+  | Some pot ->
+    for u = 0 to n - 1 do
+      pot.(u) <- d.{u}
+    done
   | None -> ());
   let lambda, witness = Critical.improve_to_optimal ?stats ~den g !cycle in
   if tr then Trace.end_span sp_solve;
@@ -470,7 +539,7 @@ let minimum_cycle_mean ?stats ?budget ?(epsilon = 1e-9) ?init ?scratch ?pool
     ?sweep_min_arcs g =
   let lambda, cycle, _ =
     solve ?stats ?budget ?init ?scratch ?pool ?sweep_min_arcs
-      ~den:(fun _ -> 1) ~epsilon g
+      ~ratio:false ~epsilon g
   in
   (lambda, cycle)
 
@@ -479,17 +548,17 @@ let minimum_cycle_ratio ?stats ?budget ?(epsilon = 1e-9) ?init ?scratch ?pool
   Critical.assert_ratio_well_posed g;
   let lambda, cycle, _ =
     solve ?stats ?budget ?init ?scratch ?pool ?sweep_min_arcs
-      ~den:(Digraph.transit g) ~epsilon g
+      ~ratio:true ~epsilon g
   in
   (lambda, cycle)
 
 let minimum_cycle_mean_warm ?stats ?(epsilon = 1e-9) ?policy ?potentials
     ?scratch ?pool ?sweep_min_arcs g =
   solve ?stats ?policy ?potentials ?scratch ?pool ?sweep_min_arcs
-    ~den:(fun _ -> 1) ~epsilon g
+    ~ratio:false ~epsilon g
 
 let minimum_cycle_ratio_warm ?stats ?(epsilon = 1e-9) ?policy ?potentials
     ?scratch ?pool ?sweep_min_arcs g =
   Critical.assert_ratio_well_posed g;
   solve ?stats ?policy ?potentials ?scratch ?pool ?sweep_min_arcs
-    ~den:(Digraph.transit g) ~epsilon g
+    ~ratio:true ~epsilon g

@@ -10,11 +10,14 @@
     out-degrees; the paper adds O(nmα) and O(n²m(w_max−w_min)/ε)), yet
     it is by far the fastest algorithm in the study.
 
-    The steady-state loop is a zero-allocation kernel: the
-    policy-reverse adjacency is counting-sorted into preallocated CSR
-    int arrays, the backward BFS runs over an int-array buffer, and the
-    candidate cycle lives in reusable scratch — lists are materialized
-    only on return (see docs/PERF.md for the scratch layout).
+    The steady-state loop is a zero-allocation kernel: the node
+    distances, the policy-reverse adjacency (counting-sorted each
+    iteration), the backward-BFS ring, and the sweep winner tables all
+    live in unboxed {!Bigarray.Array1} scratch — off the OCaml heap,
+    invisible to the GC, and shareable across domains without copying —
+    and the candidate cycle in reusable int arrays; lists are
+    materialized only on return (see docs/PERF.md for the layout and
+    the domain-sharing safety argument).
 
     The per-arc improvement test is chunkable: every entry point takes
     an optional executor [pool], and with a multi-worker pool on a
@@ -64,12 +67,15 @@ val minimum_cycle_mean :
     touch it); see {!Budget}.
 
     [pool] parallelizes the improvement sweep across the executor's
-    workers when the graph has at least [sweep_min_arcs] arcs (default
-    4096; below that the fan-out overhead outweighs the sweep — see
-    docs/PERF.md).  The answer, and every counter in [stats], is
-    bit-identical with and without a pool.  The pool may be shared with
-    the per-component fan-out of {!Solver.solve}: its help-first
-    waiting makes the nesting deadlock-free.
+    workers; [sweep_min_arcs] is the arcs-per-chunk grain of the split
+    (default {!Executor.chunk_arcs}[ ()], i.e. [OCR_CHUNK_ARCS] or
+    4096): the sweep uses [min jobs (m / grain)] chunks, so a graph
+    under twice the grain stays serial — below that the fan-out
+    overhead outweighs the sweep (see docs/PERF.md, "Granularity").
+    The answer, and every counter in [stats], is bit-identical with and
+    without a pool.  The pool may be shared with the per-component
+    fan-out of {!Solver.solve}: its help-first waiting makes the
+    nesting deadlock-free.
     @raise Budget.Exceeded when the budget runs out mid-solve. *)
 
 val minimum_cycle_ratio :

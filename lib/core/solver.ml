@@ -99,15 +99,31 @@ let solve ?(objective = Minimize) ?(problem = Cycle_mean) ?budget ?(jobs = 1)
         | Some p -> (p, false)
         | None -> (Executor.create ~jobs, true)
       in
+      (* Arbitration between the two levels of parallelism.  The pool
+         can serve both: components fan out here, and a Howard solve
+         can re-use it to chunk its improvement sweep (help-first
+         waiting makes the nesting deadlock-free).  But when the
+         component fan-out already saturates the workers, nested sweep
+         chunks only add queueing and merge overhead — so a component
+         gets the inner pool only if the fan-out leaves workers idle
+         (fewer components than jobs) or the component dominates the
+         cyclic arc mass (≥ half; one giant SCC among crumbs is
+         exactly where the intra-solve sweep is the only win).  Purely
+         a placement decision: results are bit-identical either way. *)
+      let total_arcs =
+        Array.fold_left (fun acc sp -> acc + Digraph.m sp.Scc.sub) 0 subs
+      in
+      let saturated = Array.length subs >= Executor.jobs p in
+      let inner_pool sp =
+        if (not saturated) || 2 * Digraph.m sp.Scc.sub >= total_arcs then
+          Some p
+        else None
+      in
       let compute () =
-        (* the pool serves both levels of parallelism: components fan
-           out here, and each Howard solve re-uses it to chunk its
-           improvement sweep — the dominant win when one giant SCC
-           holds most of the arcs.  Help-first waiting makes the
-           nesting deadlock-free. *)
         subs
         |> Array.map (fun sp ->
-               Executor.async p (fun () -> solve_sub ~pool:p sp))
+               let inner = inner_pool sp in
+               Executor.async p (fun () -> solve_sub ?pool:inner sp))
         |> Array.map (fun fut ->
                match Executor.await p fut with
                | v -> Some v

@@ -405,7 +405,7 @@ let warm_problem t =
   | Solver.Cycle_mean -> Warm.Mean
   | Solver.Cycle_ratio -> Warm.Ratio
 
-let solve_part t ci (p : part) scratch =
+let solve_part t ?pool ci (p : part) scratch =
   let policy = assemble_policy t ci p in
   let k = Array.length p.p_nodes in
   let pot = Array.make k 0.0 in
@@ -417,12 +417,13 @@ let solve_part t ci (p : part) scratch =
      the exact answer of the pre-edit component, and most edits leave
      it confirmable by a single location pass *)
   let hint = Option.map fst p.p_result in
-  (* the session pool also chunks the improvement sweep inside this
-     component — the interesting case being one giant dirty SCC, where
-     the per-component fan-out below has nothing to parallelize *)
+  (* [pool] chunks the improvement sweep inside this component — the
+     interesting case being one giant dirty SCC, where the
+     per-component fan-out of [query] has nothing to parallelize; the
+     caller arbitrates which components get it *)
   let lambda, cyc, pol =
     Warm.solve_warm ~stats:st ~policy ~potentials:pot ?scratch ?hint
-      ?pool:t.pool (warm_problem t) p.p_sub
+      ?pool (warm_problem t) p.p_sub
   in
   (lambda, List.map (fun i -> p.p_arcs.(i)) cyc, pol, pot, st)
 
@@ -445,17 +446,35 @@ let query t =
       match t.pool with
       | Some pool when resolved > 1 ->
         (* each task gets its own scratch and stats; the session
-           scratch is not shared across domains *)
+           scratch is not shared across domains.  Same two-level
+           arbitration as Solver.solve: a dirty component only nests
+           the chunked sweep if the fan-out leaves workers idle or it
+           holds at least half the dirty arc mass. *)
+        let total_arcs =
+          List.fold_left
+            (fun acc ci -> acc + Digraph.m parts.(ci).p_sub)
+            0 dirty
+        in
+        let saturated = resolved >= Executor.jobs pool in
         dirty
         |> List.map (fun ci ->
+               let inner =
+                 if
+                   (not saturated)
+                   || 2 * Digraph.m parts.(ci).p_sub >= total_arcs
+                 then Some pool
+                 else None
+               in
                Executor.async pool (fun () ->
-                   solve_part t ci parts.(ci)
+                   solve_part t ?pool:inner ci parts.(ci)
                      (Some (Howard.create_scratch ()))))
         |> List.map (Executor.await pool)
       | _ ->
         (* serial: thread the session's one scratch through every
            re-solve, so the steady path allocates no fresh workspace *)
-        List.map (fun ci -> solve_part t ci parts.(ci) (Some t.scratch)) dirty
+        List.map
+          (fun ci -> solve_part t ?pool:t.pool ci parts.(ci) (Some t.scratch))
+          dirty
     in
     (* join: commit results and feed final policies back, in component
        order, on the coordinating thread *)

@@ -104,8 +104,16 @@ let auto_portfolio g =
 (* Mirrors Solver.solve exactly (same component order, same
    tie-breaking) so that engine results are indistinguishable from a
    fresh [Solver.solve ~algorithm] — a property the test suite checks —
-   while fanning independent SCC subproblems across the executor. *)
-let solve_fresh t tel (req : Request.t) =
+   while fanning independent SCC subproblems across the executor.
+
+   [inner_pool] is the arbitration verdict from the caller: [Some p]
+   lets this request parallelize internally (component fan-out, and
+   Howard's chunked sweep inside a component); [None] keeps the whole
+   request on the calling domain, which is what {!run_batch} picks
+   when the batch-level fan-out already saturates the pool — nesting
+   both levels would only queue overhead.  Purely a placement
+   decision: outcomes are bit-identical either way. *)
+let solve_fresh t ~inner_pool tel (req : Request.t) =
   let spec = req.Request.spec in
   let deadline_at =
     Option.map (fun ms -> t.now () +. (ms /. 1000.0)) spec.Request.deadline_ms
@@ -141,12 +149,12 @@ let solve_fresh t tel (req : Request.t) =
         | Solver.Cycle_ratio -> Registry.minimum_cycle_ratio alg
       in
       (* each component task gets its own Stats.t and Budget.t — no
-         mutable state crosses a domain boundary.  The engine pool is
-         also handed into the solve so Howard can chunk its improvement
+         mutable state crosses a domain boundary.  The pool is also
+         handed into the solve so Howard can chunk its improvement
          sweep inside one giant component; the budget stays safe there
          because Howard ticks it on the coordinating domain only, never
          from a chunk task *)
-      let solve_component alg iter_budget (sp : Scc.subproblem) =
+      let solve_component alg iter_budget ?pool (sp : Scc.subproblem) =
         let sub_stats = Stats.create () in
         let budget =
           match (iter_budget, deadline_at) with
@@ -157,24 +165,39 @@ let solve_fresh t tel (req : Request.t) =
                  ?deadline_at ())
         in
         let lambda, cycle =
-          run alg ~stats:sub_stats ?budget ~pool:t.exec sp.Scc.sub
+          run alg ~stats:sub_stats ?budget ?pool sp.Scc.sub
         in
         (lambda, List.map (fun a -> sp.Scc.arc_of_sub.(a)) cycle, sub_stats)
       in
       let attempt (alg, iter_budget) =
         let results =
-          if List.length subs > 1 && Executor.jobs t.exec > 1 then
+          match inner_pool with
+          | Some p when List.length subs > 1 && Executor.jobs p > 1 ->
+            (* same two-level arbitration as Solver.solve: a component
+               only nests the chunked sweep if the fan-out leaves
+               workers idle or it holds at least half the cyclic arcs *)
+            let total_arcs =
+              List.fold_left (fun acc sp -> acc + Digraph.m sp.Scc.sub) 0 subs
+            in
+            let saturated = List.length subs >= Executor.jobs p in
             subs
             |> List.map (fun sp ->
-                   Executor.async t.exec (fun () ->
-                       solve_component alg iter_budget sp))
+                   let pool =
+                     if
+                       (not saturated)
+                       || 2 * Digraph.m sp.Scc.sub >= total_arcs
+                     then Some p
+                     else None
+                   in
+                   Executor.async p (fun () ->
+                       solve_component alg iter_budget ?pool sp))
             |> List.map (fun fut ->
-                   try Ok (Executor.await t.exec fut)
+                   try Ok (Executor.await p fut)
                    with Budget.Exceeded c -> Error c)
-          else
+          | _ ->
             List.map
               (fun sp ->
-                try Ok (solve_component alg iter_budget sp)
+                try Ok (solve_component alg iter_budget ?pool:inner_pool sp)
                 with Budget.Exceeded c -> Error c)
               subs
         in
@@ -260,11 +283,13 @@ let verify_fresh tel req outcome =
 
 (* A fresh solve plus verification, run inside an executor task.
    Returns the outcome together with this request's telemetry delta
-   (merged by the coordinator at the join, in request order). *)
-let solve_task t req () =
+   (merged by the coordinator at the join, in request order).
+   [inner_pool] is the intra-request parallelism verdict passed on to
+   {!solve_fresh}. *)
+let solve_task t ~inner_pool req () =
   let tel = Telemetry.create () in
   let t0 = t.now () in
-  let outcome = verify_fresh tel req (solve_fresh t tel req) in
+  let outcome = verify_fresh tel req (solve_fresh t ~inner_pool tel req) in
   tel.Telemetry.wall_ms <- (t.now () -. t0) *. 1000.0;
   (outcome, tel)
 
@@ -347,7 +372,9 @@ let solve t (req : Request.t) =
     match Option.bind (Lru.find t.cache key) (from_cache tel req) with
     | Some o -> o
     | None ->
-      let outcome, delta = solve_task t req () in
+      (* a lone request is the only client: intra-request parallelism
+         gets the whole pool *)
+      let outcome, delta = solve_task t ~inner_pool:(Some t.exec) req () in
       Telemetry.add tel delta;
       cache_insert t key outcome;
       outcome
@@ -376,23 +403,49 @@ let solve t (req : Request.t) =
    function of the request list alone, independent of --jobs, which is
    what lets the cram tests diff the jobs=1 and jobs=4 outputs. *)
 let run_batch t (reqs : Request.t list) =
+  let seen : (Request.key, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* first pass: classify every request (dup / cache hit / miss)
+     WITHOUT scheduling, so the miss count is known before the first
+     task is queued *)
+  let classified =
+    List.map
+      (fun req ->
+        let key = Request.key req in
+        if Hashtbl.mem seen key then (req, key, `Dup)
+        else
+          match Lru.find t.cache key with
+          | Some e -> (req, key, `Cache e)
+          | None ->
+            Hashtbl.replace seen key ();
+            (req, key, `Miss))
+      reqs
+  in
+  (* batch-vs-intra-solve arbitration: with at least [jobs] distinct
+     misses the batch fan-out alone saturates the pool, so each task
+     runs its request serially — nested per-SCC or sweep-chunk tasks
+     would only contend for the same workers.  A small batch (fewer
+     misses than workers) lets each request keep the pool for its own
+     component fan-out and giant-SCC sweep chunking. *)
+  let misses = Hashtbl.length seen in
+  let inner_pool =
+    if misses >= Executor.jobs t.exec then None else Some t.exec
+  in
+  (* second pass: schedule the first occurrence of each key *)
   let pending :
       (Request.key, (outcome * Telemetry.t) Executor.future) Hashtbl.t =
     Hashtbl.create 64
   in
   let plan =
     List.map
-      (fun req ->
-        let key = Request.key req in
-        if Hashtbl.mem pending key then (req, key, `Dup)
-        else
-          match Lru.find t.cache key with
-          | Some e -> (req, key, `Cache e)
-          | None ->
-            let fut = Executor.async t.exec (solve_task t req) in
-            Hashtbl.replace pending key fut;
-            (req, key, `First fut))
-      reqs
+      (fun (req, key, kind) ->
+        match kind with
+        | `Miss ->
+          let fut = Executor.async t.exec (solve_task t ~inner_pool req) in
+          Hashtbl.replace pending key fut;
+          (req, key, `First fut)
+        | `Dup -> (req, key, `Dup)
+        | `Cache e -> (req, key, `Cache e))
+      classified
   in
   (* collect in request order; merge telemetry deltas at the join *)
   let resolved : (Request.key, outcome) Hashtbl.t = Hashtbl.create 64 in
@@ -425,11 +478,11 @@ let run_batch t (reqs : Request.t list) =
               | None ->
                 (* verify-on-hit failed: impossible for a genuine
                    duplicate, but fall back to a fresh solve *)
-                let outcome, delta = solve_task t req () in
+                let outcome, delta = solve_task t ~inner_pool req () in
                 Telemetry.add tel delta;
                 outcome)
             | _not_solved ->
-              let outcome, delta = solve_task t req () in
+              let outcome, delta = solve_task t ~inner_pool req () in
               Telemetry.add tel delta;
               cache_insert t key outcome;
               Hashtbl.replace resolved key outcome;
@@ -438,7 +491,7 @@ let run_batch t (reqs : Request.t list) =
             match from_cache tel req e with
             | Some o -> o
             | None ->
-              let outcome, delta = solve_task t req () in
+              let outcome, delta = solve_task t ~inner_pool req () in
               Telemetry.add tel delta;
               cache_insert t key outcome;
               outcome)

@@ -100,12 +100,12 @@ let engine ?on_relax ~costs g ~sources =
         dist.(v) <- 0;
         enqueue v)
       vs);
-  (* The scan below walks the raw CSR arrays rather than going through
-     [Digraph.iter_out]: this loop visits every out-arc of every popped
-     node, and the per-pop closure plus per-arc accessor calls are
-     measurable against the handful of loads it actually needs.  All
-     indices come from the graph's own CSR, so unsafe reads are in
-     bounds by construction. *)
+  (* The scan below walks the raw CSR Bigarrays rather than going
+     through [Digraph.iter_out]: this loop visits every out-arc of
+     every popped node, and the per-pop closure plus per-arc accessor
+     calls are measurable against the handful of loads it actually
+     needs.  All indices come from the graph's own CSR, so unsafe
+     reads are in bounds by construction. *)
   let out_start, out_arcs = Digraph.Unsafe.out_csr g in
   let arc_dst = Digraph.Unsafe.dsts g in
   let found = ref None in
@@ -115,12 +115,12 @@ let engine ?on_relax ~costs g ~sources =
     in_queue.(u) <- false;
     let du = dist.(u) in
     if du < max_int then begin
-      let hi = Array.unsafe_get out_start (u + 1) in
-      let i = ref (Array.unsafe_get out_start u) in
+      let hi = Bigarray.Array1.unsafe_get out_start (u + 1) in
+      let i = ref (Bigarray.Array1.unsafe_get out_start u) in
       while !found = None && !i < hi do
-        let a = Array.unsafe_get out_arcs !i in
+        let a = Bigarray.Array1.unsafe_get out_arcs !i in
         incr i;
-        let v = Array.unsafe_get arc_dst a in
+        let v = Bigarray.Array1.unsafe_get arc_dst a in
         let cand = du + Array.unsafe_get costs a in
         if cand < dist.(v) then begin
           (match on_relax with Some f -> f () | None -> ());

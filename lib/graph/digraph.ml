@@ -1,14 +1,44 @@
+(* The CSR arrays live in unboxed Bigarrays rather than OCaml heap
+   arrays.  Three properties motivate the layout (see docs/PERF.md):
+
+   - GC invisibility: the data sits outside the OCaml heap, so a
+     million-arc graph contributes a handful of custom blocks to a
+     major collection instead of a dozen megaword arrays the marker
+     must skip over.
+   - Domain sharing: Bigarray storage is not moved by the GC and can
+     be read concurrently from every domain without copies or
+     read barriers — the parallel improvement sweep hands raw views
+     of these arrays to executor workers.
+   - Unboxed float labels: [arc_weight_f]/[arc_transit_f] mirror the
+     integer labels as float64, so kernel inner loops read fully
+     unboxed floats instead of converting (and possibly boxing) an
+     int on every arc visit.  The mirrors are exact: every label this
+     library accepts is far below 2^53 (see Solver.preflight).
+
+   The integer arrays remain the source of truth; the float mirrors
+   are maintained by every operation that rewrites labels. *)
+
+type int_array1 = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type float_array1 =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let ia len : int_array1 = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len
+let fa len : float_array1 =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len
+
 type t = {
   n : int;
   m : int;
-  arc_src : int array;
-  arc_dst : int array;
-  arc_weight : int array;
-  arc_transit : int array;
-  out_start : int array; (* length n+1 *)
-  out_arcs : int array;  (* arc ids grouped by source *)
-  in_start : int array;
-  in_arcs : int array;
+  arc_src : int_array1;
+  arc_dst : int_array1;
+  arc_weight : int_array1;
+  arc_transit : int_array1;
+  arc_weight_f : float_array1;  (* float64 mirror of arc_weight *)
+  arc_transit_f : float_array1; (* float64 mirror of arc_transit *)
+  out_start : int_array1; (* length n+1 *)
+  out_arcs : int_array1;  (* arc ids grouped by source *)
+  in_start : int_array1;
+  in_arcs : int_array1;
 }
 
 type builder = {
@@ -44,37 +74,60 @@ let add_arc b ~src ~dst ~weight ?(transit = 1) () =
   Vec.push b.transits transit;
   id
 
+let ia_init len f =
+  let a = ia len in
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set a i (f i)
+  done;
+  a
+
+(* the float64 mirror of an int label array *)
+let mirror (labels : int_array1) : float_array1 =
+  let len = Bigarray.Array1.dim labels in
+  let a = fa len in
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set a i
+      (float_of_int (Bigarray.Array1.unsafe_get labels i))
+  done;
+  a
+
 (* Builds both CSR adjacency structures with counting sort. *)
 let csr n m key =
-  let start = Array.make (n + 1) 0 in
+  let start = ia (n + 1) in
+  Bigarray.Array1.fill start 0;
   for a = 0 to m - 1 do
     let k = key a in
-    start.(k + 1) <- start.(k + 1) + 1
+    start.{k + 1} <- start.{k + 1} + 1
   done;
   for v = 1 to n do
-    start.(v) <- start.(v) + start.(v - 1)
+    start.{v} <- start.{v} + start.{v - 1}
   done;
-  let cursor = Array.copy start in
-  let arcs = Array.make m 0 in
+  let cursor = ia (n + 1) in
+  Bigarray.Array1.blit start cursor;
+  let arcs = ia m in
   for a = 0 to m - 1 do
     let k = key a in
-    arcs.(cursor.(k)) <- a;
-    cursor.(k) <- cursor.(k) + 1
+    arcs.{cursor.{k}} <- a;
+    cursor.{k} <- cursor.{k} + 1
   done;
   (start, arcs)
+
+let of_label_arrays ~n ~m ~arc_src ~arc_dst ~arc_weight ~arc_transit =
+  let out_start, out_arcs = csr n m (fun a -> arc_src.{a}) in
+  let in_start, in_arcs = csr n m (fun a -> arc_dst.{a}) in
+  { n; m; arc_src; arc_dst; arc_weight; arc_transit;
+    arc_weight_f = mirror arc_weight; arc_transit_f = mirror arc_transit;
+    out_start; out_arcs; in_start; in_arcs }
 
 let build b =
   if b.closed then invalid_arg "Digraph.build: builder already built";
   b.closed <- true;
   let m = Vec.length b.srcs in
-  let arc_src = Array.init m (Vec.get b.srcs) in
-  let arc_dst = Array.init m (Vec.get b.dsts) in
-  let arc_weight = Array.init m (Vec.get b.weights) in
-  let arc_transit = Array.init m (Vec.get b.transits) in
-  let out_start, out_arcs = csr b.bn m (fun a -> arc_src.(a)) in
-  let in_start, in_arcs = csr b.bn m (fun a -> arc_dst.(a)) in
-  { n = b.bn; m; arc_src; arc_dst; arc_weight; arc_transit;
-    out_start; out_arcs; in_start; in_arcs }
+  let arc_src = ia_init m (Vec.get b.srcs) in
+  let arc_dst = ia_init m (Vec.get b.dsts) in
+  let arc_weight = ia_init m (Vec.get b.weights) in
+  let arc_transit = ia_init m (Vec.get b.transits) in
+  of_label_arrays ~n:b.bn ~m ~arc_src ~arc_dst ~arc_weight ~arc_transit
 
 let of_arcs n arcs =
   let b = create_builder ~expected_arcs:(List.length arcs) n in
@@ -88,35 +141,40 @@ let of_weighted_arcs n arcs =
 
 let n g = g.n
 let m g = g.m
-let src g a = g.arc_src.(a)
-let dst g a = g.arc_dst.(a)
-let weight g a = g.arc_weight.(a)
-let transit g a = g.arc_transit.(a)
+let src g a = g.arc_src.{a}
+let dst g a = g.arc_dst.{a}
+let weight g a = g.arc_weight.{a}
+let transit g a = g.arc_transit.{a}
 
-let out_degree g u = g.out_start.(u + 1) - g.out_start.(u)
-let in_degree g v = g.in_start.(v + 1) - g.in_start.(v)
+let out_degree g u = g.out_start.{u + 1} - g.out_start.{u}
+let in_degree g v = g.in_start.{v + 1} - g.in_start.{v}
 
 let extremum_weight name better g =
   if g.m = 0 then invalid_arg ("Digraph." ^ name ^ ": graph has no arcs");
-  let best = ref g.arc_weight.(0) in
+  let best = ref g.arc_weight.{0} in
   for a = 1 to g.m - 1 do
-    if better g.arc_weight.(a) !best then best := g.arc_weight.(a)
+    if better g.arc_weight.{a} !best then best := g.arc_weight.{a}
   done;
   !best
 
 let min_weight g = extremum_weight "min_weight" ( < ) g
 let max_weight g = extremum_weight "max_weight" ( > ) g
 
-let total_transit g = Array.fold_left ( + ) 0 g.arc_transit
+let total_transit g =
+  let acc = ref 0 in
+  for a = 0 to g.m - 1 do
+    acc := !acc + g.arc_transit.{a}
+  done;
+  !acc
 
 let iter_out g u f =
-  for i = g.out_start.(u) to g.out_start.(u + 1) - 1 do
-    f g.out_arcs.(i)
+  for i = g.out_start.{u} to g.out_start.{u + 1} - 1 do
+    f g.out_arcs.{i}
   done
 
 let iter_in g v f =
-  for i = g.in_start.(v) to g.in_start.(v + 1) - 1 do
-    f g.in_arcs.(i)
+  for i = g.in_start.{v} to g.in_start.{v + 1} - 1 do
+    f g.in_arcs.{i}
   done
 
 let fold_out g u f init =
@@ -150,32 +208,40 @@ let reverse g =
     in_arcs = g.out_arcs;
   }
 
-let map_weights g f = { g with arc_weight = Array.init g.m f }
-let negate_weights g = map_weights g (fun a -> -g.arc_weight.(a))
+let map_weights g f =
+  let arc_weight = ia_init g.m f in
+  { g with arc_weight; arc_weight_f = mirror arc_weight }
+
+let negate_weights g = map_weights g (fun a -> -g.arc_weight.{a})
 
 let map_transits g f =
   let arc_transit =
-    Array.init g.m (fun a ->
+    ia_init g.m (fun a ->
         let tt = f a in
         if tt < 0 then invalid_arg "Digraph.map_transits: negative transit time";
         tt)
   in
-  { g with arc_transit }
+  { g with arc_transit; arc_transit_f = mirror arc_transit }
 
 module Unsafe = struct
   let set_weight g a w =
     if a < 0 || a >= g.m then
       invalid_arg "Digraph.Unsafe.set_weight: arc out of range";
-    g.arc_weight.(a) <- w
+    g.arc_weight.{a} <- w;
+    g.arc_weight_f.{a} <- float_of_int w
 
   let set_transit g a tt =
     if a < 0 || a >= g.m then
       invalid_arg "Digraph.Unsafe.set_transit: arc out of range";
     if tt < 0 then invalid_arg "Digraph.Unsafe.set_transit: negative transit time";
-    g.arc_transit.(a) <- tt
+    g.arc_transit.{a} <- tt;
+    g.arc_transit_f.{a} <- float_of_int tt
 
   let out_csr g = (g.out_start, g.out_arcs)
+  let srcs g = g.arc_src
   let dsts g = g.arc_dst
+  let weights_float g = g.arc_weight_f
+  let transits_float g = g.arc_transit_f
 end
 
 let induced g nodes =
@@ -192,11 +258,11 @@ let induced g nodes =
   let b = create_builder !k in
   let arc_of_sub = Vec.create () in
   iter_arcs g (fun a ->
-      let u = new_id.(g.arc_src.(a)) and v = new_id.(g.arc_dst.(a)) in
+      let u = new_id.(g.arc_src.{a}) and v = new_id.(g.arc_dst.{a}) in
       if u >= 0 && v >= 0 then begin
         ignore
-          (add_arc b ~src:u ~dst:v ~weight:g.arc_weight.(a)
-             ~transit:g.arc_transit.(a) ());
+          (add_arc b ~src:u ~dst:v ~weight:g.arc_weight.{a}
+             ~transit:g.arc_transit.{a} ());
         Vec.push arc_of_sub a
       end);
   (build b, node_of_sub, Vec.to_array arc_of_sub)
@@ -240,43 +306,38 @@ let partition g ~count ~component ~keep =
   (* arc sweep: count intra-class arcs, then fill in arc-id order *)
   let sub_m = Array.make (max k 1) 0 in
   for a = 0 to g.m - 1 do
-    let c = component.(g.arc_src.(a)) in
-    if c = component.(g.arc_dst.(a)) && slot.(c) >= 0 then
+    let c = component.(g.arc_src.{a}) in
+    if c = component.(g.arc_dst.{a}) && slot.(c) >= 0 then
       sub_m.(slot.(c)) <- sub_m.(slot.(c)) + 1
   done;
-  let mk () = Array.init k (fun s -> Array.make sub_m.(s) 0) in
+  let mk () = Array.init k (fun s -> ia sub_m.(s)) in
   let srcs = mk () and dsts = mk () in
   let ws = mk () and ts = mk () in
-  let arc_of_sub = mk () in
+  let arc_of_sub = Array.init k (fun s -> Array.make sub_m.(s) 0) in
   let cursor = Array.make (max k 1) 0 in
   for a = 0 to g.m - 1 do
-    let u = g.arc_src.(a) and v = g.arc_dst.(a) in
+    let u = g.arc_src.{a} and v = g.arc_dst.{a} in
     let c = component.(u) in
     if c = component.(v) && slot.(c) >= 0 then begin
       let s = slot.(c) in
       let i = cursor.(s) in
       cursor.(s) <- i + 1;
-      srcs.(s).(i) <- new_id.(u);
-      dsts.(s).(i) <- new_id.(v);
-      ws.(s).(i) <- g.arc_weight.(a);
-      ts.(s).(i) <- g.arc_transit.(a);
+      srcs.(s).{i} <- new_id.(u);
+      dsts.(s).{i} <- new_id.(v);
+      ws.(s).{i} <- g.arc_weight.{a};
+      ts.(s).{i} <- g.arc_transit.{a};
       arc_of_sub.(s).(i) <- a
     end
   done;
   Array.init k (fun s ->
-      let n = sub_n.(s) and m = sub_m.(s) in
-      let arc_src = srcs.(s) and arc_dst = dsts.(s) in
-      let arc_weight = ws.(s) and arc_transit = ts.(s) in
-      let out_start, out_arcs = csr n m (fun a -> arc_src.(a)) in
-      let in_start, in_arcs = csr n m (fun a -> arc_dst.(a)) in
-      ( { n; m; arc_src; arc_dst; arc_weight; arc_transit;
-          out_start; out_arcs; in_start; in_arcs },
+      ( of_label_arrays ~n:sub_n.(s) ~m:sub_m.(s) ~arc_src:srcs.(s)
+          ~arc_dst:dsts.(s) ~arc_weight:ws.(s) ~arc_transit:ts.(s),
         node_of_sub.(s),
         arc_of_sub.(s) ))
 
 let arc_between g u v =
   let found = ref (-1) in
-  iter_out g u (fun a -> if !found < 0 && g.arc_dst.(a) = v then found := a);
+  iter_out g u (fun a -> if !found < 0 && g.arc_dst.{a} = v then found := a);
   if !found < 0 then None else Some !found
 
 let is_cycle g arcs =
@@ -288,20 +349,22 @@ let is_cycle g arcs =
       List.fold_left
         (fun prev a ->
           (match prev with
-          | Some p -> if g.arc_dst.(p) <> g.arc_src.(a) then ok := false
+          | Some p -> if g.arc_dst.{p} <> g.arc_src.{a} then ok := false
           | None -> ());
           Some a)
         None arcs
     in
     (match last with
-    | Some l -> if g.arc_dst.(l) <> g.arc_src.(first) then ok := false
+    | Some l -> if g.arc_dst.{l} <> g.arc_src.{first} then ok := false
     | None -> ok := false);
     !ok
 
-let cycle_weight g arcs = List.fold_left (fun s a -> s + g.arc_weight.(a)) 0 arcs
-let cycle_transit g arcs = List.fold_left (fun s a -> s + g.arc_transit.(a)) 0 arcs
+let cycle_weight g arcs = List.fold_left (fun s a -> s + g.arc_weight.{a}) 0 arcs
+let cycle_transit g arcs =
+  List.fold_left (fun s a -> s + g.arc_transit.{a}) 0 arcs
 
 let equal_structure g h =
+  (* Bigarray equality is element-wise (caml_ba_compare) *)
   g.n = h.n && g.m = h.m
   && g.arc_src = h.arc_src && g.arc_dst = h.arc_dst
   && g.arc_weight = h.arc_weight && g.arc_transit = h.arc_transit
@@ -309,6 +372,6 @@ let equal_structure g h =
 let pp ppf g =
   Format.fprintf ppf "@[<v>digraph: %d nodes, %d arcs" g.n g.m;
   iter_arcs g (fun a ->
-      Format.fprintf ppf "@,  #%d: %d -> %d  w=%d t=%d" a g.arc_src.(a)
-        g.arc_dst.(a) g.arc_weight.(a) g.arc_transit.(a));
+      Format.fprintf ppf "@,  #%d: %d -> %d  w=%d t=%d" a g.arc_src.{a}
+        g.arc_dst.{a} g.arc_weight.{a} g.arc_transit.{a});
   Format.fprintf ppf "@]"

@@ -3,9 +3,23 @@
     Nodes are integers [0 .. n-1].  Arcs are integers [0 .. m-1] and carry
     an integer weight (cost) and a non-negative integer transit time, as in
     the minimum cycle mean / cost-to-time ratio setting of Dasdan, Irani &
-    Gupta (DAC 1999).  Parallel arcs and self-loops are allowed. *)
+    Gupta (DAC 1999).  Parallel arcs and self-loops are allowed.
+
+    The CSR arrays are stored in unboxed {!Bigarray.Array1} buffers:
+    the graph's bulk data lives outside the OCaml heap (GC-invisible),
+    can be read concurrently from every domain without copying, and
+    the integer labels are mirrored as float64 so numeric kernels read
+    fully unboxed floats (see docs/PERF.md). *)
 
 type t
+
+type int_array1 = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Unboxed native-int vector; the storage type of every CSR index
+    and label array. *)
+
+type float_array1 =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Unboxed float64 vector; the storage type of the label mirrors. *)
 
 (** {1 Construction} *)
 
@@ -106,14 +120,28 @@ module Unsafe : sig
       @raise Invalid_argument on out-of-range arc ids or negative
       transit times. *)
 
-  val out_csr : t -> int array * int array
+  val out_csr : t -> int_array1 * int_array1
   (** [(start, arcs)]: the internal CSR adjacency — the out-arcs of
-      node [u] are [arcs.(start.(u)) .. arcs.(start.(u+1) - 1)].  The
+      node [u] are [arcs.{start.{u}} .. arcs.{start.{u+1} - 1}].  The
       arrays are the graph's own storage: read-only, for kernel inner
-      loops that cannot afford one closure per {!iter_out} call. *)
+      loops that cannot afford one closure per {!iter_out} call.
+      Being Bigarrays, they may be read concurrently from any
+      domain. *)
 
-  val dsts : t -> int array
-  (** The internal arc-head array ([dsts.(a) = dst g a]); read-only. *)
+  val srcs : t -> int_array1
+  (** The internal arc-tail array ([srcs.{a} = src g a]); read-only. *)
+
+  val dsts : t -> int_array1
+  (** The internal arc-head array ([dsts.{a} = dst g a]); read-only. *)
+
+  val weights_float : t -> float_array1
+  (** The float64 mirror of the weights ([weights_float g).{a} =
+      float_of_int (weight g a)], exact for every admissible label).
+      Read-only; kept in sync by {!set_weight} and the [map_*]
+      builders. *)
+
+  val transits_float : t -> float_array1
+  (** The float64 mirror of the transit times; read-only. *)
 end
 
 val induced : t -> int list -> t * int array * int array

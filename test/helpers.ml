@@ -55,7 +55,55 @@ let gen_any_graph ?(max_n = 8) ?(max_m = 16) ?(wlo = -20) ?(whi = 20)
     done;
     return (Digraph.of_arcs n !arcs)
 
+(* One graph drawn from ANY generator family — the cross-family stress
+   input for determinism properties.  Sizes are kept small enough that
+   a property can afford to solve each instance several times, but the
+   set spans every structural extreme the generators cover: a bare
+   cycle, maximal density, torus locality, layered feedback, the
+   long-critical adversary, a many-SCC chain, disjoint cycles, SPRAND
+   and the circuit register graphs. *)
+let gen_family () =
+  let open QCheck.Gen in
+  let* seed = int_range 0 1_000_000 in
+  let* pick = int_range 0 8 in
+  match pick with
+  | 0 ->
+    let+ n = int_range 1 24 in
+    Families.ring ~weight:(fun i -> ((i + seed) mod 7) - 3) n
+  | 1 ->
+    let+ n = int_range 2 10 in
+    Families.complete ~seed ~weights:(-4, 4) n
+  | 2 ->
+    let* rows = int_range 2 5 in
+    let+ cols = int_range 2 5 in
+    Families.grid_torus ~seed ~weights:(-6, 6) rows cols
+  | 3 ->
+    let* layers = int_range 2 4 in
+    let+ width = int_range 1 4 in
+    Families.layered_dataflow ~seed ~weights:(-5, 5) ~layers ~width ()
+  | 4 ->
+    let+ n = int_range 3 16 in
+    Families.long_critical ~chord_weight:50 n
+  | 5 ->
+    let* components = int_range 1 4 in
+    let+ size = int_range 2 6 in
+    Families.many_scc ~seed ~weights:(-8, 8) ~components ~size ()
+  | 6 ->
+    let* len1 = int_range 1 6 in
+    let+ len2 = int_range 1 6 in
+    Families.two_cycles ~len1 ~w1:(seed mod 9) ~len2 ~w2:((seed mod 5) - 2)
+  | 7 ->
+    let* n = int_range 2 24 in
+    let+ extra = int_range 0 24 in
+    Sprand.generate ~seed ~weights:(-10, 10) ~transits:(1, 3) ~n
+      ~m:(n + extra) ()
+  | _ ->
+    let+ registers = int_range 2 24 in
+    Circuit.generate ~seed ~registers ()
+
 let print_graph g = Graph_io.to_string g
+
+let arb_family () = QCheck.make ~print:print_graph (gen_family ())
 
 let arb_strongly_connected ?max_n ?max_extra ?wlo ?whi ?tmax () =
   QCheck.make ~print:print_graph

@@ -118,6 +118,35 @@ let test_parallel_arcs () =
   Alcotest.(check int) "m" 3 (Digraph.m g);
   Alcotest.(check int) "out degree with parallels" 2 (Digraph.out_degree g 0)
 
+(* The float64 mirrors are the kernel's view of the labels; they must
+   track every mutation path (set_weight / set_transit / the map_*
+   builders) exactly — int -> float64 is lossless for every admissible
+   label, so equality here is exact, not approximate. *)
+let qcheck_float_mirrors_track_labels =
+  QCheck.Test.make ~name:"digraph: float mirrors track weights/transits"
+    ~count:200
+    (Helpers.arb_any_graph ~max_n:10 ~max_m:30 ~tmax:4 ())
+    (fun g ->
+      let mirrors_ok g =
+        let wf = Digraph.Unsafe.weights_float g
+        and tf = Digraph.Unsafe.transits_float g in
+        let ok = ref true in
+        for a = 0 to Digraph.m g - 1 do
+          if
+            wf.{a} <> float_of_int (Digraph.weight g a)
+            || tf.{a} <> float_of_int (Digraph.transit g a)
+          then ok := false
+        done;
+        !ok
+      in
+      let fresh = mirrors_ok g in
+      let negated = mirrors_ok (Digraph.negate_weights g) in
+      if Digraph.m g > 0 then begin
+        Digraph.Unsafe.set_weight g 0 12345;
+        Digraph.Unsafe.set_transit g 0 7
+      end;
+      fresh && negated && mirrors_ok g)
+
 let qcheck_csr_consistent =
   QCheck.Test.make ~name:"digraph: CSR out/in views agree with arc list"
     ~count:200
@@ -146,4 +175,4 @@ let suite =
     Alcotest.test_case "empty graph" `Quick test_empty_graph;
     Alcotest.test_case "parallel arcs" `Quick test_parallel_arcs;
   ]
-  @ Helpers.qtests [ qcheck_csr_consistent ]
+  @ Helpers.qtests [ qcheck_csr_consistent; qcheck_float_mirrors_track_labels ]

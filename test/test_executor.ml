@@ -1,0 +1,90 @@
+(* The arcs-per-chunk granularity model: chunks_for decides how many
+   ways a sweep over [work] arcs splits on a [jobs]-worker pool given a
+   [grain] (minimum arcs per chunk).  The contract the kernel relies
+   on: never more chunks than workers, never a chunk smaller than the
+   grain (so work under twice the grain stays serial), and a serial
+   pool never splits at all. *)
+
+let with_pool jobs f =
+  let pool = Executor.create ~jobs in
+  Fun.protect ~finally:(fun () -> Executor.shutdown pool) (fun () -> f pool)
+
+let test_chunks_for_serial_pool () =
+  with_pool 1 (fun p ->
+      List.iter
+        (fun work ->
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=1, work=%d" work)
+            1
+            (Executor.chunks_for p ~work ~grain:Executor.default_chunk_arcs))
+        [ 0; 1; 4096; 1_000_000 ])
+
+let test_chunks_for_grain_floor () =
+  with_pool 8 (fun p ->
+      (* below twice the grain there is no split: the second chunk
+         would be under-grain *)
+      List.iter
+        (fun work ->
+          Alcotest.(check int)
+            (Printf.sprintf "work=%d stays serial" work)
+            1
+            (Executor.chunks_for p ~work ~grain:4096))
+        [ 0; 1; 4095; 4096; 8191 ];
+      Alcotest.(check int) "work=2*grain splits in two" 2
+        (Executor.chunks_for p ~work:8192 ~grain:4096);
+      Alcotest.(check int) "work=3*grain+1 splits in three" 3
+        (Executor.chunks_for p ~work:12289 ~grain:4096))
+
+let test_chunks_for_jobs_cap () =
+  with_pool 4 (fun p ->
+      Alcotest.(check int) "huge work is capped at the pool size" 4
+        (Executor.chunks_for p ~work:10_000_000 ~grain:4096);
+      (* every chunk still holds at least the grain at the cap *)
+      let work = 10_000_000 and grain = 4096 in
+      let chunks = Executor.chunks_for p ~work ~grain in
+      Alcotest.(check bool) "chunks * grain <= work" true
+        (chunks * grain <= work))
+
+let test_chunks_for_degenerate_grain () =
+  with_pool 8 (fun p ->
+      Alcotest.(check int) "grain=0 means serial" 1
+        (Executor.chunks_for p ~work:100_000 ~grain:0);
+      Alcotest.(check int) "negative grain means serial" 1
+        (Executor.chunks_for p ~work:100_000 ~grain:(-7));
+      Alcotest.(check int) "negative work means serial" 1
+        (Executor.chunks_for p ~work:(-1) ~grain:4096))
+
+let test_chunk_arcs_default () =
+  (* the test environment does not set OCR_CHUNK_ARCS, so the
+     documented default must come back *)
+  match Sys.getenv_opt "OCR_CHUNK_ARCS" with
+  | Some _ -> ()  (* externally overridden: nothing to pin *)
+  | None ->
+    Alcotest.(check int) "default grain" Executor.default_chunk_arcs
+      (Executor.chunk_arcs ());
+    Alcotest.(check int) "documented minimum" 4096 Executor.default_chunk_arcs
+
+let qcheck_chunks_for_invariants =
+  QCheck.Test.make ~name:"executor: chunks_for invariants" ~count:60
+    QCheck.(triple (int_range 1 8) (int_range 0 100_000) (int_range 1 10_000))
+    (fun (jobs, work, grain) ->
+      with_pool jobs (fun p ->
+          let chunks = Executor.chunks_for p ~work ~grain in
+          chunks >= 1
+          && chunks <= jobs
+          && (jobs = 1 || chunks <= max 1 (work / grain))
+          && (chunks = 1 || chunks * grain <= work)))
+
+let suite =
+  [
+    Alcotest.test_case "serial pool never splits" `Quick
+      test_chunks_for_serial_pool;
+    Alcotest.test_case "grain is a floor, not a target" `Quick
+      test_chunks_for_grain_floor;
+    Alcotest.test_case "pool size caps the split" `Quick
+      test_chunks_for_jobs_cap;
+    Alcotest.test_case "degenerate grain or work stays serial" `Quick
+      test_chunks_for_degenerate_grain;
+    Alcotest.test_case "OCR_CHUNK_ARCS default" `Quick test_chunk_arcs_default;
+  ]
+  @ Helpers.qtests [ qcheck_chunks_for_invariants ]

@@ -13,6 +13,7 @@ let () =
       ("heaps", Test_heaps.suite);
       ("ratio", Test_ratio.suite);
       ("critical", Test_critical.suite);
+      ("executor", Test_executor.suite);
       ("karp-core", Test_karp_core.suite);
       ("algorithms", Test_algorithms.suite);
       ("solver", Test_solver.suite);

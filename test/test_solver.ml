@@ -193,9 +193,10 @@ let test_many_scc_parallel_identical () =
 (* One giant SCC (SPRAND is strongly connected by construction): the
    per-component fan-out degenerates to a single task, so this pins the
    other level of parallelism — the chunked improvement sweep, which at
-   m = 6144 > 4096 arcs engages at the default threshold. *)
+   m = 9216 >= 2 x 4096 arcs splits at the default grain
+   (Executor.chunk_arcs). *)
 let test_single_scc_parallel_identical () =
-  let g = Sprand.generate ~seed:9 ~n:2048 ~m:6144 () in
+  let g = Sprand.generate ~seed:9 ~n:2048 ~m:9216 () in
   let base = Solver.minimum_cycle_mean ~jobs:1 g |> Option.get in
   Alcotest.(check int) "one component" 1 base.Solver.components;
   List.iter
@@ -230,6 +231,49 @@ let test_parallel_partial_report () =
         (Ratio.leq opt r.Solver.lambda))
   | _ -> Alcotest.fail "a 4-iteration budget over 8 components must run out"
 
+(* The Bigarray-backed solve must not let the float64 weight/transit
+   mirrors or the two-level parallelism arbitration leak into results:
+   on a graph from ANY generator family, both problems produce reports
+   bit-identical across job counts (the ISSUE's jobs in {1, 8}
+   contract, widened to the whole sweep). *)
+let qcheck_all_families_jobs_bit_identical =
+  QCheck.Test.make
+    ~name:"solver: mean and ratio bit-identical across jobs (all families)"
+    ~count:30 (Helpers.arb_family ())
+    (fun g ->
+      let identical problem =
+        let base = Solver.solve ~problem ~jobs:1 ~algorithm:Registry.Howard g in
+        List.for_all
+          (fun jobs ->
+            match
+              (base, Solver.solve ~problem ~jobs ~algorithm:Registry.Howard g)
+            with
+            | None, None -> true
+            | Some a, Some b -> same_report a b
+            | _ -> false)
+          (List.filter (fun j -> j > 1) Helpers.jobs_sweep)
+      in
+      identical Solver.Cycle_mean && identical Solver.Cycle_ratio)
+
+let qcheck_parallel_determinism_ratio =
+  QCheck.Test.make
+    ~name:"solver: ratio problem bit-identical across job counts" ~count:25
+    (Helpers.arb_any_graph ~max_n:12 ~max_m:30 ~tmax:3 ())
+    (fun g ->
+      let base = Solver.solve ~problem:Solver.Cycle_ratio ~jobs:1
+          ~algorithm:Registry.Howard g in
+      List.for_all
+        (fun jobs ->
+          match
+            ( base,
+              Solver.solve ~problem:Solver.Cycle_ratio ~jobs
+                ~algorithm:Registry.Howard g )
+          with
+          | None, None -> true
+          | Some a, Some b -> same_report a b
+          | _ -> false)
+        Helpers.jobs_sweep)
+
 let suite =
   suite
   @ [
@@ -240,4 +284,8 @@ let suite =
       Alcotest.test_case "parallel partial report is sound" `Quick
         test_parallel_partial_report;
     ]
-  @ Helpers.qtests [ qcheck_parallel_determinism ]
+  @ Helpers.qtests
+      [
+        qcheck_parallel_determinism; qcheck_parallel_determinism_ratio;
+        qcheck_all_families_jobs_bit_identical;
+      ]
