@@ -167,7 +167,7 @@ let read_file path =
 (* ------------------------------------------------------------------ *)
 
 let discriminators = [ "family"; "graph"; "n"; "m"; "jobs"; "workload"; "trace";
-                       "components_edited"; "cluster"; "workers" ]
+                       "components_edited"; "cluster"; "workers"; "eps" ]
 
 let row_key = function
   | Obj fields ->
@@ -221,7 +221,7 @@ let leaf_name path =
 let gated_metric path =
   List.mem (leaf_name path)
     [ "ms"; "ms_per_solve"; "ms_per_req"; "one_pass_ms"; "induced_scan_ms";
-      "cold_ms"; "warm_ms_median"; "cold_ms_median" ]
+      "cold_ms"; "warm_ms_median"; "cold_ms_median"; "exact_ms"; "approx_ms" ]
 
 let failures = ref 0
 let warnings = ref 0
@@ -321,9 +321,11 @@ let check_speedup ~file ~jobs ~min_speedup =
   match host_cores_of j with
   | Some cores when cores < jobs ->
     Printf.printf
-      "notice: %s records host_cores=%d < jobs=%d; multicore speedup gate \
-       skipped (needs a >=%d-core host)\n"
-      file cores jobs jobs
+      "notice: %s records host_cores=%d < jobs=%d (this host detects %d); \
+       multicore speedup gate skipped (needs a >=%d-core host)\n"
+      file cores jobs
+      (Domain.recommended_domain_count ())
+      jobs
   | cores ->
     if cores = None then begin
       incr warnings;

@@ -167,9 +167,26 @@ let solve_cmd =
              as Chrome trace-event JSON (open in Perfetto or \
              about://tracing).")
   in
+  let approx =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "approx" ] ~docv:"EPS"
+          ~doc:
+            "Answer with a certified interval [lo, hi] of width at most \
+             EPS times the weight scale instead of the exact optimum \
+             (the (1+ε)-approximation lane; see docs/APPROX.md).  Under \
+             $(b,--deadline-ms) the interval degrades gracefully instead \
+             of timing out.")
+  in
   let run file algorithm objective problem verify show_stats show_cycle
-      deadline_ms jobs trace =
+      deadline_ms jobs trace approx =
     check_jobs jobs;
+    (match approx with
+    | Some eps when Result.is_error (Approx.validate_eps eps) ->
+      prerr_endline "ocr: --approx must be a positive finite float";
+      exit 1
+    | _ -> ());
     let g = load_graph file in
     (match trace with
     | Some _ ->
@@ -187,6 +204,39 @@ let solve_cmd =
             ())
         deadline_ms
     in
+    match approx with
+    | Some eps -> (
+      let stats = Stats.create () in
+      match Approx.solve ~stats ?budget ~jobs ~problem ~objective ~eps g with
+      | None ->
+        finish_trace ();
+        print_endline "acyclic graph: no cycle to optimize";
+        exit 2
+      | Some c ->
+        finish_trace ();
+        Printf.printf "lambda in [%s, %s] ([%.6f, %.6f])\n"
+          (Ratio.to_string c.Approx.lo) (Ratio.to_string c.Approx.hi)
+          (Ratio.to_float c.Approx.lo) (Ratio.to_float c.Approx.hi);
+        Printf.printf "width = %g (target %g) certified = %b tests = %d rounds = %d\n"
+          (Ratio.to_float c.Approx.hi -. Ratio.to_float c.Approx.lo)
+          (eps *. c.Approx.scale) c.Approx.converged c.Approx.tests
+          c.Approx.rounds;
+        if show_cycle then
+          Printf.printf "cycle: %s\n"
+            (String.concat " "
+               (List.map
+                  (fun a ->
+                    Printf.sprintf "%d->%d" (Digraph.src g a) (Digraph.dst g a))
+                  c.Approx.witness));
+        if show_stats then Format.printf "stats: %a@." Stats.pp stats;
+        if verify then begin
+          match Approx.recheck ~objective ~problem g c with
+          | Ok () -> print_endline "certificate: OK"
+          | Error e ->
+            Printf.printf "certificate FAILED: %s\n" e;
+            exit 3
+        end)
+    | None -> (
     match Solver.solve ~objective ~problem ?budget ~jobs ~algorithm g with
     | exception Solver.Deadline_exceeded { partial } ->
       finish_trace ();
@@ -232,14 +282,15 @@ let solve_cmd =
         | Error e ->
           Printf.printf "certificate FAILED: %s\n" e;
           exit 3
-      end
+      end)
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Compute the optimum cycle mean or cost-to-time ratio of a graph.")
     Term.(
       const run $ graph_file_arg $ algorithm_arg $ objective_arg $ problem_arg
-      $ verify $ show_stats $ show_cycle $ deadline_ms $ jobs_arg $ trace)
+      $ verify $ show_stats $ show_cycle $ deadline_ms $ jobs_arg $ trace
+      $ approx)
 
 (* ----------------------------------------------------------------- *)
 (* info                                                               *)

@@ -1,0 +1,25 @@
+let max_denom = 1 lsl 50
+
+let denom_for max_err =
+  if not (Float.is_finite max_err) || max_err <= 0.0 then
+    invalid_arg "Dyadic.denom_for: max_err must be positive and finite";
+  let q = ref 1 in
+  while 1.0 /. float_of_int !q > max_err && !q < max_denom do
+    q := !q * 2
+  done;
+  !q
+
+let floor_pow2 x =
+  if x < 1 then invalid_arg "Dyadic.floor_pow2: need a positive int";
+  let p = ref 1 in
+  while !p <= x / 2 do
+    p := !p * 2
+  done;
+  !p
+
+let quantize ~denom x =
+  if denom <= 0 then invalid_arg "Dyadic.quantize: denom must be positive";
+  let scaled = Float.round (x *. float_of_int denom) in
+  if not (Float.is_finite scaled) || Float.abs scaled >= 0x1p62 then
+    invalid_arg "Dyadic.quantize: value out of native-int range";
+  Ratio.make (int_of_float scaled) denom

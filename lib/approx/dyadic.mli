@@ -1,0 +1,28 @@
+(** Dyadic rationals: the λ grid of the certified binary search.
+
+    The approx lane bisects over candidate values λ and tests each one
+    with exact integer arithmetic (arcs re-costed as
+    [q·w(a) − p·den(a)] for λ = p/q).  Picking the candidates from a
+    fixed grid of denominator [q = 2^k] keeps every such product small
+    and predictable — the grid resolution, not the interval endpoints,
+    bounds the magnitude of the scaled costs — which is what makes the
+    certificate exact without big-integer arithmetic. *)
+
+val max_denom : int
+(** Upper clamp on grid denominators ([2^50]). *)
+
+val denom_for : float -> int
+(** [denom_for max_err] is the smallest power of two [q] with
+    [1/q <= max_err], clamped to {!max_denom}.
+    @raise Invalid_argument unless [max_err] is positive and finite. *)
+
+val floor_pow2 : int -> int
+(** Largest power of two [<= x].
+    @raise Invalid_argument if [x < 1]. *)
+
+val quantize : denom:int -> float -> Ratio.t
+(** Nearest rational with denominator [denom] (round to nearest, so
+    the result is within [1/(2·denom)] of the input).  The returned
+    ratio is normalized; its denominator divides [denom].
+    @raise Invalid_argument if [denom <= 0] or the scaled value does
+    not fit a native int. *)

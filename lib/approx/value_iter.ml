@@ -1,0 +1,112 @@
+type verdict =
+  | No_negative_cycle
+  | Negative_cycle of int list
+  | Inconclusive
+
+let sp_run = Obs.intern "approx.vi"
+let sp_rounds = Obs.intern "approx.vi_rounds"
+
+(* One Jacobi round over the node range [vlo, vhi): for every node the
+   next value is the min of its current value and the best relaxation
+   over its in-arcs, scanned in CSR order (ties keep the first arc, so
+   the round is deterministic).  Walks the raw reverse-CSR Bigarrays
+   for the same reason the Bellman-Ford engine does: this is the inner
+   loop, and all indices come from the graph's own CSR.  Returns the
+   number of nodes improved in the range. *)
+let relax_range ~in_start ~in_arcs ~arc_src ~costs ~cur ~nxt ~pred vlo vhi =
+  let improved = ref 0 in
+  for v = vlo to vhi - 1 do
+    let best = ref (Array.unsafe_get cur v) in
+    let besta = ref (-1) in
+    let hi = Bigarray.Array1.unsafe_get in_start (v + 1) in
+    for i = Bigarray.Array1.unsafe_get in_start v to hi - 1 do
+      let a = Bigarray.Array1.unsafe_get in_arcs i in
+      let u = Bigarray.Array1.unsafe_get arc_src a in
+      let cand = Array.unsafe_get cur u + Array.unsafe_get costs a in
+      if cand < !best then begin
+        best := cand;
+        besta := a
+      end
+    done;
+    Array.unsafe_set nxt v !best;
+    if !besta >= 0 then begin
+      Array.unsafe_set pred v !besta;
+      incr improved
+    end
+  done;
+  !improved
+
+let run ?stats ?budget ?pool ~max_rounds ~costs g =
+  let n = Digraph.n g in
+  let m = Digraph.m g in
+  if Array.length costs <> m then
+    invalid_arg "Value_iter.run: costs length <> arc count";
+  if m = 0 then (No_negative_cycle, 0)
+  else begin
+    let cmax = Array.fold_left (fun acc c -> max acc (abs c)) 1 costs in
+    if cmax > max_int / (n + 1) then (Inconclusive, 0)
+    else begin
+      let tr = !Obs.enabled_flag in
+      if tr then Trace.begin_span sp_run;
+      let in_start, in_arcs = Digraph.Unsafe.in_csr g in
+      let arc_src = Digraph.Unsafe.srcs g in
+      let cur = ref (Array.make n 0) in
+      let nxt = ref (Array.make n 0) in
+      let pred = Array.make n (-1) in
+      (* node-range chunks balanced by in-arc mass; 1 chunk = serial *)
+      let nchunks =
+        match pool with
+        | None -> 1
+        | Some p -> Executor.chunks_for p ~work:m ~grain:(Executor.chunk_arcs ())
+      in
+      let bounds = Array.make (nchunks + 1) n in
+      bounds.(0) <- 0;
+      let v = ref 0 in
+      for k = 1 to nchunks - 1 do
+        let target = k * m / nchunks in
+        while !v < n && Bigarray.Array1.get in_start !v < target do
+          incr v
+        done;
+        bounds.(k) <- !v
+      done;
+      let round () =
+        let cur = !cur and nxt = !nxt in
+        match pool with
+        | Some p when nchunks > 1 ->
+          Array.init nchunks (fun k ->
+              Executor.async p (fun () ->
+                  relax_range ~in_start ~in_arcs ~arc_src ~costs ~cur ~nxt
+                    ~pred bounds.(k) bounds.(k + 1)))
+          |> Array.fold_left (fun acc fut -> acc + Executor.await p fut) 0
+        | _ -> relax_range ~in_start ~in_arcs ~arc_src ~costs ~cur ~nxt ~pred 0 n
+      in
+      let verdict = ref None in
+      let rounds = ref 0 in
+      while !verdict = None && !rounds < max_rounds do
+        (match budget with Some b -> Budget.tick b | None -> ());
+        incr rounds;
+        let improved = round () in
+        (match stats with
+        | Some s ->
+          s.Stats.arcs_visited <- s.Stats.arcs_visited + m;
+          s.Stats.relaxations <- s.Stats.relaxations + improved
+        | None -> ());
+        let t = !cur in
+        cur := !nxt;
+        nxt := t;
+        if improved = 0 then verdict := Some No_negative_cycle
+        else
+          (* any pred-graph cycle is a negative cycle; and while the
+             pred graph stays acyclic every value is bounded below by
+             -(n-1)·cmax, so a diverging run cannot escape this scan *)
+          match Bellman_ford.cycle_in_pred_graph g pred with
+          | Some cycle -> verdict := Some (Negative_cycle cycle)
+          | None -> ()
+      done;
+      if tr then begin
+        Trace.counter_int sp_rounds !rounds;
+        Trace.end_span sp_run
+      end;
+      (Option.value !verdict ~default:Inconclusive, !rounds)
+    end
+  end

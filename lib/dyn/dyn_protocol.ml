@@ -1,6 +1,6 @@
 type op =
   | Update of Dyn.update
-  | Query
+  | Query of float option  (* [Some eps]: approximate, certified answer *)
   | Epoch
   | Fingerprint_op
   | Telemetry_op
@@ -40,7 +40,13 @@ let parse line =
                                (Dyn.Add_arc { arc; src; dst; weight; transit })))))))
     | Some "remove_arc" ->
       int_field "arc" (fun arc -> Ok (Update (Dyn.Remove_arc { arc })))
-    | Some "query" -> Ok Query
+    | Some "query" -> (
+      match Njson.field fields "eps" with
+      | None -> Ok (Query None)
+      | Some _ -> (
+        match Njson.field_float fields "eps" with
+        | Some e when Float.is_finite e && e > 0.0 -> Ok (Query (Some e))
+        | _ -> Error "field \"eps\" must be a positive finite number"))
     | Some "epoch" -> Ok Epoch
     | Some "fingerprint" -> Ok Fingerprint_op
     | Some "telemetry" -> Ok Telemetry_op
@@ -66,7 +72,9 @@ let render_update u =
 
 let render_op = function
   | Update u -> render_update u
-  | Query -> Njson.obj [ ("op", {|"query"|}) ]
+  | Query None -> Njson.obj [ ("op", {|"query"|}) ]
+  | Query (Some eps) ->
+    Njson.obj [ ("op", {|"query"|}); ("eps", Njson.float_lit eps) ]
   | Epoch -> Njson.obj [ ("op", {|"epoch"|}) ]
   | Fingerprint_op -> Njson.obj [ ("op", {|"fingerprint"|}) ]
   | Telemetry_op -> Njson.obj [ ("op", {|"telemetry"|}) ]

@@ -5,11 +5,14 @@
     ["op"] field: the four update ops mirror {!Dyn.update} ([add_arc]'s
     ["transit"] defaults to 1; its optional ["arc"] field is the
     replay-check id), plus ["query"], ["epoch"], ["fingerprint"],
-    ["telemetry"], ["metrics"] and ["quit"]. *)
+    ["telemetry"], ["metrics"] and ["quit"].  A ["query"] may carry an
+    optional ["eps"] field (a positive finite number) requesting a
+    certified (1+ε)-approximate answer instead of an exact one. *)
 
 type op =
   | Update of Dyn.update
-  | Query
+  | Query of float option
+      (** [Some eps]: approximate query with certified interval *)
   | Epoch
   | Fingerprint_op
   | Telemetry_op

@@ -162,6 +162,12 @@ let field_int fields name =
   | Some (Float f) when Float.is_integer f -> Some (int_of_float f)
   | _ -> None
 
+let field_float fields name =
+  match field fields name with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
 let field_string fields name =
   match field fields name with Some (String s) -> Some s | _ -> None
 
@@ -197,3 +203,7 @@ let obj fields =
   Buffer.contents buf
 
 let int_array xs = "[" ^ String.concat "," (List.map string_of_int xs) ^ "]"
+
+let float_lit f =
+  let s = Printf.sprintf "%g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f

@@ -25,6 +25,9 @@ val field : (string * value) list -> string -> value option
 val field_int : (string * value) list -> string -> int option
 (** The field as an int (accepts integral floats). *)
 
+val field_float : (string * value) list -> string -> float option
+(** The field as a float (accepts ints). *)
+
 val field_string : (string * value) list -> string -> string option
 
 val escape : string -> string
@@ -37,3 +40,7 @@ val obj : (string * string) list -> string
 
 val int_array : int list -> string
 (** Renders [[1;2;3]] as ["[1,2,3]"]. *)
+
+val float_lit : float -> string
+(** A finite float as a JSON number literal that parses back to the
+    same float ["%g"], widened to ["%.17g"] only when needed. *)

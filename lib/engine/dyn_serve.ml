@@ -60,6 +60,7 @@ let telemetry_line t =
       ("ok", "true");
       ("requests", string_of_int tel.Telemetry.requests);
       ("solved", string_of_int tel.Telemetry.solved);
+      ("approx", string_of_int tel.Telemetry.approx);
       ("acyclic", string_of_int tel.Telemetry.acyclic);
       ("rejected", string_of_int tel.Telemetry.rejected);
       ("cache_hits", string_of_int tel.Telemetry.cache_hits);
@@ -76,6 +77,8 @@ let metrics_snapshot t =
   let c name v = Metrics.add (Metrics.counter m name) v in
   c "ocr_requests_total" tel.Telemetry.requests;
   c "ocr_solved_total" tel.Telemetry.solved;
+  c "ocr_approx_total" tel.Telemetry.approx;
+  c "ocr_approx_iterations" tel.Telemetry.approx_iterations;
   c "ocr_cache_hits_total" tel.Telemetry.cache_hits;
   c "ocr_cache_misses_total" tel.Telemetry.cache_misses;
   c "ocr_acyclic_total" tel.Telemetry.acyclic;
@@ -143,17 +146,57 @@ let do_query_inner t =
       answer_line t ~cached:false ~resolved:r.Dyn.resolved
         (Some (r.Dyn.lambda, r.Dyn.cycle, r.Dyn.components)))
 
+(* Approximate query: a certified interval over the session's current
+   graph, answered by the approx lane rather than the incremental exact
+   core.  Deliberately uncached — the LRU holds exact answers keyed by
+   fingerprint, and an eps-wide interval must never shadow them (nor
+   vice versa: a later exact query still re-solves). *)
+let do_query_approx t ~eps =
+  t.tel.Telemetry.requests <- t.tel.Telemetry.requests + 1;
+  t.tel.Telemetry.cache_misses <- t.tel.Telemetry.cache_misses + 1;
+  let g = Dyn.graph t.session in
+  let stats = Stats.create () in
+  match
+    Approx.solve ~stats ~problem:(Dyn.problem t.session)
+      ~objective:(Dyn.objective t.session) ~eps g
+  with
+  | None ->
+    t.tel.Telemetry.acyclic <- t.tel.Telemetry.acyclic + 1;
+    Njson.obj (ok_fields t [ ("acyclic", "true") ])
+  | Some (c : Approx.certificate) ->
+    t.tel.Telemetry.approx <- t.tel.Telemetry.approx + 1;
+    t.tel.Telemetry.approx_iterations <-
+      t.tel.Telemetry.approx_iterations + c.Approx.rounds;
+    Telemetry.record_ops t.tel stats;
+    let cycle = List.map (Dyn.of_graph_arc t.session) c.Approx.witness in
+    Njson.obj
+      (ok_fields t
+         [
+           ("lambda_lo", Njson.escape (Ratio.to_string c.Approx.lo));
+           ("lambda_hi", Njson.escape (Ratio.to_string c.Approx.hi));
+           ("lo_float", Printf.sprintf "%.6f" (float_of_ratio c.Approx.lo));
+           ("hi_float", Printf.sprintf "%.6f" (float_of_ratio c.Approx.hi));
+           ("eps", Njson.float_lit c.Approx.eps);
+           ("certified", string_of_bool c.Approx.converged);
+           ("cycle", Njson.int_array cycle);
+           ("components", string_of_int c.Approx.components);
+           ("cached", "false");
+         ])
+
 (* Wraps the query in its span and latency observation; a rejected
    query (Invalid_argument propagating to [handle]) closes the span on
    the way out so the trace stays balanced. *)
-let do_query t =
+let do_query ?eps t =
   if !Obs.enabled_flag then Trace.begin_span sp_query;
   let t0 = Obs.now_ns () in
   let finish () =
     Metrics.observe t.latency (float_of_int (Obs.now_ns () - t0) /. 1e6);
     if !Obs.enabled_flag then Trace.end_span sp_query
   in
-  match do_query_inner t with
+  let run () =
+    match eps with None -> do_query_inner t | Some e -> do_query_approx t ~eps:e
+  in
+  match run () with
   | reply ->
     finish ();
     reply
@@ -185,8 +228,8 @@ let handle t line =
               ]))
     | Dyn_protocol.Telemetry_op -> `Reply (telemetry_line t)
     | Dyn_protocol.Metrics_op -> `Reply (metrics_line t)
-    | Dyn_protocol.Query -> (
-      match do_query t with
+    | Dyn_protocol.Query eps -> (
+      match do_query ?eps t with
       | reply ->
         log_journal t op;
         `Reply reply

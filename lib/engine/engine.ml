@@ -1,9 +1,21 @@
-type cache_entry = {
-  e_lambda : Ratio.t;
-  e_cycle : int list;
-  e_components : int;
-  e_algorithm : Registry.algorithm;
-}
+type cache_entry =
+  | E_exact of {
+      e_lambda : Ratio.t;
+      e_cycle : int list;
+      e_components : int;
+      e_algorithm : Registry.algorithm;
+    }
+  | E_approx of {
+      a_lo : Ratio.t;
+      a_hi : Ratio.t;
+      a_cycle : int list;
+      a_eps : float;
+      a_scale : float;
+      a_components : int;
+      a_tests : int;
+      a_rounds : int;
+      a_converged : bool;
+    }
 
 type outcome =
   | Solved of {
@@ -14,6 +26,20 @@ type outcome =
       cached : bool;
       fallbacks : int;
       certified : bool;
+    }
+  | Approximate of {
+      lo : Ratio.t;
+      hi : Ratio.t;
+      cycle : int list;
+      eps : float;
+      scale : float;
+      components : int;
+      tests : int;
+      rounds : int;
+      certified : bool;
+      cached : bool;
+      fallback : bool;
+      verified : bool;
     }
   | Acyclic
   | Timeout of { partial : Ratio.t option; attempted : string list }
@@ -74,6 +100,8 @@ let metrics_snapshot t =
   c "ocr_timeouts_total" tel.Telemetry.timeouts;
   c "ocr_rejected_total" tel.Telemetry.rejected;
   c "ocr_fallbacks_total" tel.Telemetry.fallbacks;
+  c "ocr_approx_total" tel.Telemetry.approx;
+  c "ocr_approx_iterations" tel.Telemetry.approx_iterations;
   Metrics.merge_into ~into:m t.lat_reg;
   Executor.sample_metrics t.exec m;
   m
@@ -98,6 +126,56 @@ let auto_portfolio g =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* the certified approximation lane                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One approx-lane answer: a certified interval around λ*.  Used for
+   algorithm=approx requests, and — with [fallback] — as the engine's
+   deadline fallback for Auto requests carrying approx-eps.  The lane
+   degrades to a sound (wider, uncertified) interval under budget
+   pressure instead of raising, so this path never times out. *)
+let solve_approx t ~inner_pool tel (req : Request.t) ~deadline_at ~fallback =
+  let spec = req.Request.spec in
+  let eps =
+    Option.value spec.Request.approx_eps ~default:Approx.default_eps
+  in
+  let budget =
+    Option.map
+      (fun deadline_at -> Budget.create ~now:t.now ~deadline_at ())
+      deadline_at
+  in
+  let stats = Stats.create () in
+  let t0 = t.now () in
+  match
+    Approx.solve ~stats ?budget ?pool:inner_pool
+      ~problem:spec.Request.problem ~objective:spec.Request.objective ~eps
+      req.Request.graph
+  with
+  | exception Invalid_argument msg -> Rejected msg
+  | None -> Acyclic
+  | Some cert ->
+    let wall_ms = (t.now () -. t0) *. 1000.0 in
+    Telemetry.record_ops tel stats;
+    Telemetry.record_run tel "approx" ~wall_ms;
+    tel.Telemetry.approx_iterations <-
+      tel.Telemetry.approx_iterations + cert.Approx.rounds;
+    Approximate
+      {
+        lo = cert.Approx.lo;
+        hi = cert.Approx.hi;
+        cycle = cert.Approx.witness;
+        eps;
+        scale = cert.Approx.scale;
+        components = cert.Approx.components;
+        tests = cert.Approx.tests;
+        rounds = cert.Approx.rounds;
+        certified = cert.Approx.converged;
+        cached = false;
+        fallback;
+        verified = false;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* fresh solve: per-SCC fan-out, portfolio, deadline                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -118,6 +196,9 @@ let solve_fresh t ~inner_pool tel (req : Request.t) =
   let deadline_at =
     Option.map (fun ms -> t.now () +. (ms /. 1000.0)) spec.Request.deadline_ms
   in
+  if spec.Request.algorithm = Request.Approx then
+    solve_approx t ~inner_pool tel req ~deadline_at ~fallback:false
+  else
   match Solver.preflight ~problem:spec.Request.problem req.Request.graph with
   | exception Invalid_argument msg -> Rejected msg
   | () ->
@@ -141,7 +222,7 @@ let solve_fresh t ~inner_pool tel (req : Request.t) =
       let attempts =
         match spec.Request.algorithm with
         | Request.Fixed a -> [ (a, None) ]
-        | Request.Auto -> auto_portfolio g_min
+        | Request.Auto | Request.Approx -> auto_portfolio g_min
       in
       let run alg =
         match spec.Request.problem with
@@ -253,12 +334,23 @@ let solve_fresh t ~inner_pool tel (req : Request.t) =
           | `Blowout ->
             Telemetry.record_blowout tel (Registry.name alg) ~wall_ms;
             go (Registry.name alg :: attempted) (fallbacks + 1) rest
-          | `Deadline partial ->
-            Timeout
-              {
-                partial = Option.map restore partial;
-                attempted = List.rev (Registry.name alg :: attempted);
-              })
+          | `Deadline partial -> (
+            match spec.Request.approx_eps with
+            | Some _ ->
+              (* the request opted in (approx-eps on an Auto request):
+                 the exact lanes missed the deadline, so serve a
+                 certified ε-interval instead of a timeout.  The
+                 fallback runs undeadlined — the lane is near-linear
+                 and bounded, and a second deadline here could only
+                 turn a sound answer back into a timeout *)
+              solve_approx t ~inner_pool tel req ~deadline_at:None
+                ~fallback:true
+            | None ->
+              Timeout
+                {
+                  partial = Option.map restore partial;
+                  attempted = List.rev (Registry.name alg :: attempted);
+                }))
       in
       go [] 0 attempts
     end
@@ -271,6 +363,24 @@ let certify (req : Request.t) lambda cycle =
   Verify.certify ~objective:req.Request.spec.Request.objective
     ~problem:req.Request.spec.Request.problem req.Request.graph lambda cycle
 
+let cert_of_approximate ~lo ~hi ~cycle ~eps ~scale ~components ~tests ~rounds
+    ~certified =
+  {
+    Approx.lo;
+    hi;
+    witness = cycle;
+    eps;
+    scale;
+    components;
+    tests;
+    rounds;
+    converged = certified;
+  }
+
+let recheck_approx (req : Request.t) cert =
+  Approx.recheck ~problem:req.Request.spec.Request.problem
+    ~objective:req.Request.spec.Request.objective req.Request.graph cert
+
 let verify_fresh tel req outcome =
   match outcome with
   | Solved s when req.Request.spec.Request.verify -> (
@@ -279,6 +389,15 @@ let verify_fresh tel req outcome =
     | Error e ->
       ignore tel;
       Rejected ("certificate FAILED: " ^ e))
+  | Approximate a when req.Request.spec.Request.verify -> (
+    match
+      recheck_approx req
+        (cert_of_approximate ~lo:a.lo ~hi:a.hi ~cycle:a.cycle ~eps:a.eps
+           ~scale:a.scale ~components:a.components ~tests:a.tests
+           ~rounds:a.rounds ~certified:a.certified)
+    with
+    | Ok () -> Approximate { a with verified = true }
+    | Error e -> Rejected ("certificate FAILED: " ^ e))
   | o -> o
 
 (* A fresh solve plus verification, run inside an executor task.
@@ -303,6 +422,12 @@ let count_outcome tel = function
       Trace.instant (if s.cached then sp_cache_hit else sp_cache_miss);
     if s.cached then tel.Telemetry.cache_hits <- tel.Telemetry.cache_hits + 1
     else tel.Telemetry.cache_misses <- tel.Telemetry.cache_misses + 1
+  | Approximate a ->
+    tel.Telemetry.approx <- tel.Telemetry.approx + 1;
+    if !Obs.enabled_flag then
+      Trace.instant (if a.cached then sp_cache_hit else sp_cache_miss);
+    if a.cached then tel.Telemetry.cache_hits <- tel.Telemetry.cache_hits + 1
+    else tel.Telemetry.cache_misses <- tel.Telemetry.cache_misses + 1
   | Acyclic ->
     tel.Telemetry.acyclic <- tel.Telemetry.acyclic + 1;
     tel.Telemetry.cache_misses <- tel.Telemetry.cache_misses + 1
@@ -314,17 +439,42 @@ let count_outcome tel = function
     tel.Telemetry.cache_misses <- tel.Telemetry.cache_misses + 1
 
 let entry_of_solved lambda cycle components algorithm =
-  { e_lambda = lambda; e_cycle = cycle; e_components = components;
-    e_algorithm = algorithm }
+  E_exact
+    { e_lambda = lambda; e_cycle = cycle; e_components = components;
+      e_algorithm = algorithm }
+
+(* The cacheable image of an outcome.  Deadline-fallback certificates
+   are NOT cached: their key is the Auto one, and a later request with
+   the same key but a workable deadline (or none) deserves the exact
+   answer the portfolio can then produce. *)
+let entry_of_outcome = function
+  | Solved s when not s.cached ->
+    Some (entry_of_solved s.lambda s.cycle s.components s.algorithm)
+  | Approximate a when (not a.cached) && not a.fallback ->
+    Some
+      (E_approx
+         {
+           a_lo = a.lo;
+           a_hi = a.hi;
+           a_cycle = a.cycle;
+           a_eps = a.eps;
+           a_scale = a.scale;
+           a_components = a.components;
+           a_tests = a.tests;
+           a_rounds = a.rounds;
+           a_converged = a.certified;
+         })
+  | _ -> None
 
 (* Serve a request from a cache entry.  With [verify] the entry is
    re-certified against the request's actual graph — which doubles as
    a fingerprint-collision guard: a failing certificate falls through
    to a fresh solve and is counted as a collision, never served. *)
-let from_cache tel (req : Request.t) e =
-  if req.Request.spec.Request.verify then
-    match certify req e.e_lambda e.e_cycle with
-    | Ok () ->
+let from_cache tel (req : Request.t) entry =
+  let verify = req.Request.spec.Request.verify in
+  match entry with
+  | E_exact e ->
+    let serve certified =
       Some
         (Solved
            {
@@ -334,29 +484,52 @@ let from_cache tel (req : Request.t) e =
              algorithm = e.e_algorithm;
              cached = true;
              fallbacks = 0;
-             certified = true;
+             certified;
            })
-    | Error _ ->
-      tel.Telemetry.collisions <- tel.Telemetry.collisions + 1;
-      None
-  else
-    Some
-      (Solved
-         {
-           lambda = e.e_lambda;
-           cycle = e.e_cycle;
-           components = e.e_components;
-           algorithm = e.e_algorithm;
-           cached = true;
-           fallbacks = 0;
-           certified = false;
-         })
+    in
+    if verify then
+      match certify req e.e_lambda e.e_cycle with
+      | Ok () -> serve true
+      | Error _ ->
+        tel.Telemetry.collisions <- tel.Telemetry.collisions + 1;
+        None
+    else serve false
+  | E_approx a ->
+    let serve verified =
+      Some
+        (Approximate
+           {
+             lo = a.a_lo;
+             hi = a.a_hi;
+             cycle = a.a_cycle;
+             eps = a.a_eps;
+             scale = a.a_scale;
+             components = a.a_components;
+             tests = a.a_tests;
+             rounds = a.a_rounds;
+             certified = a.a_converged;
+             cached = true;
+             fallback = false;
+             verified;
+           })
+    in
+    if verify then
+      match
+        recheck_approx req
+          (cert_of_approximate ~lo:a.a_lo ~hi:a.a_hi ~cycle:a.a_cycle
+             ~eps:a.a_eps ~scale:a.a_scale ~components:a.a_components
+             ~tests:a.a_tests ~rounds:a.a_rounds ~certified:a.a_converged)
+      with
+      | Ok () -> serve true
+      | Error _ ->
+        tel.Telemetry.collisions <- tel.Telemetry.collisions + 1;
+        None
+    else serve false
 
-let cache_insert t key = function
-  | Solved s when not s.cached ->
-    Lru.add t.cache key
-      (entry_of_solved s.lambda s.cycle s.components s.algorithm)
-  | _ -> ()
+let cache_insert t key outcome =
+  match entry_of_outcome outcome with
+  | Some e -> Lru.add t.cache key e
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* single-request front door (the serve path)                          *)
@@ -464,16 +637,13 @@ let run_batch t (reqs : Request.t list) =
             Hashtbl.replace resolved key outcome;
             outcome
           | `Dup -> (
-            (* only a Solved result is mirrored to duplicates: a
-               timeout or rejection is a property of the *first*
-               request (its deadline), not of the key, so later
-               occurrences solve on their own terms *)
-            match Hashtbl.find resolved key with
-            | Solved s -> (
-              match
-                from_cache tel req
-                  (entry_of_solved s.lambda s.cycle s.components s.algorithm)
-              with
+            (* only a cacheable result is mirrored to duplicates: a
+               timeout, rejection or fallback certificate is a property
+               of the *first* request (its deadline), not of the key,
+               so later occurrences solve on their own terms *)
+            match entry_of_outcome (Hashtbl.find resolved key) with
+            | Some e -> (
+              match from_cache tel req e with
               | Some o -> o
               | None ->
                 (* verify-on-hit failed: impossible for a genuine
@@ -481,7 +651,7 @@ let run_batch t (reqs : Request.t list) =
                 let outcome, delta = solve_task t ~inner_pool req () in
                 Telemetry.add tel delta;
                 outcome)
-            | _not_solved ->
+            | None ->
               let outcome, delta = solve_task t ~inner_pool req () in
               Telemetry.add tel delta;
               cache_insert t key outcome;
@@ -528,6 +698,16 @@ let response_line ?(wall = false) r =
          (Registry.name s.algorithm)
          s.components s.fallbacks s.cached);
     if s.certified then Buffer.add_string b " certificate=ok"
+  | Approximate a ->
+    Buffer.add_string b
+      (Printf.sprintf
+         " status=approx lambda_lo=%s lambda_hi=%s lo_float=%.6f \
+          hi_float=%.6f eps=%g certified=%b components=%d fallback=%b \
+          cached=%b"
+         (Ratio.to_string a.lo) (Ratio.to_string a.hi) (Ratio.to_float a.lo)
+         (Ratio.to_float a.hi) a.eps a.certified a.components a.fallback
+         a.cached);
+    if a.verified then Buffer.add_string b " certificate=ok"
   | Acyclic -> Buffer.add_string b " status=acyclic"
   | Timeout { partial; attempted } ->
     Buffer.add_string b

@@ -18,12 +18,24 @@
     all attempts and SCC subtasks; exceeding it yields [Timeout] with
     the best partial result over completed components. *)
 
-type cache_entry = {
-  e_lambda : Ratio.t;
-  e_cycle : int list;
-  e_components : int;
-  e_algorithm : Registry.algorithm;
-}
+type cache_entry =
+  | E_exact of {
+      e_lambda : Ratio.t;
+      e_cycle : int list;
+      e_components : int;
+      e_algorithm : Registry.algorithm;
+    }
+  | E_approx of {
+      a_lo : Ratio.t;
+      a_hi : Ratio.t;
+      a_cycle : int list;
+      a_eps : float;
+      a_scale : float;
+      a_components : int;
+      a_tests : int;
+      a_rounds : int;
+      a_converged : bool;
+    }
 
 type outcome =
   | Solved of {
@@ -35,6 +47,23 @@ type outcome =
       fallbacks : int;  (** portfolio steps taken past the first *)
       certified : bool;  (** [Verify.certify] passed (verify requests) *)
     }
+  | Approximate of {
+      lo : Ratio.t;  (** certified: [lo <= λ* <= hi], objective sign *)
+      hi : Ratio.t;
+      cycle : int list;  (** witness attaining the achievable endpoint *)
+      eps : float;  (** requested relative tolerance *)
+      scale : float;  (** width target was [eps·scale] *)
+      components : int;
+      tests : int;  (** binary-search λ-tests *)
+      rounds : int;  (** value-iteration rounds *)
+      certified : bool;  (** width target reached (budget didn't cut in) *)
+      cached : bool;
+      fallback : bool;  (** served by the Auto deadline fallback *)
+      verified : bool;  (** witness recheck passed (verify requests) *)
+    }
+      (** a certified ε-interval from the approx lane: algorithm=approx
+          requests, or Auto requests with approx-eps whose deadline the
+          exact portfolio missed *)
   | Acyclic  (** no cycle exists; mirrors [ocr solve] exit 2 *)
   | Timeout of { partial : Ratio.t option; attempted : string list }
       (** deadline fired; [partial] is the best bound over completed

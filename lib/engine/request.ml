@@ -1,14 +1,16 @@
-type algorithm_choice = Auto | Fixed of Registry.algorithm
+type algorithm_choice = Auto | Fixed of Registry.algorithm | Approx
 
 let algorithm_choice_name = function
   | Auto -> "auto"
   | Fixed a -> Registry.name a
+  | Approx -> "approx"
 
 type spec = {
   path : string;
   problem : Solver.problem;
   objective : Solver.objective;
   algorithm : algorithm_choice;
+  approx_eps : float option;
   deadline_ms : float option;
   verify : bool;
 }
@@ -19,6 +21,7 @@ let default_spec path =
     problem = Solver.Cycle_mean;
     objective = Solver.Minimize;
     algorithm = Auto;
+    approx_eps = None;
     deadline_ms = None;
     verify = false;
   }
@@ -32,6 +35,7 @@ type key = {
   kproblem : Solver.problem;
   kobjective : Solver.objective;
   kalgorithm : algorithm_choice;
+  keps : float option;
 }
 
 let key r =
@@ -40,6 +44,7 @@ let key r =
     kproblem = r.spec.problem;
     kobjective = r.spec.objective;
     kalgorithm = r.spec.algorithm;
+    keps = r.spec.approx_eps;
   }
 
 let problem_name = function
@@ -78,11 +83,27 @@ let parse_kv spec token =
     | ("algorithm" | "alg" | "a"), name -> (
       match Registry.of_name name with
       | Some a -> Ok { spec with algorithm = Fixed a }
-      | None ->
+      | None -> (
+        (* approximation lanes register by name (Registry.register_lane);
+           today that's the single "approx" lane *)
+        match Registry.lane name with
+        | Some _ -> Ok { spec with algorithm = Approx }
+        | None ->
+          Error
+            (Printf.sprintf
+               "unknown algorithm %S (expected auto%s or one of: %s)" v
+               (match Registry.lane_names () with
+               | [] -> ""
+               | lanes -> ", " ^ String.concat ", " lanes)
+               (String.concat ", " (List.map Registry.name Registry.all)))))
+    | ("approx-eps" | "eps"), _ -> (
+      match float_of_string_opt v with
+      | Some e when Float.is_finite e && e > 0.0 ->
+        Ok { spec with approx_eps = Some e }
+      | _ ->
         Error
-          (Printf.sprintf "unknown algorithm %S (expected auto or one of: %s)"
-             v
-             (String.concat ", " (List.map Registry.name Registry.all))))
+          (Printf.sprintf "approx-eps must be a positive finite float, got %S"
+             v))
     | ("deadline-ms" | "deadline"), _ -> (
       match float_of_string_opt v with
       | Some ms when ms >= 0.0 -> Ok { spec with deadline_ms = Some ms }
@@ -95,7 +116,7 @@ let parse_kv spec token =
       Error
         (Printf.sprintf
            "unknown key %S (expected problem, objective, algorithm, \
-            deadline-ms or verify)"
+            approx-eps, deadline-ms or verify)"
            k))
 
 let parse_spec line =
@@ -110,11 +131,23 @@ let parse_spec line =
     if String.contains path '=' then
       Error (Printf.sprintf "first token must be the graph file, got %S" path)
     else
-      List.fold_left
-        (fun acc token ->
-          let* spec = acc in
-          parse_kv spec token)
-        (Ok (default_spec path)) rest
+      let* spec =
+        List.fold_left
+          (fun acc token ->
+            let* spec = acc in
+            parse_kv spec token)
+          (Ok (default_spec path)) rest
+      in
+      (* eps only means something where an approximate answer can come
+         back: the approx lane itself, or auto's deadline fallback *)
+      (match (spec.algorithm, spec.approx_eps) with
+      | Fixed a, Some _ ->
+        Error
+          (Printf.sprintf
+             "approx-eps does not apply to exact algorithm %S (use \
+              algorithm=approx or algorithm=auto)"
+             (Registry.name a))
+      | _ -> Ok spec)
 
 let spec_to_string s =
   let opts = [] in
@@ -127,9 +160,15 @@ let spec_to_string s =
     | None -> opts
   in
   let opts =
+    match s.approx_eps with
+    | Some e -> Printf.sprintf "approx-eps=%g" e :: opts
+    | None -> opts
+  in
+  let opts =
     match s.algorithm with
     | Auto -> opts
     | Fixed a -> Printf.sprintf "algorithm=%s" (Registry.name a) :: opts
+    | Approx -> "algorithm=approx" :: opts
   in
   let opts =
     match s.objective with

@@ -11,12 +11,19 @@
     {v <graph-file> [key=value ...] v}
 
     with keys [problem=mean|ratio], [objective=min|max],
-    [algorithm=auto|<name>], [deadline-ms=<float>],
-    [verify=true|false]; omitted keys default to
-    [problem=mean objective=min algorithm=auto verify=false] and no
-    deadline.  Blank lines and [#] comments are the caller's concern. *)
+    [algorithm=auto|approx|<name>], [approx-eps=<float>],
+    [deadline-ms=<float>], [verify=true|false]; omitted keys default
+    to [problem=mean objective=min algorithm=auto verify=false] and no
+    deadline.  [approx-eps] must be positive and finite, and is only
+    accepted with [algorithm=approx] (the tolerance of the certified
+    lane) or [algorithm=auto] (opting the request into the engine's
+    deadline fallback: a certified ε-interval instead of a timeout).
+    Blank lines and [#] comments are the caller's concern. *)
 
-type algorithm_choice = Auto | Fixed of Registry.algorithm
+type algorithm_choice =
+  | Auto
+  | Fixed of Registry.algorithm
+  | Approx  (** the certified ε-interval lane ({!Registry.lane} "approx") *)
 
 val algorithm_choice_name : algorithm_choice -> string
 
@@ -25,6 +32,9 @@ type spec = {
   problem : Solver.problem;
   objective : Solver.objective;
   algorithm : algorithm_choice;
+  approx_eps : float option;
+      (** tolerance for [Approx] requests and [Auto] deadline fallback;
+          [None] means {!Approx.default_eps} where one is needed *)
   deadline_ms : float option;
   verify : bool;
 }
@@ -46,11 +56,12 @@ type key = {
   kproblem : Solver.problem;
   kobjective : Solver.objective;
   kalgorithm : algorithm_choice;
+  keps : float option;
 }
 (** Cache identity: structural fingerprint × problem × objective ×
-    algorithm choice.  The deadline and verify flag are deliberately
-    excluded — a cached result is served regardless of deadline, and
-    verification is re-run per request. *)
+    algorithm choice × approx tolerance.  The deadline and verify flag
+    are deliberately excluded — a cached result is served regardless
+    of deadline, and verification is re-run per request. *)
 
 val key : t -> key
 

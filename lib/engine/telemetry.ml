@@ -12,6 +12,8 @@ type t = {
   mutable acyclic : int;
   mutable timeouts : int;
   mutable rejected : int;
+  mutable approx : int;         (* approx-lane answers (direct or fallback) *)
+  mutable approx_iterations : int; (* value-iteration rounds in the lane *)
   mutable fallbacks : int;      (* portfolio steps taken past the first *)
   mutable collisions : int;     (* cache hits invalidated by verification *)
   mutable wall_ms : float;      (* end-to-end request wall time *)
@@ -28,6 +30,8 @@ let create () =
     acyclic = 0;
     timeouts = 0;
     rejected = 0;
+    approx = 0;
+    approx_iterations = 0;
     fallbacks = 0;
     collisions = 0;
     wall_ms = 0.0;
@@ -64,6 +68,8 @@ let add acc x =
   acc.acyclic <- acc.acyclic + x.acyclic;
   acc.timeouts <- acc.timeouts + x.timeouts;
   acc.rejected <- acc.rejected + x.rejected;
+  acc.approx <- acc.approx + x.approx;
+  acc.approx_iterations <- acc.approx_iterations + x.approx_iterations;
   acc.fallbacks <- acc.fallbacks + x.fallbacks;
   acc.collisions <- acc.collisions + x.collisions;
   acc.wall_ms <- acc.wall_ms +. x.wall_ms;
@@ -94,8 +100,8 @@ let sorted_algs t =
    byte-identical across --jobs settings. *)
 let pp_summary ppf t =
   Format.fprintf ppf
-    "requests=%d solved=%d acyclic=%d timeouts=%d rejected=%d@,"
-    t.requests t.solved t.acyclic t.timeouts t.rejected;
+    "requests=%d solved=%d approx=%d acyclic=%d timeouts=%d rejected=%d@,"
+    t.requests t.solved t.approx t.acyclic t.timeouts t.rejected;
   Format.fprintf ppf
     "cache: hits=%d misses=%d collisions=%d hit-rate=%.2f@," t.cache_hits
     t.cache_misses t.collisions (hit_rate t);
@@ -125,6 +131,8 @@ let to_csv t =
   i "acyclic" t.acyclic;
   i "timeouts" t.timeouts;
   i "rejected" t.rejected;
+  i "approx" t.approx;
+  i "approx_iterations" t.approx_iterations;
   i "fallbacks" t.fallbacks;
   f "wall_ms" t.wall_ms;
   i "ops_iterations" t.ops.Stats.iterations;
@@ -160,6 +168,8 @@ let to_json t =
   i "acyclic" t.acyclic;
   i "timeouts" t.timeouts;
   i "rejected" t.rejected;
+  i "approx" t.approx;
+  i "approx_iterations" t.approx_iterations;
   i "fallbacks" t.fallbacks;
   f "wall_ms" t.wall_ms;
   field "algorithms"

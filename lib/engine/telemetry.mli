@@ -25,6 +25,8 @@ type t = {
   mutable acyclic : int;
   mutable timeouts : int;
   mutable rejected : int;
+  mutable approx : int;  (** approx-lane answers, direct or deadline fallback *)
+  mutable approx_iterations : int;  (** value-iteration rounds in the lane *)
   mutable fallbacks : int;
   mutable collisions : int;
   mutable wall_ms : float;

@@ -101,6 +101,32 @@ let many_scc ?(seed = 1) ?(weights = (1, 10000)) ~components ~size () =
   done;
   Digraph.build b
 
+let low_diameter ?(seed = 1) ?(weights = (1, 10000)) ~diameter n =
+  if n < 2 then invalid_arg "Families.low_diameter: need at least 2 nodes";
+  if diameter < 1 then invalid_arg "Families.low_diameter: diameter must be >= 1";
+  let rng = Rng.create seed in
+  let wlo, whi = weights in
+  (* out-degree d with d^diameter >= n, so random chords alone give
+     every node an expected hop-radius of about [diameter] *)
+  let degree =
+    max 2
+      (int_of_float
+         (Float.ceil (Float.pow (float_of_int n) (1.0 /. float_of_int diameter))))
+  in
+  let b = Digraph.create_builder ~expected_arcs:(n * degree) n in
+  let add u v =
+    ignore (Digraph.add_arc b ~src:u ~dst:v ~weight:(Rng.in_range rng wlo whi) ())
+  in
+  for i = 0 to n - 1 do
+    (* a ring arc guarantees strong connectivity... *)
+    add i ((i + 1) mod n);
+    (* ...and degree-1 uniform chords shrink the diameter *)
+    for _ = 2 to degree do
+      add i (Rng.int rng n)
+    done
+  done;
+  Digraph.build b
+
 let two_cycles ~len1 ~w1 ~len2 ~w2 =
   if len1 < 1 || len2 < 1 then invalid_arg "Families.two_cycles: empty cycle";
   (* node 0 is shared; cycle 1 uses nodes 1..len1-1, cycle 2 the rest *)

@@ -38,6 +38,16 @@ val many_scc :
     The stress instance for per-component solving — partition sweeps,
     parallel SCC fan-out (bench E12). *)
 
+val low_diameter :
+  ?seed:int -> ?weights:int * int -> diameter:int -> int -> Digraph.t
+(** Strongly connected expander-style graph of [n] nodes whose hop
+    radius concentrates around [diameter]: a Hamiltonian ring plus
+    [d − 1] uniform random chords per node, with out-degree
+    [d = max 2 ⌈n^(1/diameter)⌉].  The regime where truncated value
+    iteration shines — short cycles reach every node in few rounds —
+    which is what bench E17 sweeps against the exact lane.
+    @raise Invalid_argument if [n < 2] or [diameter < 1]. *)
+
 val two_cycles : len1:int -> w1:int -> len2:int -> w2:int -> Digraph.t
 (** Two disjoint cycles sharing node 0: one of length [len1] with
     every arc weighing [w1], one of length [len2] weighing [w2].  The

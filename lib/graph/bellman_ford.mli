@@ -31,6 +31,14 @@ val run_arr :
 val negative_cycle : cost:(int -> int) -> Digraph.t -> int list option
 (** [Some cycle] iff the graph contains a negative-cost cycle. *)
 
+val cycle_in_pred_graph : Digraph.t -> int array -> int list option
+(** Searches a predecessor graph ([pred_arc.(v)] is the arc last used
+    to improve [v], or [-1]) for a cycle and returns its arcs in path
+    order.  For any label-correcting relaxation scheme — the FIFO
+    engine here, or the approx lane's synchronous value-iteration
+    rounds — a cycle of the predecessor graph is a negative cycle
+    (Cherkassky & Goldberg), so a hit is a sound certificate.  O(n). *)
+
 val potentials : cost:(int -> int) -> Digraph.t -> int array option
 (** [Some d] iff there is no negative cycle. *)
 

@@ -18,6 +18,15 @@ its cache:
   req=1 file=g3.ocr status=ok lambda=3 float=3.000000 alg=howard components=2 fallbacks=0 cached=false
   req=2 file=g3.ocr status=ok lambda=3 float=3.000000 alg=howard components=2 fallbacks=0 cached=true
 
+The approximation lane rides the same one-shot path: an explicit
+`algorithm=approx` request answers a certified interval, and a request
+with a doomed deadline that opts in via `approx-eps` degrades to that
+interval instead of a timeout:
+
+  $ printf '%s\n' 'g3.ocr algorithm=approx approx-eps=0.05' 'g3.ocr deadline-ms=0 approx-eps=0.05' quit | ocr cluster --workers 2 2>/dev/null
+  req=1 file=g3.ocr status=approx lambda_lo=11/4 lambda_hi=3 lo_float=2.750000 hi_float=3.000000 eps=0.05 certified=true components=2 fallback=false cached=false
+  req=2 file=g3.ocr status=approx lambda_lo=11/4 lambda_hi=3 lo_float=2.750000 hi_float=3.000000 eps=0.05 certified=true components=2 fallback=true cached=false
+
 Admission control: with the one worker wedged (SIGSTOP), a queue depth
 of 2 admits exactly two requests and sheds the rest with structured
 errors; the admitted ones are answered after the worker resumes:

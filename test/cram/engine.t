@@ -37,7 +37,7 @@ certificate is re-checked against the request's own graph):
   req=4 file=r6.ocr status=ok lambda=1 float=1.000000 alg=karp components=1 fallbacks=0 cached=false
   req=5 file=dag.ocr status=acyclic
   req=6 file=g.ocr status=ok lambda=4677/4 float=1169.250000 alg=howard components=1 fallbacks=0 cached=false
-  # requests=6 solved=5 acyclic=1 timeouts=0 rejected=0
+  # requests=6 solved=5 approx=0 acyclic=1 timeouts=0 rejected=0
   # cache: hits=1 misses=5 collisions=0 hit-rate=0.17
   # portfolio: fallbacks=0
   # alg howard: runs=3 blowouts=0
@@ -67,7 +67,7 @@ The server speaks the same request grammar, one line at a time;
   $ printf 'g.ocr\ng.ocr verify=true\ntelemetry\nquit\n' | ocr serve
   req=1 file=g.ocr status=ok lambda=4677/4 float=1169.250000 alg=howard components=1 fallbacks=0 cached=false
   req=2 file=g.ocr status=ok lambda=4677/4 float=1169.250000 alg=howard components=1 fallbacks=0 cached=true certificate=ok
-  # requests=2 solved=2 acyclic=0 timeouts=0 rejected=0
+  # requests=2 solved=2 approx=0 acyclic=0 timeouts=0 rejected=0
   # cache: hits=1 misses=1 collisions=0 hit-rate=0.50
   # portfolio: fallbacks=0
   # alg howard: runs=1 blowouts=0
@@ -97,3 +97,39 @@ clean nonzero exit:
   $ ocr solve g.ocr --deadline-ms 0
   timeout: deadline exceeded
   [5]
+
+The approximation lane: `algorithm=approx` answers with a certified
+interval [lo, hi] bracketing the exact optimum instead of a single
+value; `approx-eps` sets the width target as a fraction of the weight
+scale, and the certificate's witness cycle is re-checked on `verify`:
+
+  $ printf 'g.ocr algorithm=approx approx-eps=0.05 verify=true\ntelemetry\nquit\n' | ocr serve
+  req=1 file=g.ocr status=approx lambda_lo=773 lambda_hi=4677/4 lo_float=773.000000 hi_float=1169.250000 eps=0.05 certified=true components=1 fallback=false cached=false certificate=ok
+  # requests=1 solved=0 approx=1 acyclic=0 timeouts=0 rejected=0
+  # cache: hits=0 misses=1 collisions=0 hit-rate=0.00
+  # portfolio: fallbacks=0
+  # alg approx: runs=1 blowouts=0
+
+Invalid tolerances — and a tolerance attached to an exact algorithm —
+are structured errors, and the server keeps serving:
+
+  $ printf 'g.ocr approx-eps=0\ng.ocr approx-eps=nan\ng.ocr algorithm=karp approx-eps=0.1\ng.ocr\nquit\n' | ocr serve
+  error msg="approx-eps must be a positive finite float, got \"0\""
+  error msg="approx-eps must be a positive finite float, got \"nan\""
+  error msg="approx-eps does not apply to exact algorithm \"karp\" (use algorithm=approx or algorithm=auto)"
+  req=1 file=g.ocr status=ok lambda=4677/4 float=1169.250000 alg=howard components=1 fallbacks=0 cached=false
+
+A doomed deadline answers `status=timeout` — unless the request opts
+into the approx fallback with `approx-eps`, in which case it gets a
+certified interval and an ok status instead of the timeout:
+
+  $ printf 'g.ocr deadline-ms=0\ng.ocr deadline-ms=0 approx-eps=0.05\nquit\n' | ocr serve
+  req=1 file=g.ocr status=timeout attempted=howard partial=-
+  req=2 file=g.ocr status=approx lambda_lo=773 lambda_hi=4677/4 lo_float=773.000000 hi_float=1169.250000 eps=0.05 certified=true components=1 fallback=true cached=false
+
+The same lane on the command line, with the exact-witness audit:
+
+  $ ocr solve g.ocr --approx 0.05 --verify
+  lambda in [773, 4677/4] ([773.000000, 1169.250000])
+  width = 396.25 (target 493.7) certified = true tests = 2 rounds = 6
+  certificate: OK

@@ -42,7 +42,23 @@ reverting an edit hits the fingerprint cache, and structural updates
   {"ok":true,"epoch":3,"lambda":"3","float":3.000000,"cycle":[0,1],"components":2,"resolved":1,"cached":false}
   {"ok":true,"epoch":4}
   {"ok":true,"epoch":4,"lambda":"3","float":3.000000,"cycle":[0,1],"components":1,"resolved":0,"cached":false}
-  {"ok":true,"requests":5,"solved":5,"acyclic":0,"rejected":1,"cache_hits":1,"cache_misses":4,"cache_entries":4}
+  {"ok":true,"requests":5,"solved":5,"approx":0,"acyclic":0,"rejected":1,"cache_hits":1,"cache_misses":4,"cache_entries":4}
+
+A query carrying `eps` answers from the approximation lane — a
+certified interval bracketing the exact optimum, never cached (an
+interval must not shadow exact answers, nor vice versa); a bad `eps`
+is a structured error and the session continues:
+
+  $ printf '%s\n' \
+  >   '{"op":"query","eps":0.05}' \
+  >   '{"op":"query","eps":-1}' \
+  >   '{"op":"query"}' \
+  >   '{"op":"telemetry"}' \
+  >   '{"op":"quit"}' | ocr stream g3.ocr
+  {"ok":true,"epoch":0,"lambda_lo":"11/4","lambda_hi":"3","lo_float":2.750000,"hi_float":3.000000,"eps":0.05,"certified":true,"cycle":[0,1],"components":2,"cached":false}
+  {"ok":false,"error":"field \"eps\" must be a positive finite number"}
+  {"ok":true,"epoch":0,"lambda":"3","float":3.000000,"cycle":[0,1],"components":2,"resolved":2,"cached":false}
+  {"ok":true,"requests":2,"solved":1,"approx":1,"acyclic":0,"rejected":1,"cache_hits":0,"cache_misses":2,"cache_entries":1}
 
 `--journal` records one canonical line per applied update and query;
 rejected lines are not recorded:

@@ -60,12 +60,12 @@ let gen_any_graph ?(max_n = 8) ?(max_m = 16) ?(wlo = -20) ?(whi = 20)
    a property can afford to solve each instance several times, but the
    set spans every structural extreme the generators cover: a bare
    cycle, maximal density, torus locality, layered feedback, the
-   long-critical adversary, a many-SCC chain, disjoint cycles, SPRAND
-   and the circuit register graphs. *)
+   long-critical adversary, a many-SCC chain, disjoint cycles, SPRAND,
+   the circuit register graphs and the low-diameter expander. *)
 let gen_family () =
   let open QCheck.Gen in
   let* seed = int_range 0 1_000_000 in
-  let* pick = int_range 0 8 in
+  let* pick = int_range 0 9 in
   match pick with
   | 0 ->
     let+ n = int_range 1 24 in
@@ -97,6 +97,10 @@ let gen_family () =
     let+ extra = int_range 0 24 in
     Sprand.generate ~seed ~weights:(-10, 10) ~transits:(1, 3) ~n
       ~m:(n + extra) ()
+  | 8 ->
+    let* n = int_range 4 40 in
+    let+ diameter = int_range 2 4 in
+    Families.low_diameter ~seed ~weights:(-6, 6) ~diameter n
   | _ ->
     let+ registers = int_range 2 24 in
     Circuit.generate ~seed ~registers ()

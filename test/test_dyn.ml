@@ -235,7 +235,9 @@ let codec_roundtrip () =
       Dyn_protocol.Update
         (Dyn.Add_arc { arc = 9; src = 1; dst = 2; weight = 5; transit = 2 });
       Dyn_protocol.Update (Dyn.Remove_arc { arc = 7 });
-      Dyn_protocol.Query;
+      Dyn_protocol.Query None;
+      Dyn_protocol.Query (Some 0.05);
+      Dyn_protocol.Query (Some 0.001);
       Dyn_protocol.Epoch;
       Dyn_protocol.Fingerprint_op;
       Dyn_protocol.Telemetry_op;
@@ -260,6 +262,9 @@ let codec_errors () =
   Alcotest.(check bool) "unknown op" true (bad {|{"op":"frobnicate"}|});
   Alcotest.(check bool) "missing field" true (bad {|{"op":"set_weight"}|});
   Alcotest.(check bool) "nested value" true (bad {|{"op":{"x":1}}|});
+  Alcotest.(check bool) "eps zero" true (bad {|{"op":"query","eps":0}|});
+  Alcotest.(check bool) "eps negative" true (bad {|{"op":"query","eps":-0.1}|});
+  Alcotest.(check bool) "eps string" true (bad {|{"op":"query","eps":"x"}|});
   (* defaulted transit parses *)
   Alcotest.(check bool) "default transit" true
     (match Dyn_protocol.parse {|{"op":"add_arc","src":0,"dst":1,"weight":3}|} with

@@ -108,6 +108,23 @@ let test_families_layered () =
   Alcotest.(check int) "n" 20 (Digraph.n g);
   Alcotest.(check bool) "SC" true (Traversal.is_strongly_connected g)
 
+let test_families_low_diameter () =
+  let g = Families.low_diameter ~seed:5 ~diameter:3 64 in
+  Alcotest.(check int) "n" 64 (Digraph.n g);
+  Alcotest.(check bool) "SC" true (Traversal.is_strongly_connected g);
+  (* degree = ceil(64^(1/3)) = 4: ring arc + 3 chords per node *)
+  Alcotest.(check int) "m = 4n" 256 (Digraph.m g);
+  Alcotest.(check bool) "deterministic" true
+    (Digraph.equal_structure g (Families.low_diameter ~seed:5 ~diameter:3 64));
+  Alcotest.(check bool) "bad n" true
+    (match Families.low_diameter ~diameter:2 1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad diameter" true
+    (match Families.low_diameter ~diameter:0 8 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let test_families_two_cycles () =
   let g = Families.two_cycles ~len1:4 ~w1:8 ~len2:5 ~w2:3 in
   Alcotest.(check int) "nodes" 8 (Digraph.n g);
@@ -120,6 +137,14 @@ let qcheck_sprand_always_sc =
     (fun (n, extra) ->
       Traversal.is_strongly_connected
         (Sprand.generate ~seed:(n + extra) ~n ~m:(n + extra) ()))
+
+let qcheck_low_diameter_sc =
+  QCheck.Test.make ~name:"low_diameter: always strongly connected" ~count:50
+    QCheck.(triple (int_range 2 60) (int_range 1 4) (int_range 0 1000))
+    (fun (n, diameter, seed) ->
+      let n = max 2 n and diameter = max 1 diameter in
+      Traversal.is_strongly_connected
+        (Families.low_diameter ~seed ~diameter n))
 
 let qcheck_circuit_always_sc =
   QCheck.Test.make ~name:"circuit: always strongly connected" ~count:50
@@ -146,5 +171,11 @@ let suite =
     Alcotest.test_case "families: grid torus" `Quick test_families_grid;
     Alcotest.test_case "families: layered dataflow" `Quick test_families_layered;
     Alcotest.test_case "families: two cycles" `Quick test_families_two_cycles;
+    Alcotest.test_case "families: low diameter" `Quick
+      test_families_low_diameter;
   ]
-  @ Helpers.qtests [ qcheck_sprand_always_sc; qcheck_circuit_always_sc ]
+  @ Helpers.qtests
+      [
+        qcheck_sprand_always_sc; qcheck_circuit_always_sc;
+        qcheck_low_diameter_sc;
+      ]

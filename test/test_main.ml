@@ -20,6 +20,7 @@ let () =
       ("howard-kernel", Test_howard_kernel.suite);
       ("verify", Test_verify.suite);
       ("generators", Test_gen.suite);
+      ("approx", Test_approx.suite);
       ("engine", Test_engine.suite);
       ("dyn", Test_dyn.suite);
       ("cluster", Test_cluster.suite);
