@@ -14,9 +14,11 @@
    i.e. a >2.5x slowdown with a 1 ms slack floor so micro-rows (tens of
    microseconds) never trip on scheduler jitter.  Speedups, ratios and
    counts are never gated by pairs.  What *is* gated hard, with no
-   tolerance, is every "identical" flag in the current file: those
-   encode the determinism guarantee (parallel report bit-equal to
-   jobs=1), and a false there is a correctness bug, not noise.
+   tolerance, is every "identical" and "exact_matches_float" flag in
+   the current file: the former encode the determinism guarantee
+   (parallel report bit-equal to jobs=1), the latter the exact-answer
+   promise (both lanes certify to the same rational, float within
+   1 ulp), and a false in either is a correctness bug, not noise.
 
    Core-count awareness: every bench file stamps "host_cores"
    (Domain.recommended_domain_count at recording time).  When baseline
@@ -166,8 +168,9 @@ let read_file path =
 (* index.                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let discriminators = [ "family"; "graph"; "n"; "m"; "jobs"; "workload"; "trace";
-                       "components_edited"; "cluster"; "workers"; "eps" ]
+let discriminators = [ "family"; "graph"; "problem"; "n"; "m"; "jobs";
+                       "workload"; "trace"; "components_edited"; "cluster";
+                       "workers"; "eps" ]
 
 let row_key = function
   | Obj fields ->
@@ -221,7 +224,8 @@ let leaf_name path =
 let gated_metric path =
   List.mem (leaf_name path)
     [ "ms"; "ms_per_solve"; "ms_per_req"; "one_pass_ms"; "induced_scan_ms";
-      "cold_ms"; "warm_ms_median"; "cold_ms_median"; "exact_ms"; "approx_ms" ]
+      "cold_ms"; "warm_ms_median"; "cold_ms_median"; "exact_ms"; "approx_ms";
+      "float_ms" ]
 
 let failures = ref 0
 let warnings = ref 0
@@ -271,7 +275,8 @@ let check_pair ~baseline ~current =
        jobs>1 timing rows are skipped\n";
   let base = flatten base_json in
   let cur = flatten cur_json in
-  (* determinism flags in the *current* run gate unconditionally *)
+  (* determinism and exact-answer flags in the *current* run gate
+     unconditionally *)
   List.iter
     (fun (path, leaf) ->
       match leaf with
@@ -280,6 +285,15 @@ let check_pair ~baseline ~current =
         if not ok then begin
           incr failures;
           Printf.printf "FAIL %s: parallel result not identical to jobs=1\n"
+            path
+        end
+      | Bool ok when leaf_name path = "exact_matches_float" ->
+        incr checked;
+        if not ok then begin
+          incr failures;
+          Printf.printf
+            "FAIL %s: exact lane and float portfolio certify different \
+             rationals\n"
             path
         end
       | _ -> ())

@@ -1463,8 +1463,127 @@ let e17 cfg =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* E18: the exact-rational lane vs the float portfolio.  Every row    *)
+(* solves the same instance twice — Howard (the portfolio champion)   *)
+(* and the Stern–Brocot lane, whose λ comes purely from integer       *)
+(* negative-cycle probes — then cross-checks the two through          *)
+(* Verify.rational_certificate: the certificate recomputed from each  *)
+(* witness cycle's integer sums must be the same rational bit for     *)
+(* bit, and the float rendering must sit within 1 ulp of it.  The     *)
+(* [exact_matches_float] flag gates in CI at zero tolerance, like the *)
+(* identical flags: a false is an arithmetic bug, not noise.  probes  *)
+(* counts the lane's Bellman–Ford invocations (the log-bounded tree   *)
+(* descent).  --bench-json FILE writes the rows (BENCH_pr9.json).     *)
+(* ------------------------------------------------------------------ *)
+
+let e18 cfg =
+  let problems =
+    [
+      ( "mean", Solver.Cycle_mean,
+        (fun ~n ~seed -> instance ~n ~density:3.0 ~seed),
+        (fun g -> Registry.minimum_cycle_mean Registry.Howard g),
+        fun ~stats g -> Stern_brocot.minimum_cycle_mean ~stats g );
+      ( "ratio", Solver.Cycle_ratio,
+        (fun ~n ~seed ->
+          Sprand.generate ~seed ~n ~m:(3 * n) ~transits:(1, 5) ()),
+        (fun g -> Registry.minimum_cycle_ratio Registry.Howard g),
+        fun ~stats g -> Stern_brocot.minimum_cycle_ratio ~stats g );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (prob_name, problem, gen, float_solve, exact_solve) ->
+        List.map
+          (fun n ->
+            let per_seed =
+              List.map
+                (fun seed ->
+                  let g = gen ~n ~seed in
+                  let float_ms =
+                    Timing.time_ms ~reps:3 (fun () -> ignore (float_solve g))
+                  in
+                  let s = Stats.create () in
+                  let exact_ms =
+                    Timing.time_ms ~reps:3 (fun () ->
+                        ignore (exact_solve ~stats:s g))
+                  in
+                  Stats.reset s;
+                  let lf, cf = float_solve g in
+                  let le, ce = exact_solve ~stats:s g in
+                  let cert c lambda =
+                    Verify.rational_certificate ~problem g lambda c
+                  in
+                  let matches =
+                    match (cert cf lf, cert ce le) with
+                    | Ok a, Ok b -> Ratio.equal a b && Ratio.equal a le
+                    | _ -> false
+                  in
+                  (Digraph.m g, float_ms, exact_ms, s.Stats.iterations,
+                   matches))
+                cfg.seeds
+            in
+            let m =
+              match per_seed with (m, _, _, _, _) :: _ -> m | [] -> 0
+            in
+            let mean f = Timing.mean (List.map f per_seed) in
+            let float_ms = mean (fun (_, f, _, _, _) -> f) in
+            let exact_ms = mean (fun (_, _, e, _, _) -> e) in
+            let probes =
+              List.fold_left (fun acc (_, _, _, p, _) -> acc + p) 0 per_seed
+              / List.length per_seed
+            in
+            let matches =
+              List.for_all (fun (_, _, _, _, ok) -> ok) per_seed
+            in
+            (prob_name, n, m, float_ms, exact_ms, probes, matches))
+          cfg.sizes)
+      problems
+  in
+  Tables.print
+    ~title:
+      "E18: float portfolio (Howard) vs the Stern-Brocot exact lane on \
+       SPRAND (mean: unit transits; ratio: transits uniform in [1,5]); \
+       probes = integer negative-cycle tests; exact=float = both \
+       witnesses certify to the same rational, float within 1 ulp"
+    ~header:
+      [ "problem"; "n"; "m"; "float ms"; "exact ms"; "slowdown"; "probes";
+        "exact=float" ]
+    (List.map
+       (fun (prob, n, m, float_ms, exact_ms, probes, matches) ->
+         [
+           prob; string_of_int n; string_of_int m; Tables.fmt_ms float_ms;
+           Tables.fmt_ms exact_ms;
+           Printf.sprintf "%.2fx" (exact_ms /. float_ms);
+           string_of_int probes;
+           (if matches then "yes" else "NO");
+         ])
+       rows);
+  match !bench_json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    let out fmt = Printf.fprintf oc fmt in
+    let cores = host_cores () in
+    out "{\n  \"experiment\": \"E18\",\n";
+    out "  \"host_cores\": %d,\n" cores;
+    out "  \"exact_vs_float\": [\n";
+    List.iteri
+      (fun i (prob, n, m, float_ms, exact_ms, probes, matches) ->
+        out
+          "    {\"family\": \"sprand\", \"problem\": %S, \"n\": %d, \
+           \"m\": %d, \"jobs\": 1, \"host_cores\": %d, \"float_ms\": %.4f, \
+           \"exact_ms\": %.4f, \"slowdown\": %.2f, \"probes\": %d, \
+           \"exact_matches_float\": %b}%s\n"
+          prob n m cores float_ms exact_ms (exact_ms /. float_ms) probes
+          matches
+          (if i < List.length rows - 1 then "," else ""))
+      rows;
+    out "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let all : (string * (config -> unit)) list =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17) ]
+    ("E17", e17); ("E18", e18) ]

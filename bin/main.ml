@@ -179,14 +179,31 @@ let solve_cmd =
              $(b,--deadline-ms) the interval degrades gracefully instead \
              of timing out.")
   in
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Also print the answer as an exact rational: a \
+             $(b,lambda_num=)/$(b,lambda_den=) line, recomputed from the \
+             witness cycle's integer weight and transit sums and \
+             cross-checked against the solver's λ (see docs/EXACT.md).  \
+             Incompatible with $(b,--approx).")
+  in
   let run file algorithm objective problem verify show_stats show_cycle
-      deadline_ms jobs trace approx =
+      deadline_ms jobs trace approx exact =
     check_jobs jobs;
     (match approx with
     | Some eps when Result.is_error (Approx.validate_eps eps) ->
       prerr_endline "ocr: --approx must be a positive finite float";
       exit 1
     | _ -> ());
+    if exact && approx <> None then begin
+      prerr_endline
+        "ocr: --exact does not apply to --approx (an interval answer has no \
+         single rational certificate)";
+      exit 1
+    end;
     let g = load_graph file in
     (match trace with
     | Some _ ->
@@ -255,6 +272,17 @@ let solve_cmd =
       Printf.printf "lambda = %s (%.6f)\n"
         (Ratio.to_string r.Solver.lambda)
         (Ratio.to_float r.Solver.lambda);
+      if exact then begin
+        match
+          Verify.rational_certificate ~problem g r.Solver.lambda r.Solver.cycle
+        with
+        | Ok cert ->
+          Printf.printf "lambda_num=%d lambda_den=%d\n" (Ratio.num cert)
+            (Ratio.den cert)
+        | Error e ->
+          Printf.printf "certificate FAILED: %s\n" e;
+          exit 3
+      end;
       if show_cycle then
         Printf.printf "cycle: %s\n"
           (String.concat " "
@@ -290,7 +318,7 @@ let solve_cmd =
     Term.(
       const run $ graph_file_arg $ algorithm_arg $ objective_arg $ problem_arg
       $ verify $ show_stats $ show_cycle $ deadline_ms $ jobs_arg $ trace
-      $ approx)
+      $ approx $ exact)
 
 (* ----------------------------------------------------------------- *)
 (* info                                                               *)

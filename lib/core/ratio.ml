@@ -2,8 +2,15 @@ type t = { num : int; den : int }
 
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
+(* [min_int] has no representable negation or absolute value, so the
+   den>0 / gcd>0 normalization below would silently produce a negative
+   denominator ([- min_int = min_int]).  Such magnitudes are far outside
+   the solver's documented exact-arithmetic range (|w|·D² < 2⁵⁹); fail
+   loudly instead of constructing an unnormalized value. *)
 let make num den =
   if den = 0 then raise Division_by_zero;
+  if num = min_int || den = min_int then
+    invalid_arg "Ratio.make: magnitude exceeds the exact native-int range";
   let num, den = if den < 0 then (-num, -den) else (num, den) in
   let g = gcd (abs num) den in
   if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }

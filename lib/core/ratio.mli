@@ -9,8 +9,12 @@
 type t = private { num : int; den : int }
 
 val make : int -> int -> t
-(** [make num den] normalizes the fraction.
-    @raise Division_by_zero if [den = 0]. *)
+(** [make num den] normalizes the fraction: the representation is
+    unique — [equal a b] implies [num a = num b && den a = den b] — so
+    serialized [num]/[den] pairs are canonical.
+    @raise Division_by_zero if [den = 0].
+    @raise Invalid_argument if [num] or [den] is [min_int] (no
+    representable negation, so sign canonicalization would fail). *)
 
 val of_int : int -> t
 val zero : t

@@ -71,6 +71,38 @@ val lane : string -> lane option
 val lane_names : unit -> string list
 (** Registered lane names, sorted. *)
 
+(** {1 Exact lanes}
+
+    The same self-registration hook for {e exact} alternative solvers:
+    lanes that return λ* itself (with a witness cycle) through a
+    different computation than the table's algorithms, usable as
+    independent verification.  {!Stern_brocot} registers ["exact"] —
+    the mediant-search lane converging on λ* through exact integer
+    negative-cycle probes. *)
+
+type exact_solver =
+  ?stats:Stats.t -> ?budget:Budget.t -> ?pool:Executor.t ->
+  Digraph.t -> Ratio.t * int list
+(** Same contract as {!minimum_cycle_mean}/{!minimum_cycle_ratio}:
+    strongly connected input with at least one arc, exact optimum plus
+    witness cycle.
+    @raise Budget.Exceeded when the supplied budget runs out. *)
+
+type exact_lane = {
+  exact_name : string;
+  exact_mean : exact_solver;
+  exact_ratio : exact_solver;
+}
+
+val register_exact_lane : exact_lane -> unit
+(** Idempotent by name (last registration wins). *)
+
+val exact_lane : string -> exact_lane option
+(** Case-insensitive lookup. *)
+
+val exact_lane_names : unit -> string list
+(** Registered exact-lane names, sorted. *)
+
 val native_ratio : algorithm -> bool
 (** Whether the algorithm solves the cost-to-time ratio problem
     directly (Burns, Howard, Lawler, OA, KO, YTO); the Karp family

@@ -27,3 +27,18 @@ val certify_report :
   Digraph.t ->
   Solver.report ->
   (unit, string) result
+
+val rational_certificate :
+  ?problem:Solver.problem ->
+  Digraph.t ->
+  Ratio.t ->
+  int list ->
+  (Ratio.t, string) result
+(** The exact-answer-mode cross-check: recompute λ from the witness
+    cycle's integer weight and transit sums alone (never from the
+    solver's iterate), and return it as the canonical rational
+    certificate.  Fails if the witness is not a cycle of this graph, if
+    the cycle sums disagree with the claimed λ, or if the float
+    rendering of the answer is more than 1 ulp from the certificate's
+    correctly rounded quotient.  Objective-independent: the cycle's
+    ratio is the attained value under either sign. *)

@@ -7,12 +7,18 @@
     replay-check id), plus ["query"], ["epoch"], ["fingerprint"],
     ["telemetry"], ["metrics"] and ["quit"].  A ["query"] may carry an
     optional ["eps"] field (a positive finite number) requesting a
-    certified (1+ε)-approximate answer instead of an exact one. *)
+    certified (1+ε)-approximate answer instead of an exact one, or an
+    optional ["mode"] field ([{"mode":"exact"}]) requesting the exact
+    rational certificate ([lambda_num]/[lambda_den]) alongside the
+    float answer; combining ["mode":"exact"] with ["eps"] is a
+    structured error (an interval has no single rational certificate),
+    answered without killing the stream. *)
 
 type op =
   | Update of Dyn.update
-  | Query of float option
-      (** [Some eps]: approximate query with certified interval *)
+  | Query of { q_eps : float option; q_exact : bool }
+      (** [q_eps = Some eps]: approximate query with certified interval;
+          [q_exact]: exact-answer mode — never both *)
   | Epoch
   | Fingerprint_op
   | Telemetry_op

@@ -39,19 +39,50 @@ let float_of_ratio r = Ratio.to_float r
 let ok_fields t rest =
   ("ok", "true") :: ("epoch", string_of_int (Dyn.epoch t.session)) :: rest
 
-let answer_line t ~cached ~resolved = function
+let answer_line t ~cached ~resolved ?(exact = []) = function
   | None -> Njson.obj (ok_fields t [ ("acyclic", "true") ])
   | Some (lambda, cycle, components) ->
     Njson.obj
       (ok_fields t
-         [
-           ("lambda", Njson.escape (Ratio.to_string lambda));
-           ("float", Printf.sprintf "%.6f" (float_of_ratio lambda));
-           ("cycle", Njson.int_array cycle);
-           ("components", string_of_int components);
-           ("resolved", string_of_int resolved);
-           ("cached", string_of_bool cached);
-         ])
+         (("lambda", Njson.escape (Ratio.to_string lambda))
+          :: ("float", Printf.sprintf "%.6f" (float_of_ratio lambda))
+          :: exact
+         @ [
+             ("cycle", Njson.int_array cycle);
+             ("components", string_of_int components);
+             ("resolved", string_of_int resolved);
+             ("cached", string_of_bool cached);
+           ]))
+
+(* mode=exact: recompute λ from the witness cycle's integer sums over
+   the session's *current* weights — never the (possibly cached) float
+   iterate — and cross-check before answering.  A disagreement means a
+   stale or corrupt answer and is rejected rather than certified;
+   Invalid_argument rides the existing rejection path in [handle], so
+   the stream survives. *)
+let exact_fields t lambda cycle =
+  let w =
+    List.fold_left (fun s a -> s + Dyn.arc_weight t.session a) 0 cycle
+  in
+  let d =
+    match Dyn.problem t.session with
+    | Solver.Cycle_mean -> List.length cycle
+    | Solver.Cycle_ratio ->
+      List.fold_left (fun s a -> s + Dyn.arc_transit t.session a) 0 cycle
+  in
+  if d <= 0 then
+    invalid_arg "exact certificate: witness cycle has non-positive denominator";
+  let cert = Ratio.make w d in
+  if not (Ratio.equal cert lambda) then
+    invalid_arg
+      (Printf.sprintf
+         "exact certificate: cycle sums give %s, session answered %s"
+         (Ratio.to_string cert) (Ratio.to_string lambda));
+  t.tel.Telemetry.exact <- t.tel.Telemetry.exact + 1;
+  [
+    ("lambda_num", string_of_int (Ratio.num cert));
+    ("lambda_den", string_of_int (Ratio.den cert));
+  ]
 
 let telemetry_line t =
   let tel = t.tel in
@@ -61,6 +92,7 @@ let telemetry_line t =
       ("requests", string_of_int tel.Telemetry.requests);
       ("solved", string_of_int tel.Telemetry.solved);
       ("approx", string_of_int tel.Telemetry.approx);
+      ("exact", string_of_int tel.Telemetry.exact);
       ("acyclic", string_of_int tel.Telemetry.acyclic);
       ("rejected", string_of_int tel.Telemetry.rejected);
       ("cache_hits", string_of_int tel.Telemetry.cache_hits);
@@ -79,6 +111,7 @@ let metrics_snapshot t =
   c "ocr_solved_total" tel.Telemetry.solved;
   c "ocr_approx_total" tel.Telemetry.approx;
   c "ocr_approx_iterations" tel.Telemetry.approx_iterations;
+  c "ocr_exact_total" tel.Telemetry.exact;
   c "ocr_cache_hits_total" tel.Telemetry.cache_hits;
   c "ocr_cache_misses_total" tel.Telemetry.cache_misses;
   c "ocr_acyclic_total" tel.Telemetry.acyclic;
@@ -111,7 +144,7 @@ let log_journal t op =
   | Some log -> log (Dyn_protocol.render_op op)
   | None -> ()
 
-let do_query_inner t =
+let do_query_inner t ~exact =
   t.tel.Telemetry.requests <- t.tel.Telemetry.requests + 1;
   let fp = Dyn.fingerprint t.session in
   match Lru.find t.cache fp with
@@ -124,7 +157,8 @@ let do_query_inner t =
     | Some c ->
       t.tel.Telemetry.solved <- t.tel.Telemetry.solved + 1;
       let cycle = List.map (Dyn.of_graph_arc t.session) c.c_cycle in
-      answer_line t ~cached:true ~resolved:0
+      let ex = if exact then exact_fields t c.c_lambda cycle else [] in
+      answer_line t ~cached:true ~resolved:0 ~exact:ex
         (Some (c.c_lambda, cycle, c.c_components)))
   | None -> (
     t.tel.Telemetry.cache_misses <- t.tel.Telemetry.cache_misses + 1;
@@ -143,7 +177,8 @@ let do_query_inner t =
              c_cycle = List.map (Dyn.to_graph_arc t.session) r.Dyn.cycle;
              c_components = r.Dyn.components;
            });
-      answer_line t ~cached:false ~resolved:r.Dyn.resolved
+      let ex = if exact then exact_fields t r.Dyn.lambda r.Dyn.cycle else [] in
+      answer_line t ~cached:false ~resolved:r.Dyn.resolved ~exact:ex
         (Some (r.Dyn.lambda, r.Dyn.cycle, r.Dyn.components)))
 
 (* Approximate query: a certified interval over the session's current
@@ -186,7 +221,7 @@ let do_query_approx t ~eps =
 (* Wraps the query in its span and latency observation; a rejected
    query (Invalid_argument propagating to [handle]) closes the span on
    the way out so the trace stays balanced. *)
-let do_query ?eps t =
+let do_query ?eps ?(exact = false) t =
   if !Obs.enabled_flag then Trace.begin_span sp_query;
   let t0 = Obs.now_ns () in
   let finish () =
@@ -194,7 +229,9 @@ let do_query ?eps t =
     if !Obs.enabled_flag then Trace.end_span sp_query
   in
   let run () =
-    match eps with None -> do_query_inner t | Some e -> do_query_approx t ~eps:e
+    match eps with
+    | None -> do_query_inner t ~exact
+    | Some e -> do_query_approx t ~eps:e
   in
   match run () with
   | reply ->
@@ -228,8 +265,8 @@ let handle t line =
               ]))
     | Dyn_protocol.Telemetry_op -> `Reply (telemetry_line t)
     | Dyn_protocol.Metrics_op -> `Reply (metrics_line t)
-    | Dyn_protocol.Query eps -> (
-      match do_query ?eps t with
+    | Dyn_protocol.Query { q_eps; q_exact } -> (
+      match do_query ?eps:q_eps ~exact:q_exact t with
       | reply ->
         log_journal t op;
         `Reply reply

@@ -3,7 +3,8 @@ type cache_entry =
       e_lambda : Ratio.t;
       e_cycle : int list;
       e_components : int;
-      e_algorithm : Registry.algorithm;
+      e_algorithm : string;
+      e_cert : Ratio.t option;
     }
   | E_approx of {
       a_lo : Ratio.t;
@@ -22,10 +23,13 @@ type outcome =
       lambda : Ratio.t;
       cycle : int list;
       components : int;
-      algorithm : Registry.algorithm;
+      algorithm : string;
       cached : bool;
       fallbacks : int;
       certified : bool;
+      exact : Ratio.t option;
+          (* mode=exact: the rational certificate recomputed from the
+             witness cycle's integer sums (Verify.rational_certificate) *)
     }
   | Approximate of {
       lo : Ratio.t;
@@ -102,6 +106,7 @@ let metrics_snapshot t =
   c "ocr_fallbacks_total" tel.Telemetry.fallbacks;
   c "ocr_approx_total" tel.Telemetry.approx;
   c "ocr_approx_iterations" tel.Telemetry.approx_iterations;
+  c "ocr_exact_total" tel.Telemetry.exact;
   Metrics.merge_into ~into:m t.lat_reg;
   Executor.sample_metrics t.exec m;
   m
@@ -219,15 +224,28 @@ let solve_fresh t ~inner_pool tel (req : Request.t) =
     let subs = Array.to_list (Scc.partition g_min scc) in
     if subs = [] then Acyclic
     else begin
-      let attempts =
-        match spec.Request.algorithm with
-        | Request.Fixed a -> [ (a, None) ]
-        | Request.Auto | Request.Approx -> auto_portfolio g_min
-      in
-      let run alg =
+      let runner_of alg =
         match spec.Request.problem with
         | Solver.Cycle_mean -> Registry.minimum_cycle_mean alg
         | Solver.Cycle_ratio -> Registry.minimum_cycle_ratio alg
+      in
+      let attempts =
+        match spec.Request.algorithm with
+        | Request.Fixed a -> [ (Registry.name a, None, runner_of a) ]
+        | Request.Exact ->
+          (* direct dispatch (not through Registry.exact_lane) so the
+             linker keeps Stern_brocot — and its lane registration —
+             in every binary that links the engine *)
+          let run =
+            match spec.Request.problem with
+            | Solver.Cycle_mean -> Stern_brocot.minimum_cycle_mean
+            | Solver.Cycle_ratio -> Stern_brocot.minimum_cycle_ratio
+          in
+          [ ("exact", None, run) ]
+        | Request.Auto | Request.Approx ->
+          List.map
+            (fun (a, b) -> (Registry.name a, b, runner_of a))
+            (auto_portfolio g_min)
       in
       (* each component task gets its own Stats.t and Budget.t — no
          mutable state crosses a domain boundary.  The pool is also
@@ -235,7 +253,8 @@ let solve_fresh t ~inner_pool tel (req : Request.t) =
          sweep inside one giant component; the budget stays safe there
          because Howard ticks it on the coordinating domain only, never
          from a chunk task *)
-      let solve_component alg iter_budget ?pool (sp : Scc.subproblem) =
+      let solve_component (run : Registry.exact_solver) iter_budget ?pool
+          (sp : Scc.subproblem) =
         let sub_stats = Stats.create () in
         let budget =
           match (iter_budget, deadline_at) with
@@ -245,12 +264,10 @@ let solve_fresh t ~inner_pool tel (req : Request.t) =
               (Budget.create ?max_iterations:iter_budget ~now:t.now
                  ?deadline_at ())
         in
-        let lambda, cycle =
-          run alg ~stats:sub_stats ?budget ?pool sp.Scc.sub
-        in
+        let lambda, cycle = run ~stats:sub_stats ?budget ?pool sp.Scc.sub in
         (lambda, List.map (fun a -> sp.Scc.arc_of_sub.(a)) cycle, sub_stats)
       in
-      let attempt (alg, iter_budget) =
+      let attempt (_name, iter_budget, run) =
         let results =
           match inner_pool with
           | Some p when List.length subs > 1 && Executor.jobs p > 1 ->
@@ -271,14 +288,14 @@ let solve_fresh t ~inner_pool tel (req : Request.t) =
                      else None
                    in
                    Executor.async p (fun () ->
-                       solve_component alg iter_budget ?pool sp))
+                       solve_component run iter_budget ?pool sp))
             |> List.map (fun fut ->
                    try Ok (Executor.await p fut)
                    with Budget.Exceeded c -> Error c)
           | _ ->
             List.map
               (fun sp ->
-                try Ok (solve_component alg iter_budget ?pool:inner_pool sp)
+                try Ok (solve_component run iter_budget ?pool:inner_pool sp)
                 with Budget.Exceeded c -> Error c)
               subs
         in
@@ -314,26 +331,27 @@ let solve_fresh t ~inner_pool tel (req : Request.t) =
           (* unreachable with the shipped portfolios (the terminal
              entry is unbudgeted) but a sound answer if one is built *)
           Timeout { partial = None; attempted = List.rev attempted }
-        | ((alg, _) as step) :: rest -> (
+        | ((name, _, _) as step) :: rest -> (
           let t0 = t.now () in
           let verdict = attempt step in
           let wall_ms = (t.now () -. t0) *. 1000.0 in
           match verdict with
           | `Ok ((lambda, cycle), ncomp) ->
-            Telemetry.record_run tel (Registry.name alg) ~wall_ms;
+            Telemetry.record_run tel name ~wall_ms;
             Solved
               {
                 lambda = restore lambda;
                 cycle;
                 components = ncomp;
-                algorithm = alg;
+                algorithm = name;
                 cached = false;
                 fallbacks;
                 certified = false;
+                exact = None;
               }
           | `Blowout ->
-            Telemetry.record_blowout tel (Registry.name alg) ~wall_ms;
-            go (Registry.name alg :: attempted) (fallbacks + 1) rest
+            Telemetry.record_blowout tel name ~wall_ms;
+            go (name :: attempted) (fallbacks + 1) rest
           | `Deadline partial -> (
             match spec.Request.approx_eps with
             | Some _ ->
@@ -349,7 +367,7 @@ let solve_fresh t ~inner_pool tel (req : Request.t) =
               Timeout
                 {
                   partial = Option.map restore partial;
-                  attempted = List.rev (Registry.name alg :: attempted);
+                  attempted = List.rev (name :: attempted);
                 }))
       in
       go [] 0 attempts
@@ -381,6 +399,22 @@ let recheck_approx (req : Request.t) cert =
   Approx.recheck ~problem:req.Request.spec.Request.problem
     ~objective:req.Request.spec.Request.objective req.Request.graph cert
 
+(* The exact-answer cross-check: on a mode=exact request, recompute λ
+   from the witness cycle's integer sums and attach it as the rational
+   certificate.  A disagreement (or a float answer more than 1 ulp off
+   the certificate) is an engine bug, answered as a rejection rather
+   than a wrong certificate. *)
+let finish_exact (req : Request.t) outcome =
+  match outcome with
+  | Solved s when req.Request.spec.Request.mode = Request.Exact_answer -> (
+    match
+      Verify.rational_certificate ~problem:req.Request.spec.Request.problem
+        req.Request.graph s.lambda s.cycle
+    with
+    | Ok cert -> Solved { s with exact = Some cert }
+    | Error e -> Rejected e)
+  | o -> o
+
 let verify_fresh tel req outcome =
   match outcome with
   | Solved s when req.Request.spec.Request.verify -> (
@@ -408,7 +442,9 @@ let verify_fresh tel req outcome =
 let solve_task t ~inner_pool req () =
   let tel = Telemetry.create () in
   let t0 = t.now () in
-  let outcome = verify_fresh tel req (solve_fresh t ~inner_pool tel req) in
+  let outcome =
+    verify_fresh tel req (finish_exact req (solve_fresh t ~inner_pool tel req))
+  in
   tel.Telemetry.wall_ms <- (t.now () -. t0) *. 1000.0;
   (outcome, tel)
 
@@ -418,6 +454,7 @@ let solve_task t ~inner_pool req () =
 let count_outcome tel = function
   | Solved s ->
     tel.Telemetry.solved <- tel.Telemetry.solved + 1;
+    if s.exact <> None then tel.Telemetry.exact <- tel.Telemetry.exact + 1;
     if !Obs.enabled_flag then
       Trace.instant (if s.cached then sp_cache_hit else sp_cache_miss);
     if s.cached then tel.Telemetry.cache_hits <- tel.Telemetry.cache_hits + 1
@@ -438,10 +475,10 @@ let count_outcome tel = function
     tel.Telemetry.rejected <- tel.Telemetry.rejected + 1;
     tel.Telemetry.cache_misses <- tel.Telemetry.cache_misses + 1
 
-let entry_of_solved lambda cycle components algorithm =
+let entry_of_solved lambda cycle components algorithm cert =
   E_exact
     { e_lambda = lambda; e_cycle = cycle; e_components = components;
-      e_algorithm = algorithm }
+      e_algorithm = algorithm; e_cert = cert }
 
 (* The cacheable image of an outcome.  Deadline-fallback certificates
    are NOT cached: their key is the Auto one, and a later request with
@@ -449,7 +486,7 @@ let entry_of_solved lambda cycle components algorithm =
    answer the portfolio can then produce. *)
 let entry_of_outcome = function
   | Solved s when not s.cached ->
-    Some (entry_of_solved s.lambda s.cycle s.components s.algorithm)
+    Some (entry_of_solved s.lambda s.cycle s.components s.algorithm s.exact)
   | Approximate a when (not a.cached) && not a.fallback ->
     Some
       (E_approx
@@ -485,6 +522,7 @@ let from_cache tel (req : Request.t) entry =
              cached = true;
              fallbacks = 0;
              certified;
+             exact = e.e_cert;
            })
     in
     if verify then
@@ -690,13 +728,18 @@ let response_line ?(wall = false) r =
   (match r.outcome with
   | Solved s ->
     Buffer.add_string b
-      (Printf.sprintf
-         " status=ok lambda=%s float=%.6f alg=%s components=%d fallbacks=%d \
-          cached=%b"
+      (Printf.sprintf " status=ok lambda=%s float=%.6f"
          (Ratio.to_string s.lambda)
-         (Ratio.to_float s.lambda)
-         (Registry.name s.algorithm)
-         s.components s.fallbacks s.cached);
+         (Ratio.to_float s.lambda));
+    (match s.exact with
+    | Some cert ->
+      Buffer.add_string b
+        (Printf.sprintf " lambda_num=%d lambda_den=%d" (Ratio.num cert)
+           (Ratio.den cert))
+    | None -> ());
+    Buffer.add_string b
+      (Printf.sprintf " alg=%s components=%d fallbacks=%d cached=%b"
+         s.algorithm s.components s.fallbacks s.cached);
     if s.certified then Buffer.add_string b " certificate=ok"
   | Approximate a ->
     Buffer.add_string b

@@ -23,7 +23,11 @@ type cache_entry =
       e_lambda : Ratio.t;
       e_cycle : int list;
       e_components : int;
-      e_algorithm : Registry.algorithm;
+      e_algorithm : string;
+      e_cert : Ratio.t option;
+          (** the mode=exact rational certificate, when one was computed;
+              kept in the entry because exact and float answers live
+              under distinct cache keys ([Request.key.kmode]) *)
     }
   | E_approx of {
       a_lo : Ratio.t;
@@ -42,10 +46,17 @@ type outcome =
       lambda : Ratio.t;  (** optimum, in the request's objective sign *)
       cycle : int list;  (** witness cycle, arc ids of the request graph *)
       components : int;  (** nontrivial SCCs examined *)
-      algorithm : Registry.algorithm;  (** the algorithm that produced it *)
+      algorithm : string;
+          (** the algorithm that produced it — a {!Registry.name}, or a
+              lane name such as ["exact"] *)
       cached : bool;  (** served from the LRU / batch dedup *)
       fallbacks : int;  (** portfolio steps taken past the first *)
       certified : bool;  (** [Verify.certify] passed (verify requests) *)
+      exact : Ratio.t option;
+          (** [mode=exact] requests: λ* recomputed from the witness
+              cycle's integer weight/transit sums
+              ({!Verify.rational_certificate}), never from the solver's
+              iterate.  Always canonical: [den > 0], [gcd = 1]. *)
     }
   | Approximate of {
       lo : Ratio.t;  (** certified: [lo <= λ* <= hi], objective sign *)

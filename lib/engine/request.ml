@@ -1,15 +1,21 @@
-type algorithm_choice = Auto | Fixed of Registry.algorithm | Approx
+type algorithm_choice = Auto | Fixed of Registry.algorithm | Approx | Exact
 
 let algorithm_choice_name = function
   | Auto -> "auto"
   | Fixed a -> Registry.name a
   | Approx -> "approx"
+  | Exact -> "exact"
+
+type mode = Float_answer | Exact_answer
+
+let mode_name = function Float_answer -> "float" | Exact_answer -> "exact"
 
 type spec = {
   path : string;
   problem : Solver.problem;
   objective : Solver.objective;
   algorithm : algorithm_choice;
+  mode : mode;
   approx_eps : float option;
   deadline_ms : float option;
   verify : bool;
@@ -21,6 +27,7 @@ let default_spec path =
     problem = Solver.Cycle_mean;
     objective = Solver.Minimize;
     algorithm = Auto;
+    mode = Float_answer;
     approx_eps = None;
     deadline_ms = None;
     verify = false;
@@ -35,6 +42,7 @@ type key = {
   kproblem : Solver.problem;
   kobjective : Solver.objective;
   kalgorithm : algorithm_choice;
+  kmode : mode;
   keps : float option;
 }
 
@@ -44,6 +52,7 @@ let key r =
     kproblem = r.spec.problem;
     kobjective = r.spec.objective;
     kalgorithm = r.spec.algorithm;
+    kmode = r.spec.mode;
     keps = r.spec.approx_eps;
   }
 
@@ -84,18 +93,26 @@ let parse_kv spec token =
       match Registry.of_name name with
       | Some a -> Ok { spec with algorithm = Fixed a }
       | None -> (
-        (* approximation lanes register by name (Registry.register_lane);
-           today that's the single "approx" lane *)
+        (* lanes register by name at module init: the "approx" interval
+           lane (Registry.register_lane) and the "exact" Stern–Brocot
+           lane (Registry.register_exact_lane) *)
         match Registry.lane name with
         | Some _ -> Ok { spec with algorithm = Approx }
-        | None ->
-          Error
-            (Printf.sprintf
-               "unknown algorithm %S (expected auto%s or one of: %s)" v
-               (match Registry.lane_names () with
-               | [] -> ""
-               | lanes -> ", " ^ String.concat ", " lanes)
-               (String.concat ", " (List.map Registry.name Registry.all)))))
+        | None -> (
+          match Registry.exact_lane name with
+          | Some _ -> Ok { spec with algorithm = Exact }
+          | None ->
+            Error
+              (Printf.sprintf
+                 "unknown algorithm %S (expected auto%s or one of: %s)" v
+                 (match Registry.lane_names () @ Registry.exact_lane_names () with
+                 | [] -> ""
+                 | lanes -> ", " ^ String.concat ", " lanes)
+                 (String.concat ", " (List.map Registry.name Registry.all))))))
+    | "mode", "float" -> Ok { spec with mode = Float_answer }
+    | "mode", "exact" -> Ok { spec with mode = Exact_answer }
+    | "mode", _ ->
+      Error (Printf.sprintf "mode must be float or exact, got %S" v)
     | ("approx-eps" | "eps"), _ -> (
       match float_of_string_opt v with
       | Some e when Float.is_finite e && e > 0.0 ->
@@ -115,7 +132,7 @@ let parse_kv spec token =
     | _ ->
       Error
         (Printf.sprintf
-           "unknown key %S (expected problem, objective, algorithm, \
+           "unknown key %S (expected problem, objective, algorithm, mode, \
             approx-eps, deadline-ms or verify)"
            k))
 
@@ -140,13 +157,33 @@ let parse_spec line =
       in
       (* eps only means something where an approximate answer can come
          back: the approx lane itself, or auto's deadline fallback *)
-      (match (spec.algorithm, spec.approx_eps) with
-      | Fixed a, Some _ ->
+      let* spec =
+        match (spec.algorithm, spec.approx_eps) with
+        | Fixed a, Some _ ->
+          Error
+            (Printf.sprintf
+               "approx-eps does not apply to exact algorithm %S (use \
+                algorithm=approx or algorithm=auto)"
+               (Registry.name a))
+        | Exact, Some _ ->
+          Error
+            "approx-eps does not apply to the exact lane (use \
+             algorithm=approx or algorithm=auto)"
+        | _ -> Ok spec
+      in
+      (* an exact rational certificate requires a single attained λ*:
+         interval answers (the approx lane, or auto's eps deadline
+         fallback) carry none, so the combinations are rejected here
+         with a structured error rather than failing mid-solve *)
+      (match (spec.mode, spec.algorithm, spec.approx_eps) with
+      | Exact_answer, Approx, _ ->
         Error
-          (Printf.sprintf
-             "approx-eps does not apply to exact algorithm %S (use \
-              algorithm=approx or algorithm=auto)"
-             (Registry.name a))
+          "mode=exact does not apply to algorithm=approx (an interval \
+           answer has no single rational certificate)"
+      | Exact_answer, _, Some _ ->
+        Error
+          "mode=exact does not apply to approx-eps requests (the deadline \
+           fallback would answer an interval, not a certificate)"
       | _ -> Ok spec)
 
 let spec_to_string s =
@@ -165,10 +202,16 @@ let spec_to_string s =
     | None -> opts
   in
   let opts =
+    match s.mode with
+    | Float_answer -> opts
+    | Exact_answer -> "mode=exact" :: opts
+  in
+  let opts =
     match s.algorithm with
     | Auto -> opts
     | Fixed a -> Printf.sprintf "algorithm=%s" (Registry.name a) :: opts
     | Approx -> "algorithm=approx" :: opts
+    | Exact -> "algorithm=exact" :: opts
   in
   let opts =
     match s.objective with

@@ -11,27 +11,44 @@
     {v <graph-file> [key=value ...] v}
 
     with keys [problem=mean|ratio], [objective=min|max],
-    [algorithm=auto|approx|<name>], [approx-eps=<float>],
-    [deadline-ms=<float>], [verify=true|false]; omitted keys default
-    to [problem=mean objective=min algorithm=auto verify=false] and no
-    deadline.  [approx-eps] must be positive and finite, and is only
-    accepted with [algorithm=approx] (the tolerance of the certified
-    lane) or [algorithm=auto] (opting the request into the engine's
-    deadline fallback: a certified ε-interval instead of a timeout).
-    Blank lines and [#] comments are the caller's concern. *)
+    [algorithm=auto|approx|exact|<name>], [mode=float|exact],
+    [approx-eps=<float>], [deadline-ms=<float>], [verify=true|false];
+    omitted keys default to [problem=mean objective=min algorithm=auto
+    mode=float verify=false] and no deadline.  [approx-eps] must be
+    positive and finite, and is only accepted with [algorithm=approx]
+    (the tolerance of the certified lane) or [algorithm=auto] (opting
+    the request into the engine's deadline fallback: a certified
+    ε-interval instead of a timeout).  [mode=exact] asks for the exact
+    rational answer [lambda_num=/lambda_den=] alongside the float; it
+    is rejected with [algorithm=approx] or [approx-eps] (an interval
+    answer carries no single rational certificate).  Blank lines and
+    [#] comments are the caller's concern. *)
 
 type algorithm_choice =
   | Auto
   | Fixed of Registry.algorithm
   | Approx  (** the certified ε-interval lane ({!Registry.lane} "approx") *)
+  | Exact
+      (** the Stern–Brocot exact lane
+          ({!Registry.exact_lane} "exact") *)
 
 val algorithm_choice_name : algorithm_choice -> string
+
+type mode =
+  | Float_answer  (** the default: answer [lambda=] as a float *)
+  | Exact_answer
+      (** additionally answer the exact rational certificate
+          [lambda_num=/lambda_den=], cross-checked against the witness
+          cycle's integer sums ({!Verify.rational_certificate}) *)
+
+val mode_name : mode -> string
 
 type spec = {
   path : string;  (** graph file, or a label for in-memory requests *)
   problem : Solver.problem;
   objective : Solver.objective;
   algorithm : algorithm_choice;
+  mode : mode;
   approx_eps : float option;
       (** tolerance for [Approx] requests and [Auto] deadline fallback;
           [None] means {!Approx.default_eps} where one is needed *)
@@ -56,12 +73,15 @@ type key = {
   kproblem : Solver.problem;
   kobjective : Solver.objective;
   kalgorithm : algorithm_choice;
+  kmode : mode;
   keps : float option;
 }
 (** Cache identity: structural fingerprint × problem × objective ×
-    algorithm choice × approx tolerance.  The deadline and verify flag
-    are deliberately excluded — a cached result is served regardless
-    of deadline, and verification is re-run per request. *)
+    algorithm choice × answer mode × approx tolerance.  The answer
+    mode is part of the key so exact answers (which carry a rational
+    certificate) never alias float answers.  The deadline and verify
+    flag are deliberately excluded — a cached result is served
+    regardless of deadline, and verification is re-run per request. *)
 
 val key : t -> key
 

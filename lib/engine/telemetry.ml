@@ -14,6 +14,7 @@ type t = {
   mutable rejected : int;
   mutable approx : int;         (* approx-lane answers (direct or fallback) *)
   mutable approx_iterations : int; (* value-iteration rounds in the lane *)
+  mutable exact : int;          (* answers carrying a rational certificate *)
   mutable fallbacks : int;      (* portfolio steps taken past the first *)
   mutable collisions : int;     (* cache hits invalidated by verification *)
   mutable wall_ms : float;      (* end-to-end request wall time *)
@@ -32,6 +33,7 @@ let create () =
     rejected = 0;
     approx = 0;
     approx_iterations = 0;
+    exact = 0;
     fallbacks = 0;
     collisions = 0;
     wall_ms = 0.0;
@@ -70,6 +72,7 @@ let add acc x =
   acc.rejected <- acc.rejected + x.rejected;
   acc.approx <- acc.approx + x.approx;
   acc.approx_iterations <- acc.approx_iterations + x.approx_iterations;
+  acc.exact <- acc.exact + x.exact;
   acc.fallbacks <- acc.fallbacks + x.fallbacks;
   acc.collisions <- acc.collisions + x.collisions;
   acc.wall_ms <- acc.wall_ms +. x.wall_ms;
@@ -100,8 +103,9 @@ let sorted_algs t =
    byte-identical across --jobs settings. *)
 let pp_summary ppf t =
   Format.fprintf ppf
-    "requests=%d solved=%d approx=%d acyclic=%d timeouts=%d rejected=%d@,"
-    t.requests t.solved t.approx t.acyclic t.timeouts t.rejected;
+    "requests=%d solved=%d approx=%d exact=%d acyclic=%d timeouts=%d \
+     rejected=%d@,"
+    t.requests t.solved t.approx t.exact t.acyclic t.timeouts t.rejected;
   Format.fprintf ppf
     "cache: hits=%d misses=%d collisions=%d hit-rate=%.2f@," t.cache_hits
     t.cache_misses t.collisions (hit_rate t);
@@ -133,6 +137,7 @@ let to_csv t =
   i "rejected" t.rejected;
   i "approx" t.approx;
   i "approx_iterations" t.approx_iterations;
+  i "exact" t.exact;
   i "fallbacks" t.fallbacks;
   f "wall_ms" t.wall_ms;
   i "ops_iterations" t.ops.Stats.iterations;
@@ -170,6 +175,7 @@ let to_json t =
   i "rejected" t.rejected;
   i "approx" t.approx;
   i "approx_iterations" t.approx_iterations;
+  i "exact" t.exact;
   i "fallbacks" t.fallbacks;
   f "wall_ms" t.wall_ms;
   field "algorithms"

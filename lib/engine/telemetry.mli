@@ -27,6 +27,7 @@ type t = {
   mutable rejected : int;
   mutable approx : int;  (** approx-lane answers, direct or deadline fallback *)
   mutable approx_iterations : int;  (** value-iteration rounds in the lane *)
+  mutable exact : int;  (** answers carrying an exact rational certificate *)
   mutable fallbacks : int;
   mutable collisions : int;
   mutable wall_ms : float;

@@ -37,7 +37,7 @@ certificate is re-checked against the request's own graph):
   req=4 file=r6.ocr status=ok lambda=1 float=1.000000 alg=karp components=1 fallbacks=0 cached=false
   req=5 file=dag.ocr status=acyclic
   req=6 file=g.ocr status=ok lambda=4677/4 float=1169.250000 alg=howard components=1 fallbacks=0 cached=false
-  # requests=6 solved=5 approx=0 acyclic=1 timeouts=0 rejected=0
+  # requests=6 solved=5 approx=0 exact=0 acyclic=1 timeouts=0 rejected=0
   # cache: hits=1 misses=5 collisions=0 hit-rate=0.17
   # portfolio: fallbacks=0
   # alg howard: runs=3 blowouts=0
@@ -67,7 +67,7 @@ The server speaks the same request grammar, one line at a time;
   $ printf 'g.ocr\ng.ocr verify=true\ntelemetry\nquit\n' | ocr serve
   req=1 file=g.ocr status=ok lambda=4677/4 float=1169.250000 alg=howard components=1 fallbacks=0 cached=false
   req=2 file=g.ocr status=ok lambda=4677/4 float=1169.250000 alg=howard components=1 fallbacks=0 cached=true certificate=ok
-  # requests=2 solved=2 approx=0 acyclic=0 timeouts=0 rejected=0
+  # requests=2 solved=2 approx=0 exact=0 acyclic=0 timeouts=0 rejected=0
   # cache: hits=1 misses=1 collisions=0 hit-rate=0.50
   # portfolio: fallbacks=0
   # alg howard: runs=1 blowouts=0
@@ -105,7 +105,7 @@ scale, and the certificate's witness cycle is re-checked on `verify`:
 
   $ printf 'g.ocr algorithm=approx approx-eps=0.05 verify=true\ntelemetry\nquit\n' | ocr serve
   req=1 file=g.ocr status=approx lambda_lo=773 lambda_hi=4677/4 lo_float=773.000000 hi_float=1169.250000 eps=0.05 certified=true components=1 fallback=false cached=false certificate=ok
-  # requests=1 solved=0 approx=1 acyclic=0 timeouts=0 rejected=0
+  # requests=1 solved=0 approx=1 exact=0 acyclic=0 timeouts=0 rejected=0
   # cache: hits=0 misses=1 collisions=0 hit-rate=0.00
   # portfolio: fallbacks=0
   # alg approx: runs=1 blowouts=0
@@ -133,3 +133,55 @@ The same lane on the command line, with the exact-witness audit:
   lambda in [773, 4677/4] ([773.000000, 1169.250000])
   width = 396.25 (target 493.7) certified = true tests = 2 rounds = 6
   certificate: OK
+
+Exact-answer mode: `mode=exact` adds the rational certificate —
+`lambda_num`/`lambda_den`, recomputed from the witness cycle's integer
+sums — to the response; `algorithm=exact` routes the solve through the
+Stern–Brocot lane, whose λ comes purely from integer negative-cycle
+probes.  Float and exact answers live under distinct cache keys (the
+mode=exact repeat of request 1 below is a miss, then a hit), and both
+render the same λ:
+
+  $ printf 'g.ocr\ng.ocr mode=exact\ng.ocr mode=exact\ng.ocr mode=exact algorithm=exact\ng.ocr mode=exact algorithm=exact problem=ratio\ntelemetry\nquit\n' | ocr serve
+  req=1 file=g.ocr status=ok lambda=4677/4 float=1169.250000 alg=howard components=1 fallbacks=0 cached=false
+  req=2 file=g.ocr status=ok lambda=4677/4 float=1169.250000 lambda_num=4677 lambda_den=4 alg=howard components=1 fallbacks=0 cached=false
+  req=3 file=g.ocr status=ok lambda=4677/4 float=1169.250000 lambda_num=4677 lambda_den=4 alg=howard components=1 fallbacks=0 cached=true
+  req=4 file=g.ocr status=ok lambda=4677/4 float=1169.250000 lambda_num=4677 lambda_den=4 alg=exact components=1 fallbacks=0 cached=false
+  req=5 file=g.ocr status=ok lambda=4677/4 float=1169.250000 lambda_num=4677 lambda_den=4 alg=exact components=1 fallbacks=0 cached=false
+  # requests=5 solved=5 approx=0 exact=4 acyclic=0 timeouts=0 rejected=0
+  # cache: hits=1 misses=4 collisions=0 hit-rate=0.20
+  # portfolio: fallbacks=0
+  # alg exact: runs=2 blowouts=0
+  # alg howard: runs=2 blowouts=0
+
+On a true cost-to-time instance (transits above 1) the certificate's
+denominator is the witness cycle's transit sum, not its length:
+
+  $ ocr gen sprand 8 16 --seed 5 --transits 2,3 --output gt.ocr
+  wrote 8 nodes, 16 arcs to gt.ocr
+  $ printf 'gt.ocr mode=exact problem=ratio\ngt.ocr mode=exact problem=ratio algorithm=exact\nquit\n' | ocr serve
+  req=1 file=gt.ocr status=ok lambda=4677/10 float=467.700000 lambda_num=4677 lambda_den=10 alg=howard components=1 fallbacks=0 cached=false
+  req=2 file=gt.ocr status=ok lambda=4677/10 float=467.700000 lambda_num=4677 lambda_den=10 alg=exact components=1 fallbacks=0 cached=false
+
+mode=exact refuses interval answers — the approx lane and eps-fallback
+requests — with structured errors, and malformed mode values never
+kill the serve loop:
+
+  $ printf 'g.ocr mode=exact algorithm=approx\ng.ocr mode=exact approx-eps=0.05\ng.ocr mode=banana\ng.ocr mode=exact\nquit\n' | ocr serve
+  error msg="mode=exact does not apply to algorithm=approx (an interval answer has no single rational certificate)"
+  error msg="mode=exact does not apply to approx-eps requests (the deadline fallback would answer an interval, not a certificate)"
+  error msg="mode must be float or exact, got \"banana\""
+  req=1 file=g.ocr status=ok lambda=4677/4 float=1169.250000 lambda_num=4677 lambda_den=4 alg=howard components=1 fallbacks=0 cached=false
+
+On the command line, `--exact` prints the certificate line after the
+answer (and composes with any algorithm choice):
+
+  $ ocr solve g.ocr --exact
+  lambda = 4677/4 (1169.250000)
+  lambda_num=4677 lambda_den=4
+  $ ocr solve g.ocr --exact -a karp2 -p ratio
+  lambda = 4677/4 (1169.250000)
+  lambda_num=4677 lambda_den=4
+  $ ocr solve g.ocr --exact --approx 0.05
+  ocr: --exact does not apply to --approx (an interval answer has no single rational certificate)
+  [1]

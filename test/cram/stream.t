@@ -42,7 +42,7 @@ reverting an edit hits the fingerprint cache, and structural updates
   {"ok":true,"epoch":3,"lambda":"3","float":3.000000,"cycle":[0,1],"components":2,"resolved":1,"cached":false}
   {"ok":true,"epoch":4}
   {"ok":true,"epoch":4,"lambda":"3","float":3.000000,"cycle":[0,1],"components":1,"resolved":0,"cached":false}
-  {"ok":true,"requests":5,"solved":5,"approx":0,"acyclic":0,"rejected":1,"cache_hits":1,"cache_misses":4,"cache_entries":4}
+  {"ok":true,"requests":5,"solved":5,"approx":0,"exact":0,"acyclic":0,"rejected":1,"cache_hits":1,"cache_misses":4,"cache_entries":4}
 
 A query carrying `eps` answers from the approximation lane — a
 certified interval bracketing the exact optimum, never cached (an
@@ -58,7 +58,7 @@ is a structured error and the session continues:
   {"ok":true,"epoch":0,"lambda_lo":"11/4","lambda_hi":"3","lo_float":2.750000,"hi_float":3.000000,"eps":0.05,"certified":true,"cycle":[0,1],"components":2,"cached":false}
   {"ok":false,"error":"field \"eps\" must be a positive finite number"}
   {"ok":true,"epoch":0,"lambda":"3","float":3.000000,"cycle":[0,1],"components":2,"resolved":2,"cached":false}
-  {"ok":true,"requests":2,"solved":1,"approx":1,"acyclic":0,"rejected":1,"cache_hits":0,"cache_misses":2,"cache_entries":1}
+  {"ok":true,"requests":2,"solved":1,"approx":1,"exact":0,"acyclic":0,"rejected":1,"cache_hits":0,"cache_misses":2,"cache_entries":1}
 
 `--journal` records one canonical line per applied update and query;
 rejected lines are not recorded:
@@ -103,3 +103,37 @@ error, not a crash, and becomes answerable again once repaired:
   {"ok":false,"error":"Solver: cycle with zero total transit time (cost-to-time ratio undefined)"}
   {"ok":true,"epoch":2}
   {"ok":true,"epoch":2,"lambda":"3","float":3.000000,"cycle":[0,1],"components":2,"resolved":1,"cached":false}
+
+A query carrying `"mode":"exact"` adds the rational certificate —
+`lambda_num`/`lambda_den` recomputed from the witness cycle's integer
+sums — to the answer; exact and float answers share the fingerprint
+cache (the certificate is recomputed per query against the live graph).
+A malformed mode and an exact eps-query are structured errors, and the
+session survives both:
+
+  $ printf '%s\n' \
+  >   '{"op":"query","mode":"exact"}' \
+  >   '{"op":"query","mode":"exact"}' \
+  >   '{"op":"query","mode":"sideways"}' \
+  >   '{"op":"query","mode":"exact","eps":0.05}' \
+  >   '{"op":"query"}' \
+  >   '{"op":"telemetry"}' \
+  >   '{"op":"quit"}' | ocr stream g3.ocr
+  {"ok":true,"epoch":0,"lambda":"3","float":3.000000,"lambda_num":3,"lambda_den":1,"cycle":[0,1],"components":2,"resolved":2,"cached":false}
+  {"ok":true,"epoch":0,"lambda":"3","float":3.000000,"lambda_num":3,"lambda_den":1,"cycle":[0,1],"components":2,"resolved":0,"cached":true}
+  {"ok":false,"error":"field \"mode\" must be \"float\" or \"exact\""}
+  {"ok":false,"error":"\"mode\":\"exact\" does not apply to eps queries (an interval answer has no single rational certificate)"}
+  {"ok":true,"epoch":0,"lambda":"3","float":3.000000,"cycle":[0,1],"components":2,"resolved":0,"cached":true}
+  {"ok":true,"requests":3,"solved":3,"approx":0,"exact":2,"acyclic":0,"rejected":2,"cache_hits":2,"cache_misses":1,"cache_entries":1}
+
+On a ratio session the certificate's denominator is the witness
+cycle's transit sum, tracking `set_transit` edits:
+
+  $ printf '%s\n' \
+  >   '{"op":"query","mode":"exact"}' \
+  >   '{"op":"set_transit","arc":0,"transit":3}' \
+  >   '{"op":"query","mode":"exact"}' \
+  >   '{"op":"quit"}' | ocr stream g3.ocr --problem ratio
+  {"ok":true,"epoch":0,"lambda":"3","float":3.000000,"lambda_num":3,"lambda_den":1,"cycle":[0,1],"components":2,"resolved":2,"cached":false}
+  {"ok":true,"epoch":1}
+  {"ok":true,"epoch":1,"lambda":"3/2","float":1.500000,"lambda_num":3,"lambda_den":2,"cycle":[0,1],"components":2,"resolved":1,"cached":false}

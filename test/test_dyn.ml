@@ -235,9 +235,10 @@ let codec_roundtrip () =
       Dyn_protocol.Update
         (Dyn.Add_arc { arc = 9; src = 1; dst = 2; weight = 5; transit = 2 });
       Dyn_protocol.Update (Dyn.Remove_arc { arc = 7 });
-      Dyn_protocol.Query None;
-      Dyn_protocol.Query (Some 0.05);
-      Dyn_protocol.Query (Some 0.001);
+      Dyn_protocol.Query { q_eps = None; q_exact = false };
+      Dyn_protocol.Query { q_eps = None; q_exact = true };
+      Dyn_protocol.Query { q_eps = Some 0.05; q_exact = false };
+      Dyn_protocol.Query { q_eps = Some 0.001; q_exact = false };
       Dyn_protocol.Epoch;
       Dyn_protocol.Fingerprint_op;
       Dyn_protocol.Telemetry_op;
@@ -265,6 +266,14 @@ let codec_errors () =
   Alcotest.(check bool) "eps zero" true (bad {|{"op":"query","eps":0}|});
   Alcotest.(check bool) "eps negative" true (bad {|{"op":"query","eps":-0.1}|});
   Alcotest.(check bool) "eps string" true (bad {|{"op":"query","eps":"x"}|});
+  Alcotest.(check bool) "bad mode" true (bad {|{"op":"query","mode":"nope"}|});
+  Alcotest.(check bool) "mode int" true (bad {|{"op":"query","mode":1}|});
+  Alcotest.(check bool) "exact+eps" true
+    (bad {|{"op":"query","mode":"exact","eps":0.1}|});
+  Alcotest.(check bool) "mode float ok" true
+    (match Dyn_protocol.parse {|{"op":"query","mode":"float"}|} with
+    | Ok (Dyn_protocol.Query { q_eps = None; q_exact = false }) -> true
+    | _ -> false);
   (* defaulted transit parses *)
   Alcotest.(check bool) "default transit" true
     (match Dyn_protocol.parse {|{"op":"add_arc","src":0,"dst":1,"weight":3}|} with

@@ -21,6 +21,7 @@ let () =
       ("verify", Test_verify.suite);
       ("generators", Test_gen.suite);
       ("approx", Test_approx.suite);
+      ("exact", Test_exact.suite);
       ("engine", Test_engine.suite);
       ("dyn", Test_dyn.suite);
       ("cluster", Test_cluster.suite);

@@ -13,6 +13,19 @@ let test_zero_denominator () =
   Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
       ignore (Ratio.div Ratio.one Ratio.zero))
 
+(* -min_int = min_int: unchecked, it would defeat the den > 0
+   canonicalization and make serialized num/den pairs ambiguous *)
+let test_min_int_guard () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  expect_invalid "num = min_int" (fun () -> r min_int 3);
+  expect_invalid "den = min_int" (fun () -> r 3 min_int);
+  (* the neighboring magnitudes are fine *)
+  Helpers.check_ratio "max_int den" (r 1 max_int) (r 1 max_int)
+
 let test_comparisons () =
   Alcotest.(check bool) "1/3 < 1/2" true (Ratio.lt (r 1 3) (r 1 2));
   Alcotest.(check bool) "-1/2 < 1/3" true (Ratio.lt (r (-1) 2) (r 1 3));
@@ -63,6 +76,20 @@ let qcheck_mul_div_inverse =
       QCheck.assume (Ratio.num b <> 0);
       Ratio.equal a (Ratio.div (Ratio.mul a b) b))
 
+(* Uniqueness: every rational has exactly one (num, den) image — equal
+   values built from scaled (even negatively scaled) fractions share
+   the representation bit for bit, so serialized lambda_num/lambda_den
+   pairs can be compared textually. *)
+let qcheck_unique_representation =
+  QCheck.Test.make ~name:"ratio: equal implies identical num/den" ~count:500
+    (QCheck.pair arb_ratio (QCheck.int_range 1 40))
+    (fun (a, k) ->
+      let b = Ratio.make (Ratio.num a * k) (Ratio.den a * k) in
+      let c = Ratio.make (-(Ratio.num a * k)) (-(Ratio.den a * k)) in
+      Ratio.equal a b && Ratio.equal a c
+      && Ratio.num b = Ratio.num a && Ratio.den b = Ratio.den a
+      && Ratio.num c = Ratio.num a && Ratio.den c = Ratio.den a)
+
 let qcheck_normalized =
   QCheck.Test.make ~name:"ratio: always normalized" ~count:500 arb_ratio
     (fun a ->
@@ -73,6 +100,7 @@ let suite =
   [
     Alcotest.test_case "normalization" `Quick test_normalization;
     Alcotest.test_case "zero denominator" `Quick test_zero_denominator;
+    Alcotest.test_case "min_int guard" `Quick test_min_int_guard;
     Alcotest.test_case "comparisons" `Quick test_comparisons;
     Alcotest.test_case "arithmetic" `Quick test_arithmetic;
     Alcotest.test_case "conversions" `Quick test_conversions;
@@ -82,5 +110,6 @@ let suite =
         qcheck_compare_antisym;
         qcheck_add_commutes;
         qcheck_mul_div_inverse;
+        qcheck_unique_representation;
         qcheck_normalized;
       ]
