@@ -14,19 +14,23 @@
    i.e. a >2.5x slowdown with a 1 ms slack floor so micro-rows (tens of
    microseconds) never trip on scheduler jitter.  Speedups, ratios and
    counts are never gated by pairs.  What *is* gated hard, with no
-   tolerance, is every "identical" and "exact_matches_float" flag in
-   the current file: the former encode the determinism guarantee
-   (parallel report bit-equal to jobs=1), the latter the exact-answer
-   promise (both lanes certify to the same rational, float within
-   1 ulp), and a false in either is a correctness bug, not noise.
+   tolerance, is every "identical", "exact_matches_float" and
+   "access_complete" flag in the current file: the first encodes the
+   determinism guarantee (parallel report bit-equal to jobs=1), the
+   second the exact-answer promise (both lanes certify to the same
+   rational, float within 1 ulp), the third the access log's
+   one-line-per-admitted-request contract — a false in any of them is
+   a correctness bug, not noise.
 
    Core-count awareness: every bench file stamps "host_cores"
    (Domain.recommended_domain_count at recording time).  When baseline
    and current were recorded on hosts with different core counts, the
-   timing comparison of every jobs>1 row is skipped with a notice —
-   a jobs=4 timing from a 1-core box against one from an 8-core box is
-   apples against oranges in both directions.  jobs=1 rows and the
-   identical flags still gate.
+   timing comparison of every parallel row — jobs>1, or a workers>1
+   cluster run — is skipped with a notice: a jobs=4 timing from a
+   1-core box against one from an 8-core box is apples against oranges
+   in both directions, and a 2-worker cluster's drain rate depends on
+   the cores the same way.  Sequential rows and the identical flags
+   still gate.
 
    The --speedup mode is the multicore promise: it reads CURRENT.json,
    finds every row with "jobs" = JOBS and a "speedup" field, and fails
@@ -169,8 +173,8 @@ let read_file path =
 (* ------------------------------------------------------------------ *)
 
 let discriminators = [ "family"; "graph"; "problem"; "n"; "m"; "jobs";
-                       "workload"; "trace"; "components_edited"; "cluster";
-                       "workers"; "eps" ]
+                       "workload"; "trace"; "obs"; "components_edited";
+                       "cluster"; "workers"; "eps" ]
 
 let row_key = function
   | Obj fields ->
@@ -239,10 +243,10 @@ let host_cores_of = function
     | _ -> None)
   | _ -> None
 
-(* the jobs count baked into a flattened row path by [row_key]
-   (".../rows[family=sprand,n=4096,jobs=4]/ms_per_solve" -> Some 4) *)
-let path_jobs path =
-  let tag = "jobs=" in
+(* a numeric discriminator baked into a flattened row path by
+   [row_key] (".../rows[family=sprand,n=4096,jobs=4]/ms_per_solve"
+   with tag "jobs=" -> Some 4) *)
+let path_num tag path =
   let tl = String.length tag in
   let n = String.length path in
   let rec find i =
@@ -260,6 +264,15 @@ let path_jobs path =
   in
   find 0
 
+let path_jobs path = path_num "jobs=" path
+
+(* whether a row's timing depends on the host's parallelism: a jobs>1
+   solve or a workers>1 cluster run — exactly the rows whose timings
+   are not comparable across hosts with different core counts *)
+let path_parallel path =
+  (match path_jobs path with Some j -> j > 1 | None -> false)
+  || (match path_num "workers=" path with Some w -> w > 1 | None -> false)
+
 let check_pair ~baseline ~current =
   Printf.printf "== %s vs %s\n" baseline current;
   let base_json = parse (read_file baseline) in
@@ -272,7 +285,7 @@ let check_pair ~baseline ~current =
   if cores_differ then
     Printf.printf
       "  note: baseline and current recorded on different core counts; \
-       jobs>1 timing rows are skipped\n";
+       jobs>1 and workers>1 timing rows are skipped\n";
   let base = flatten base_json in
   let cur = flatten cur_json in
   (* determinism and exact-answer flags in the *current* run gate
@@ -296,15 +309,19 @@ let check_pair ~baseline ~current =
              rationals\n"
             path
         end
+      | Bool ok when leaf_name path = "access_complete" ->
+        incr checked;
+        if not ok then begin
+          incr failures;
+          Printf.printf
+            "FAIL %s: access log dropped lines for admitted requests\n" path
+        end
       | _ -> ())
     cur;
   List.iter
     (fun (path, leaf) ->
       match leaf with
-      | Num _
-        when gated_metric path && cores_differ
-             && (match path_jobs path with Some j -> j > 1 | None -> false)
-        ->
+      | Num _ when gated_metric path && cores_differ && path_parallel path ->
         Printf.printf "  skip %s: differing host core counts\n" path
       | Num b when gated_metric path -> (
         match List.assoc_opt path cur with

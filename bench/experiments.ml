@@ -1582,8 +1582,158 @@ let e18 cfg =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* E19: the observability tax on the cluster path.  E16's batch (200   *)
+(* one-shot requests over 8 sprand graphs) through a 2-worker cluster  *)
+(* twice: once dark, once with --trace-dir and --access-log live —    *)
+(* per-process trace rings in router and workers, trace ids on every   *)
+(* forwarded request line, one access-log NDJSON line per request.     *)
+(* ms/req of the dark run is the gated baseline; overhead_pct is the   *)
+(* tax (informational, like E15's: absolute CI timings are noisy, the  *)
+(* <5% promise is checked on the recording host).  [identical] checks  *)
+(* the traced run's response multiset matches the dark run exactly,    *)
+(* [access_complete] that the log holds one line per admitted          *)
+(* request.  Needs the built ocr binary like E16; rows stamp           *)
+(* host_cores and an "obs" discriminator.                              *)
+(* ------------------------------------------------------------------ *)
+
+let e19 _cfg =
+  let ocr_bin =
+    match Sys.getenv_opt "OCR_BIN" with
+    | Some p when Sys.file_exists p -> Some p
+    | Some p ->
+      Printf.printf "E19: $OCR_BIN=%s not found\n" p;
+      None
+    | None ->
+      let dflt = "_build/default/bin/main.exe" in
+      if Sys.file_exists dflt then Some dflt else None
+  in
+  match ocr_bin with
+  | None ->
+    print_endline
+      "E19: skipped (no ocr binary; build bin/ or set $OCR_BIN)"
+  | Some bin ->
+    let n = 512 and density = 3.0 and pool = 8 and reps = 200
+    and workers = 2 in
+    let dir = Filename.temp_file "ocr_e19_" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let graphs =
+      List.init pool (fun i ->
+          let g = instance ~n ~density ~seed:(i + 1) in
+          let path = Filename.concat dir (Printf.sprintf "g%d.ocr" i) in
+          Graph_io.write_file path g;
+          (path, Digraph.m g))
+    in
+    let m = snd (List.hd graphs) in
+    let batch =
+      List.init reps (fun i -> fst (List.nth graphs (i mod pool)))
+    in
+    (* E16's warmed pass: spawn, one request per graph to absorb
+       startup and cold solves, then the timed batch *)
+    let run_cluster extra =
+      let argv =
+        [
+          "cluster"; "--workers"; string_of_int workers; "--queue-depth";
+          string_of_int (2 * reps);
+        ]
+        @ extra
+      in
+      let ic, oc =
+        Unix.open_process_args bin (Array.of_list (bin :: argv))
+      in
+      let ask lines =
+        List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+        flush oc;
+        List.map (fun _ -> input_line ic) lines
+      in
+      ignore (ask (List.map fst graphs));
+      let t0 = Unix.gettimeofday () in
+      let responses = ask batch in
+      let dt_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      output_string oc "quit\n";
+      flush oc;
+      ignore (Unix.close_process (ic, oc));
+      (dt_ms /. float_of_int reps, responses)
+    in
+    let ms_off, ref_responses = run_cluster [] in
+    let trace_dir = Filename.concat dir "traces" in
+    Unix.mkdir trace_dir 0o700;
+    let access = Filename.concat dir "access.ndjson" in
+    let ms_on, responses =
+      run_cluster [ "--trace-dir"; trace_dir; "--access-log"; access ]
+    in
+    let identical =
+      List.sort compare responses = List.sort compare ref_responses
+    in
+    let access_lines =
+      let ic = open_in access in
+      let k = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr k
+         done
+       with End_of_file -> ());
+      close_in ic;
+      !k
+    in
+    (* the warm-up pass is admitted traffic too: pool + reps lines *)
+    let access_complete = access_lines = pool + reps in
+    let overhead_pct = 100.0 *. (ms_on -. ms_off) /. ms_off in
+    List.iter (fun (p, _) -> Sys.remove p) graphs;
+    Sys.remove access;
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat trace_dir f))
+      (Sys.readdir trace_dir);
+    Unix.rmdir trace_dir;
+    Unix.rmdir dir;
+    Tables.print
+      ~title:
+        (Printf.sprintf
+           "E19: tracing + access-log tax on the cluster, %d requests \
+            over %d sprand graphs (n=%d, m=%d) at workers=%d; identical \
+            = traced response multiset matches the dark run; access = \
+            one log line per admitted request"
+           reps pool n m workers)
+      ~header:[ "obs"; "workers"; "ms/req"; "overhead"; "identical"; "access" ]
+      [
+        [ "off"; string_of_int workers; Tables.fmt_ms ms_off; "-"; "-"; "-" ];
+        [
+          "on"; string_of_int workers; Tables.fmt_ms ms_on;
+          Printf.sprintf "%+.1f%%" overhead_pct;
+          (if identical then "yes" else "NO");
+          (if access_complete then Printf.sprintf "%d/%d" access_lines
+                                     (pool + reps)
+           else Printf.sprintf "%d/%d MISSING" access_lines (pool + reps));
+        ];
+      ];
+    match !bench_json_path with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      let out fmt = Printf.fprintf oc fmt in
+      let cores = host_cores () in
+      out "{\n  \"experiment\": \"E19\",\n";
+      out "  \"host_cores\": %d,\n" cores;
+      out "  \"cluster_observability\": [\n";
+      out
+        "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
+         \"host_cores\": %d, \"workers\": %d, \"obs\": \"off\", \
+         \"requests\": %d, \"ms_per_req\": %.4f},\n"
+        n m cores workers reps ms_off;
+      out
+        "    {\"family\": \"sprand\", \"n\": %d, \"m\": %d, \"jobs\": 1, \
+         \"host_cores\": %d, \"workers\": %d, \"obs\": \"on\", \
+         \"requests\": %d, \"traced_ms_per_req\": %.4f, \
+         \"overhead_pct\": %.1f, \"identical\": %b, \
+         \"access_complete\": %b}\n"
+        n m cores workers reps ms_on overhead_pct identical access_complete;
+      out "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
 let all : (string * (config -> unit)) list =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18) ]
+    ("E17", e17); ("E18", e18); ("E19", e19) ]

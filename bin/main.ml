@@ -640,8 +640,30 @@ let cluster_cmd =
              exit.  The 'metrics' protocol line prints the same aggregation \
              to stdout at any point.")
   in
+  let trace_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Record a distributed trace of every request: the router and \
+             each worker write per-process Chrome trace files \
+             (router.json, worker-N.json) into DIR on exit.  Merge them \
+             into one timeline with $(b,ocr trace merge).")
+  in
+  let access_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one NDJSON line per request to FILE: trace id, worker, \
+             shard key, cache hit, queue depth at admission, per-phase \
+             milliseconds and status.  An unwritable FILE disables the log \
+             (with a note on stderr); the router keeps serving.")
+  in
   let run workers jobs cache_size wall queue_depth request_timeout_ms
-      drain_timeout_ms metrics_file =
+      drain_timeout_ms metrics_file trace_dir access_log =
     if workers < 1 then begin
       prerr_endline "ocr: --workers must be >= 1";
       exit 1
@@ -649,7 +671,8 @@ let cluster_cmd =
     check_jobs jobs;
     let cfg =
       Router.config ~workers ~jobs ~cache_size ~queue_depth
-        ~request_timeout_ms ~drain_timeout_ms ~wall ?metrics_file ()
+        ~request_timeout_ms ~drain_timeout_ms ~wall ?metrics_file ?trace_dir
+        ?access_log ()
     in
     Router.run cfg Unix.stdin stdout
   in
@@ -671,21 +694,31 @@ let cluster_cmd =
     Term.(
       const run $ workers_arg $ jobs_arg $ cache_size_arg $ wall_arg
       $ queue_depth_arg $ request_timeout_arg $ drain_timeout_arg
-      $ metrics_arg)
+      $ metrics_arg $ trace_dir_arg $ access_log_arg)
 
 (* the hidden worker-side mode the router re-execs; not for humans *)
 let cluster_worker_cmd =
   let worker_id_arg =
     Arg.(value & opt int 0 & info [ "worker-id" ] ~docv:"N" ~doc:"Worker index.")
   in
-  let run worker_id jobs cache_size wall =
+  let worker_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write this worker's trace file on exit.")
+  in
+  let run worker_id jobs cache_size wall trace_file =
     check_jobs jobs;
-    Cluster_worker.run ~wall ~jobs ~cache_size ~worker_id stdin stdout
+    Cluster_worker.run ~wall ~jobs ~cache_size ?trace_file ~worker_id stdin
+      stdout
   in
   Cmd.v
     (Cmd.info "cluster-worker" ~docs:Manpage.s_none
        ~doc:"Internal: one cluster worker process (spawned by 'cluster').")
-    Term.(const run $ worker_id_arg $ jobs_arg $ cache_size_arg $ wall_arg)
+    Term.(
+      const run $ worker_id_arg $ jobs_arg $ cache_size_arg $ wall_arg
+      $ worker_trace_arg)
 
 (* ----------------------------------------------------------------- *)
 (* trace                                                              *)
@@ -704,34 +737,127 @@ let trace_cmd =
       value & opt int 10
       & info [ "top" ] ~docv:"N" ~doc:"Print at most N rows (default 10).")
   in
+  (* the per-request section only appears when the trace carries the
+     router's rt.* phase markers, so plain `ocr solve --trace` output
+     summaries are unchanged *)
+  let print_attribution contents =
+    match Trace_read.attribute contents with
+    | Error _ | Ok [] -> ()
+    | Ok rows ->
+      let ms f = f /. 1000.0 in
+      Printf.printf "\nper-request critical path (%d requests):\n"
+        (List.length rows);
+      Printf.printf "%-8s %12s %12s %12s %12s %12s\n" "trace" "dispatch(ms)"
+        "queue(ms)" "solve(ms)" "serial(ms)" "total(ms)";
+      List.iter
+        (fun r ->
+          Printf.printf "%-8d %12.3f %12.3f %12.3f %12.3f %12.3f\n"
+            r.Trace_read.rp_trace
+            (ms r.Trace_read.rp_dispatch_us)
+            (ms r.Trace_read.rp_queue_us)
+            (ms r.Trace_read.rp_solve_us)
+            (ms r.Trace_read.rp_serialize_us)
+            (ms r.Trace_read.rp_total_us))
+        rows;
+      let totals = List.map (fun r -> r.Trace_read.rp_total_us) rows in
+      Printf.printf "total(ms) p50 %.3f  p95 %.3f  p99 %.3f\n"
+        (ms (Trace_read.percentile totals 0.50))
+        (ms (Trace_read.percentile totals 0.95))
+        (ms (Trace_read.percentile totals 0.99))
+  in
   let run file top =
-    match Trace_read.summarize_file file with
+    match Trace_read.read_file file with
     | Error msg ->
       Printf.eprintf "ocr: trace summarize: %s\n" msg;
       exit 1
-    | Ok rows ->
-      Printf.printf "%-24s %8s %14s %14s\n" "span" "count" "total(ms)"
-        "self(ms)";
-      List.iteri
-        (fun i r ->
-          if i < top then
-            Printf.printf "%-24s %8d %14.3f %14.3f\n" r.Trace_read.sr_name
-              r.Trace_read.sr_count
-              (r.Trace_read.sr_total_us /. 1000.0)
-              (r.Trace_read.sr_self_us /. 1000.0))
-        rows
+    | Ok contents -> (
+      match Trace_read.summarize contents with
+      | Error msg ->
+        Printf.eprintf "ocr: trace summarize: %s\n" msg;
+        exit 1
+      | Ok rows ->
+        Printf.printf "%-24s %8s %14s %14s\n" "span" "count" "total(ms)"
+          "self(ms)";
+        List.iteri
+          (fun i r ->
+            if i < top then
+              Printf.printf "%-24s %8d %14.3f %14.3f\n" r.Trace_read.sr_name
+                r.Trace_read.sr_count
+                (r.Trace_read.sr_total_us /. 1000.0)
+                (r.Trace_read.sr_self_us /. 1000.0))
+          rows;
+        print_attribution contents)
   in
   let summarize =
     Cmd.v
       (Cmd.info "summarize"
          ~doc:
            "Aggregate a trace file's spans by name and print the top spans \
-            by self-time (total minus directly nested spans).  A malformed \
-            file is a structured error and exit 1.")
+            by self-time (total minus directly nested spans); for traces \
+            from a traced $(b,ocr cluster) run, also print per-request \
+            critical-path attribution (dispatch/queue/solve/serialize \
+            milliseconds per request, with p50/p95/p99 totals).  A \
+            malformed file is a structured error and exit 1.")
       Term.(const run $ trace_file $ top)
   in
+  let merge_inputs =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Per-process trace files from one traced cluster run \
+             (router.json and worker-N.json).")
+  in
+  let merge_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the merged trace to FILE (default: stdout).")
+  in
+  let run_merge files out =
+    let inputs =
+      List.map
+        (fun path ->
+          match Trace_read.read_file path with
+          | Error msg ->
+            Printf.eprintf "ocr: trace merge: %s\n" msg;
+            exit 1
+          | Ok contents -> (Filename.basename path, contents))
+        files
+    in
+    match Trace_read.merge inputs with
+    | Error msg ->
+      Printf.eprintf "ocr: trace merge: %s\n" msg;
+      exit 1
+    | Ok merged -> (
+      match out with
+      | None -> print_string merged
+      | Some path -> (
+        try
+          let oc = open_out path in
+          output_string oc merged;
+          close_out oc
+        with Sys_error e ->
+          Printf.eprintf "ocr: trace merge: %s\n" e;
+          exit 1))
+  in
+  let merge =
+    Cmd.v
+      (Cmd.info "merge"
+         ~doc:
+           "Align the per-process trace files of one traced $(b,ocr \
+            cluster) run (router.json, worker-N.json from \
+            $(b,--trace-dir)) into a single Chrome trace: worker \
+            timestamps are shifted onto the router's clock using the \
+            recorded handshake offsets, and each request becomes a flow \
+            arrow from the router's dispatch to the worker that solved \
+            it.  Open the result in Perfetto.")
+      Term.(const run_merge $ merge_inputs $ merge_out)
+  in
   Cmd.group (Cmd.info "trace" ~doc:"Inspect recorded trace files.")
-    [ summarize ]
+    [ summarize; merge ]
 
 (* ----------------------------------------------------------------- *)
 (* compare                                                            *)

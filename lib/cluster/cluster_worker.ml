@@ -133,7 +133,17 @@ let handle_json t line =
           | `Reply r -> inject_session sid r
           | `Quit -> close_session t s))))
 
-let run ?(wall = false) ?(jobs = 1) ?(cache_size = 256) ~worker_id ic oc =
+let run ?(wall = false) ?(jobs = 1) ?(cache_size = 256) ?trace_file ~worker_id
+    ic oc =
+  (match trace_file with
+  | Some _ ->
+    Trace.configure ~capacity:65536 ();
+    Trace.preallocate ();
+    Trace.set_process ~pid:(worker_id + 1)
+      ~name:(Printf.sprintf "worker %d" worker_id)
+      ();
+    Obs.enable ()
+  | None -> ());
   let eng = Engine.create ~jobs ~cache_size () in
   let t =
     {
@@ -150,7 +160,16 @@ let run ?(wall = false) ?(jobs = 1) ?(cache_size = 256) ~worker_id ic oc =
   Fun.protect
     ~finally:(fun () ->
       List.iter (fun s -> Dyn.close s.dyn) t.order;
-      Engine.shutdown eng)
+      Engine.shutdown eng;
+      match trace_file with
+      | None -> ()
+      | Some path -> (
+        try
+          let toc = open_out path in
+          output_string toc (Trace.to_chrome_json ());
+          close_out toc
+        with Sys_error e ->
+          prerr_endline ("ocr cluster-worker: cannot write trace file: " ^ e)))
     (fun () ->
       try
         while true do
@@ -162,6 +181,20 @@ let run ?(wall = false) ?(jobs = 1) ?(cache_size = 256) ~worker_id ic oc =
               (Njson.obj
                  [ ("ok", "true"); ("pong", string_of_int t.worker_id) ])
           else if line = "metrics" then reply oc (metrics_line t)
+          else if String.length line > 5 && String.sub line 0 5 = "sync " then begin
+            (* clock-offset handshake: the router sends its now_ns right
+               after spawning us; the difference to our clock (offset the
+               merger adds to our timestamps) lands in the trace
+               metadata.  One reply line keeps the FIFO contract. *)
+            (match int_of_string_opt (String.sub line 5 (String.length line - 5))
+             with
+            | Some router_ns ->
+              Trace.set_clock_offset_ns (router_ns - Obs.now_ns ())
+            | None -> ());
+            reply oc
+              (Njson.obj
+                 [ ("ok", "true"); ("sync", string_of_int t.worker_id) ])
+          end
           else if line.[0] = '{' then
             reply oc
               (try handle_json t line

@@ -12,6 +12,11 @@
       to that session (the extra field is ignored by the codec), and
       the reply is the stream reply with the [session] echoed first.
     - [ping] answers [{"ok":true,"pong":<worker-id>}] (health check);
+    - [sync <router-now-ns>] is the clock-offset handshake the router
+      sends right after every (re)spawn: the worker stamps
+      [router_ns - its own now_ns] into its trace metadata
+      ({!Trace.set_clock_offset_ns}) and answers
+      [{"ok":true,"sync":<worker-id>}];
     - [metrics] answers one NDJSON line carrying the worker's merged
       Prometheus exposition (engine plus every session, in session
       creation order) as an escaped string — framed so the router can
@@ -25,5 +30,10 @@
     the router matches responses to requests FIFO per worker. *)
 
 val run :
-  ?wall:bool -> ?jobs:int -> ?cache_size:int -> worker_id:int ->
-  in_channel -> out_channel -> unit
+  ?wall:bool -> ?jobs:int -> ?cache_size:int -> ?trace_file:string ->
+  worker_id:int -> in_channel -> out_channel -> unit
+(** [trace_file] turns the process tracer on ({!Trace.set_process}
+    with pid [worker_id + 1]) and writes the Chrome trace there on
+    exit (absolute timestamps plus the handshake's clock offset, ready
+    for [ocr trace merge]); a write failure is logged to stderr, never
+    fatal. *)

@@ -15,11 +15,14 @@ type config = {
   drain_timeout_ms : float;
   wall : bool;
   metrics_file : string option;
+  trace_dir : string option;
+  access_log : string option;
 }
 
 let config ?(exe = Sys.executable_name) ?(jobs = 1) ?(cache_size = 256)
     ?(queue_depth = 64) ?(request_timeout_ms = 30_000.)
-    ?(drain_timeout_ms = 5_000.) ?(wall = false) ?metrics_file ~workers () =
+    ?(drain_timeout_ms = 5_000.) ?(wall = false) ?metrics_file ?trace_dir
+    ?access_log ~workers () =
   if workers < 1 then invalid_arg "Router.config: workers must be >= 1";
   {
     exe;
@@ -31,6 +34,8 @@ let config ?(exe = Sys.executable_name) ?(jobs = 1) ?(cache_size = 256)
     drain_timeout_ms;
     wall;
     metrics_file;
+    trace_dir;
+    access_log;
   }
 
 exception Worker_down of int
@@ -47,15 +52,31 @@ type collector = {
   target : metrics_target;
 }
 
+(* everything the router knows about one in-flight solve: identity for
+   the reply rewrite, the routing decision for the access log, and the
+   phase clock (monotonic ns, the same clock the trace records use, so
+   access-log and trace attribution agree by construction) *)
+type solve_meta = {
+  sm_gid : int;  (* global request id; rewrite req=<local> on reply *)
+  sm_trace : int;  (* trace id propagated to the worker; 0 = tracing off *)
+  sm_worker : int;
+  sm_key : int;  (* shard key (graph fingerprint hash) *)
+  sm_queue_at : int;  (* worker queue depth at admission *)
+  sm_admit_ns : int;
+  mutable sm_sent_ns : int;
+  mutable sm_head_ns : int;  (* when the request reached the queue head *)
+}
+
 (* what the FIFO head of a worker's queue is owed *)
 type pending_kind =
-  | Solve of int  (* global request id; rewrite req=<local> on reply *)
+  | Solve of solve_meta
   | Session_op of { sid : string; line : string; journal : bool }
   | Open_op of string
   | Close_op of string
   | Replay  (* recovery traffic: reply discarded, never shed *)
   | Metrics_req of collector
   | Ping
+  | Sync  (* clock-offset handshake at spawn: reply discarded *)
 
 type pending = { kind : pending_kind; mutable since : float }
 
@@ -93,11 +114,30 @@ type t = {
   mutable shed : int;
   mutable file_collector : collector option;
   mutable stopping : bool;
+  tracing : bool;
+  mutable access : out_channel option;
+      (* NDJSON access log; a write failure disables it, never the router *)
+  lat : Metrics.t;
+      (* always-on per-worker latency histograms, merged into every
+         aggregated exposition *)
 }
 
 let now () = Unix.gettimeofday ()
 let max_fail_streak = 5
 let ping_interval_s = 2.0
+
+(* router-side phase markers, tagged with the request's trace id.  The
+   rt.request async span brackets the whole router residency; the five
+   instants are the phase boundaries `ocr trace summarize` attributes
+   between (dispatch = admit->sent, queue = sent->head, solve =
+   head->reply, serialize = reply->done). *)
+let sp_request = Obs.intern "rt.request"
+let sp_admit = Obs.intern "rt.admit"
+let sp_sent = Obs.intern "rt.sent"
+let sp_head = Obs.intern "rt.head"
+let sp_reply = Obs.intern "rt.reply"
+let sp_done = Obs.intern "rt.done"
+let sp_replay = Obs.intern "rt.replay"
 
 let out_line t line =
   output_string t.client_oc line;
@@ -106,13 +146,63 @@ let out_line t line =
 
 let log_err fmt = Printf.ksprintf prerr_endline ("ocr cluster: " ^^ fmt)
 
-let contains_ok_true line =
-  (* update replies are flat objects, so a literal "ok":true can only
-     be the status field *)
-  let pat = "\"ok\":true" in
+let contains line pat =
   let n = String.length line and k = String.length pat in
   let rec go i = i + k <= n && (String.sub line i k = pat || go (i + 1)) in
   go 0
+
+(* update replies are flat objects, so a literal "ok":true can only
+   be the status field *)
+let contains_ok_true line = contains line "\"ok\":true"
+
+(* ------------------------------------------------------------------ *)
+(* access log *)
+
+let ms_between a_ns b_ns = float_of_int (b_ns - a_ns) /. 1_000_000.0
+
+let access_write t line =
+  match t.access with
+  | None -> ()
+  | Some oc -> (
+    try
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    with Sys_error e ->
+      (* same contract as the metrics_file guard: log and disable,
+         the router stays up *)
+      t.access <- None;
+      log_err "access log write failed, disabling it: %s" e)
+
+(* one line per completed solve; phase fields only where the phases
+   actually ran, so shed/failed requests stay greppable by status *)
+let access_solve_line sm ~status ~cached ~reply_ns ~done_ns =
+  Njson.obj
+    [
+      ("trace", string_of_int sm.sm_trace);
+      ("req", string_of_int sm.sm_gid);
+      ("worker", string_of_int sm.sm_worker);
+      ("key", string_of_int sm.sm_key);
+      ("cache", if cached then "true" else "false");
+      ("queue", string_of_int sm.sm_queue_at);
+      ("dispatch_ms", Njson.float_lit (ms_between sm.sm_admit_ns sm.sm_sent_ns));
+      ("queue_ms", Njson.float_lit (ms_between sm.sm_sent_ns sm.sm_head_ns));
+      ("solve_ms", Njson.float_lit (ms_between sm.sm_head_ns reply_ns));
+      ("serialize_ms", Njson.float_lit (ms_between reply_ns done_ns));
+      ("total_ms", Njson.float_lit (ms_between sm.sm_admit_ns done_ns));
+      ("status", Njson.escape status);
+    ]
+
+let access_fail_line ~trace ~gid ~worker ~key ~queue ~status =
+  Njson.obj
+    [
+      ("trace", string_of_int trace);
+      ("req", string_of_int gid);
+      ("worker", string_of_int worker);
+      ("key", string_of_int key);
+      ("queue", string_of_int queue);
+      ("status", Njson.escape status);
+    ]
 
 let session_err sid msg =
   Njson.obj
@@ -142,7 +232,15 @@ let spawn_into t w =
          "--cache-size";
          string_of_int t.per_worker_cache;
        ]
-      @ if t.cfg.wall then [ "--wall" ] else [])
+      @ (if t.cfg.wall then [ "--wall" ] else [])
+      @
+      match t.cfg.trace_dir with
+      | Some dir ->
+        (* a respawned worker rewrites the same file: the trace of the
+           incarnation that survives to shutdown *)
+        [ "--trace";
+          Filename.concat dir (Printf.sprintf "worker-%d.json" w.w_id) ]
+      | None -> [])
   in
   (* create_process dup2s the child ends onto stdin/stdout, which
      clears their cloexec; every other pipe fd vanishes at exec *)
@@ -170,6 +268,16 @@ let send_to_worker w kind line =
       off := !off + Unix.write w.to_w payload !off (len - !off)
     done
   with Unix.Unix_error _ -> raise (Worker_down w.w_id)
+
+(* clock-offset handshake, first line after every (re)spawn: the
+   worker answers one line and stamps router_now_ns - its_now_ns into
+   its trace metadata, so the merger can put every per-process file on
+   the router's clock.  (On one host CLOCK_MONOTONIC is system-wide,
+   so the measured offset is ~the one-way pipe latency — the handshake
+   is what makes the files honest about it.) *)
+let sync_worker w =
+  try send_to_worker w Sync (Printf.sprintf "sync %d" (Obs.now_ns ()))
+  with Worker_down _ -> () (* EOF detection will reap it *)
 
 (* fingerprint-hash routing for one-shot solves: cached per path and
    validated against (mtime, size); unreadable paths hash the path
@@ -229,7 +337,18 @@ let router_registry t =
            (Printf.sprintf "ocr_worker_restarts_total{worker=\"%d\"}" w.w_id))
         w.restarts)
     t.ws;
+  (* per-worker latency attribution (queue wait and client-visible
+     total per solve), recorded whether or not tracing is on *)
+  Metrics.merge_into ~into:m t.lat;
   m
+
+let queue_wait_hist t wi =
+  Metrics.histogram t.lat
+    (Printf.sprintf "ocr_queue_wait_ms{worker=\"%d\"}" wi)
+
+let request_total_hist t wi =
+  Metrics.histogram t.lat
+    (Printf.sprintf "ocr_request_total_ms{worker=\"%d\"}" wi)
 
 let finish_collection t c =
   if not c.finished then begin
@@ -273,9 +392,18 @@ let rec handle_worker_down t w =
 
 and fail_pending t p =
   match p.kind with
-  | Solve gid ->
+  | Solve sm ->
     out_line t
-      (Printf.sprintf "{\"ok\":false,\"err\":\"worker died\",\"req\":%d}" gid)
+      (Printf.sprintf "{\"ok\":false,\"err\":\"worker died\",\"req\":%d}"
+         sm.sm_gid);
+    if sm.sm_trace <> 0 then begin
+      Trace.instant_id sp_done sm.sm_trace;
+      Trace.end_span_id sp_request sm.sm_trace
+    end;
+    access_write t
+      (access_fail_line ~trace:sm.sm_trace ~gid:sm.sm_gid
+         ~worker:sm.sm_worker ~key:sm.sm_key ~queue:sm.sm_queue_at
+         ~status:"worker died")
   | Session_op { sid; _ } -> out_line t (session_err sid "worker died")
   | Open_op sid ->
     Hashtbl.remove t.sessions sid;
@@ -285,6 +413,7 @@ and fail_pending t p =
     out_line t (session_err sid "worker died")
   | Replay -> ()
   | Ping -> ()
+  | Sync -> ()
   | Metrics_req c ->
     c.awaiting <- c.awaiting - 1;
     if c.awaiting <= 0 then finish_collection t c
@@ -305,6 +434,7 @@ and respawn t w =
     | () ->
       Shard_map.set_up t.map w.w_id true;
       log_err "worker %d respawned as pid %d" w.w_id w.pid;
+      sync_worker w;
       replay_sessions t w
   end
 
@@ -324,15 +454,17 @@ and replay_sessions t w =
       t.sessions []
     |> List.sort (fun a b -> compare a.s_id b.s_id)
   in
-  try
-    List.iter
-      (fun s ->
-        send_to_worker w Replay s.s_open_line;
-        List.iter
-          (fun line -> send_to_worker w Replay line)
-          (List.rev s.s_journal))
-      mine
-  with Worker_down _ -> handle_worker_down t w
+  Trace.begin_span sp_replay;
+  (try
+     List.iter
+       (fun s ->
+         send_to_worker w Replay s.s_open_line;
+         List.iter
+           (fun line -> send_to_worker w Replay line)
+           (List.rev s.s_journal))
+       mine
+   with Worker_down _ -> handle_worker_down t w);
+  Trace.end_span sp_replay
 
 (* a send that survives the target dying under it *)
 let forward t w kind line =
@@ -359,10 +491,34 @@ let process_response t w line =
   | Some p -> (
     (* the next request's service clock starts when it reaches the head *)
     (match Queue.peek_opt w.queue with
-    | Some q -> q.since <- now ()
+    | Some q -> (
+      q.since <- now ();
+      match q.kind with
+      | Solve sm ->
+        sm.sm_head_ns <- Obs.now_ns ();
+        if sm.sm_trace <> 0 then Trace.instant_id sp_head sm.sm_trace
+      | _ -> ())
     | None -> ());
     match p.kind with
-    | Solve gid -> out_line t (rewrite_req gid line)
+    | Solve sm ->
+      let reply_ns = Obs.now_ns () in
+      if sm.sm_trace <> 0 then Trace.instant_id sp_reply sm.sm_trace;
+      out_line t (rewrite_req sm.sm_gid line);
+      let done_ns = Obs.now_ns () in
+      if sm.sm_trace <> 0 then begin
+        Trace.instant_id sp_done sm.sm_trace;
+        Trace.end_span_id sp_request sm.sm_trace
+      end;
+      Metrics.observe (queue_wait_hist t sm.sm_worker)
+        (ms_between sm.sm_sent_ns sm.sm_head_ns);
+      Metrics.observe (request_total_hist t sm.sm_worker)
+        (ms_between sm.sm_admit_ns done_ns);
+      if t.access <> None then
+        access_write t
+          (access_solve_line sm
+             ~status:(if contains line "status=ok" then "ok" else "error")
+             ~cached:(contains line "cached=true")
+             ~reply_ns ~done_ns)
     | Session_op { sid; line = req; journal } -> (
       out_line t line;
       if journal && contains_ok_true line then
@@ -380,6 +536,7 @@ let process_response t w line =
       Hashtbl.remove t.sessions sid
     | Replay -> ()
     | Ping -> ()
+    | Sync -> ()
     | Metrics_req c ->
       (match Njson.parse_flat line with
       | Ok fields -> (
@@ -455,6 +612,14 @@ let handle_solve_line t line =
   t.requests <- t.requests + 1;
   t.next_req <- t.next_req + 1;
   let gid = t.next_req in
+  let admit_ns = Obs.now_ns () in
+  (* the trace id is the global request id: unique per request, and
+     greppable straight back to the client's req= field *)
+  let trace = if t.tracing then gid else 0 in
+  if trace <> 0 then begin
+    Trace.begin_span_id sp_request trace;
+    Trace.instant_id sp_admit trace
+  end;
   let key =
     match Request.parse_spec line with
     | Ok spec -> solve_key t spec.Request.path
@@ -463,15 +628,59 @@ let handle_solve_line t line =
   match Shard_map.assign t.map key with
   | None ->
     out_line t
-      (Printf.sprintf "{\"ok\":false,\"err\":\"no workers up\",\"req\":%d}" gid)
+      (Printf.sprintf "{\"ok\":false,\"err\":\"no workers up\",\"req\":%d}" gid);
+    if trace <> 0 then begin
+      Trace.instant_id sp_done trace;
+      Trace.end_span_id sp_request trace
+    end;
+    access_write t
+      (access_fail_line ~trace ~gid ~worker:(-1) ~key ~queue:0
+         ~status:"no workers up")
   | Some wi ->
     let w = t.ws.(wi) in
     if queue_full t w then begin
       t.shed <- t.shed + 1;
       out_line t
-        (Printf.sprintf "{\"ok\":false,\"err\":\"overloaded\",\"req\":%d}" gid)
+        (Printf.sprintf "{\"ok\":false,\"err\":\"overloaded\",\"req\":%d}" gid);
+      if trace <> 0 then begin
+        Trace.instant_id sp_done trace;
+        Trace.end_span_id sp_request trace
+      end;
+      access_write t
+        (access_fail_line ~trace ~gid ~worker:wi ~key
+           ~queue:(Queue.length w.queue) ~status:"overloaded")
     end
-    else forward t w (Solve gid) line
+    else begin
+      let sm =
+        {
+          sm_gid = gid;
+          sm_trace = trace;
+          sm_worker = wi;
+          sm_key = key;
+          sm_queue_at = Queue.length w.queue;
+          sm_admit_ns = admit_ns;
+          sm_sent_ns = admit_ns;
+          sm_head_ns = admit_ns;
+        }
+      in
+      let at_head = Queue.is_empty w.queue in
+      (* context propagation: one extra key=value token, absent when
+         tracing is off, ignored-but-parsed by any engine — old
+         workers and clients see byte-identical traffic without it *)
+      let line =
+        if trace <> 0 then Printf.sprintf "%s trace=%d" line trace else line
+      in
+      match send_to_worker w (Solve sm) line with
+      | exception Worker_down _ -> handle_worker_down t w
+      | () ->
+        let sent_ns = Obs.now_ns () in
+        sm.sm_sent_ns <- sent_ns;
+        if trace <> 0 then Trace.instant_id sp_sent trace;
+        if at_head then begin
+          sm.sm_head_ns <- sent_ns;
+          if trace <> 0 then Trace.instant_id sp_head trace
+        end
+    end
 
 let handle_session_line t line =
   match Njson.parse_flat line with
@@ -682,6 +891,27 @@ let drain t =
 
 let run cfg client_fd client_oc =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* the router is the trace's reference clock: absolute timestamps,
+     zero offset; workers ship their own files with their measured
+     offsets and `ocr trace merge` aligns them here *)
+  (match cfg.trace_dir with
+  | Some _ ->
+    Trace.configure ~capacity:65536 ();
+    Trace.preallocate ();
+    Trace.set_process ~pid:0 ~name:"router" ();
+    Obs.enable ()
+  | None -> ());
+  let access =
+    match cfg.access_log with
+    | None -> None
+    | Some path -> (
+      (* same contract as the metrics file: an unusable path is logged
+         and the feature disabled, the cluster still serves *)
+      try Some (open_out path)
+      with Sys_error e ->
+        log_err "cannot open access log, disabling it: %s" e;
+        None)
+  in
   let t =
     {
       cfg;
@@ -708,8 +938,22 @@ let run cfg client_fd client_oc =
       shed = 0;
       file_collector = None;
       stopping = false;
+      tracing = cfg.trace_dir <> None;
+      access;
+      lat = Metrics.create ();
     }
   in
   Array.iter (fun w -> spawn_into t w) t.ws;
+  if t.tracing then Array.iter (fun w -> sync_worker w) t.ws;
   serve_loop t client_fd;
-  drain t
+  drain t;
+  (match t.access with Some oc -> close_out_noerr oc | None -> ());
+  match cfg.trace_dir with
+  | None -> ()
+  | Some dir -> (
+    let path = Filename.concat dir "router.json" in
+    try
+      let oc = open_out path in
+      output_string oc (Trace.to_chrome_json ());
+      close_out oc
+    with Sys_error e -> log_err "cannot write trace file: %s" e)

@@ -28,8 +28,13 @@
       the shards deterministically (router registry first, then
       workers in id order) and answers one cluster-wide Prometheus
       exposition including [ocr_worker_up{worker="i"}], queue-depth
-      and restart-count series; [status] answers one flat JSON line
-      with per-worker pid/up/queue/restarts.
+      and restart-count series plus the router's always-on per-worker
+      latency histograms [ocr_queue_wait_ms{worker="i"}] and
+      [ocr_request_total_ms{worker="i"}]; [status] answers one flat
+      JSON line with per-worker pid/up/queue/restarts.  With
+      [trace_dir] set the router also records distributed traces and
+      with [access_log] a structured NDJSON access log (see
+      {!type:config}).
 
     Responses are matched to requests FIFO per worker (workers are
     serial); solve responses are rewritten to the router's global
@@ -48,16 +53,31 @@ type config = {
   wall : bool;  (** append wall times to solve responses *)
   metrics_file : string option;
       (** write the final aggregated exposition here on shutdown *)
+  trace_dir : string option;
+      (** enable cross-process request tracing: the router assigns each
+          request a trace id (its global request id), records its own
+          phase spans under it, propagates it to the worker as a
+          [trace=<id>] key on the forwarded line, and on shutdown writes
+          [router.json] plus one [worker-<i>.json] per worker into this
+          directory — per-process Chrome trace files that
+          [ocr trace merge] aligns into one timeline using the
+          clock-offset handshake each worker answers at spawn *)
+  access_log : string option;
+      (** append one NDJSON line per completed/shed request (trace id,
+          worker, shard key, cache hit, queue depth at admission,
+          per-phase ms, status); an unusable path or failed write is
+          logged and the log disabled, never the router *)
 }
 
 val config :
   ?exe:string -> ?jobs:int -> ?cache_size:int -> ?queue_depth:int ->
   ?request_timeout_ms:float -> ?drain_timeout_ms:float -> ?wall:bool ->
-  ?metrics_file:string -> workers:int -> unit -> config
+  ?metrics_file:string -> ?trace_dir:string -> ?access_log:string ->
+  workers:int -> unit -> config
 (** Defaults: [exe = Sys.executable_name], [jobs = 1],
     [cache_size = 256] (total), [queue_depth = 64],
     [request_timeout_ms = 30_000], [drain_timeout_ms = 5_000],
-    [wall = false], no metrics file.
+    [wall = false], no metrics file, tracing and access log off.
     @raise Invalid_argument if [workers < 1]. *)
 
 val run : config -> Unix.file_descr -> out_channel -> unit

@@ -574,7 +574,10 @@ let cache_insert t key outcome =
 (* ------------------------------------------------------------------ *)
 
 let solve t (req : Request.t) =
-  if !Obs.enabled_flag then Trace.begin_span sp_request;
+  (* tagged with the propagated cluster trace id (0 = standalone, which
+     records exactly the untagged span of old) *)
+  if !Obs.enabled_flag then
+    Trace.begin_span_id sp_request req.Request.spec.Request.trace;
   let t0 = t.now () in
   let tel = Telemetry.create () in
   tel.Telemetry.requests <- 1;
@@ -595,7 +598,8 @@ let solve t (req : Request.t) =
   Telemetry.add t.telemetry tel;
   let wall_ms = (t.now () -. t0) *. 1000.0 in
   Metrics.observe t.latency wall_ms;
-  if !Obs.enabled_flag then Trace.end_span sp_request;
+  if !Obs.enabled_flag then
+    Trace.end_span_id sp_request req.Request.spec.Request.trace;
   {
     id = req.Request.id;
     path = req.Request.spec.Request.path;

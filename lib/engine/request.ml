@@ -19,6 +19,10 @@ type spec = {
   approx_eps : float option;
   deadline_ms : float option;
   verify : bool;
+  trace : int;
+      (* distributed-tracing context propagated by the cluster router
+         (0 = untraced).  Deliberately NOT part of [key]: tracing a
+         request must not change its cache identity. *)
 }
 
 let default_spec path =
@@ -31,6 +35,7 @@ let default_spec path =
     approx_eps = None;
     deadline_ms = None;
     verify = false;
+    trace = 0;
   }
 
 type t = { id : int; spec : spec; graph : Digraph.t }
@@ -129,11 +134,17 @@ let parse_kv spec token =
     | "verify", ("false" | "no" | "0") -> Ok { spec with verify = false }
     | "verify", _ ->
       Error (Printf.sprintf "verify must be true or false, got %S" v)
+    | "trace", _ -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok { spec with trace = n }
+      | _ ->
+        Error
+          (Printf.sprintf "trace must be a nonnegative integer, got %S" v))
     | _ ->
       Error
         (Printf.sprintf
            "unknown key %S (expected problem, objective, algorithm, mode, \
-            approx-eps, deadline-ms or verify)"
+            approx-eps, deadline-ms, verify or trace)"
            k))
 
 let parse_spec line =
@@ -188,6 +199,9 @@ let parse_spec line =
 
 let spec_to_string s =
   let opts = [] in
+  let opts =
+    if s.trace <> 0 then Printf.sprintf "trace=%d" s.trace :: opts else opts
+  in
   let opts =
     if s.verify then "verify=true" :: opts else opts
   in

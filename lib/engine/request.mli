@@ -12,7 +12,8 @@
 
     with keys [problem=mean|ratio], [objective=min|max],
     [algorithm=auto|approx|exact|<name>], [mode=float|exact],
-    [approx-eps=<float>], [deadline-ms=<float>], [verify=true|false];
+    [approx-eps=<float>], [deadline-ms=<float>], [verify=true|false],
+    [trace=<id>] (tracing context, stamped by the cluster router);
     omitted keys default to [problem=mean objective=min algorithm=auto
     mode=float verify=false] and no deadline.  [approx-eps] must be
     positive and finite, and is only accepted with [algorithm=approx]
@@ -54,6 +55,11 @@ type spec = {
           [None] means {!Approx.default_eps} where one is needed *)
   deadline_ms : float option;
   verify : bool;
+  trace : int;
+      (** distributed-tracing context ([trace=<id>] on the wire),
+          propagated by the cluster router so worker engine spans
+          carry the router's request trace id; 0 = untraced.  Absent
+          from {!key}: tracing never changes cache identity. *)
 }
 
 val default_spec : string -> spec

@@ -166,13 +166,14 @@ let merge a b =
    per metric, histogram buckets as cumulative le-labelled counters
    with the mandatory +Inf bucket, _sum and _count.
 
-   Counter and gauge names may carry a label part — everything from
-   the first '{' on is emitted verbatim (labels must not contain
-   spaces), only the base name is sanitized, and series sharing a base
-   share one # TYPE line.  That is how the cluster router exports
-   per-worker series (ocr_worker_up{worker="0"}) from a label-less
-   registry.  Histogram names must be label-free (the bucket lines own
-   the label position). *)
+   Metric names may carry a label part — everything from the first
+   '{' on is emitted verbatim (labels must not contain spaces or
+   commas inside values), only the base name is sanitized, and series
+   sharing a base share one # TYPE line.  That is how the cluster
+   router exports per-worker series (ocr_worker_up{worker="0"},
+   ocr_queue_wait_ms{worker="0"}) from a label-less registry.  For a
+   labeled histogram the le label is appended after the series labels
+   on bucket lines (name_bucket{worker="0",le="1"}). *)
 let split_labels name =
   match String.index_opt name '{' with
   | None -> (Obs.prometheus_name name, "")
@@ -202,22 +203,32 @@ let to_prometheus t =
         type_line base "gauge";
         Buffer.add_string b (Printf.sprintf "%s%s %g\n" base labels g.g_value)
       | Histogram h ->
-        let n = Obs.prometheus_name h.h_name in
+        let n, labels = split_labels h.h_name in
         type_line n "histogram";
+        (* the le label goes last, after any series labels *)
+        let with_le le =
+          if labels = "" then Printf.sprintf "{le=\"%s\"}" le
+          else
+            Printf.sprintf "%s,le=\"%s\"}"
+              (String.sub labels 0 (String.length labels - 1))
+              le
+        in
         let top = ref 0 in
         Array.iteri (fun i c -> if c > 0 then top := i) h.h_counts;
         let cum = ref 0 in
         for i = 0 to !top do
           cum := !cum + h.h_counts.(i);
           Buffer.add_string b
-            (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" n
-               (2.0 ** float_of_int i)
+            (Printf.sprintf "%s_bucket%s %d\n" n
+               (with_le (Printf.sprintf "%g" (2.0 ** float_of_int i)))
                !cum)
         done;
         Buffer.add_string b
-          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.h_count);
-        Buffer.add_string b (Printf.sprintf "%s_sum %g\n" n h.h_sum);
-        Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.h_count))
+          (Printf.sprintf "%s_bucket%s %d\n" n (with_le "+Inf") h.h_count);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %g\n" n labels h.h_sum);
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" n labels h.h_count))
     (items t);
   Buffer.contents b
 
@@ -259,39 +270,53 @@ let of_prometheus text =
       Hashtbl.add hists base parts;
       parts
   in
-  let le_of name lineno =
-    (* le="..." somewhere in the label part *)
+  let labels_of name =
     match String.index_opt name '{' with
-    | None ->
+    | None -> ""
+    | Some i -> String.sub name i (String.length name - i)
+  in
+  (* split a bucket line's label part into (series labels, le bound):
+     "{worker=\"0\",le=\"1\"}" -> ("{worker=\"0\"}", 1.0).  Label
+     values must not contain commas — the subset to_prometheus
+     writes. *)
+  let split_le labels lineno =
+    if
+      String.length labels < 2
+      || labels.[0] <> '{'
+      || labels.[String.length labels - 1] <> '}'
+    then begin
       fail lineno "bucket line without labels";
-      infinity
-    | Some i -> (
-      let labels = String.sub name i (String.length name - i) in
-      let prefix = {|{le="|} in
-      if String.length labels > String.length prefix + 1
-         && String.sub labels 0 (String.length prefix) = prefix
-      then
-        let rest =
-          String.sub labels (String.length prefix)
-            (String.length labels - String.length prefix)
-        in
-        match String.index_opt rest '"' with
-        | Some j -> (
-          let v = String.sub rest 0 j in
+      ("", infinity)
+    end
+    else begin
+      let inner = String.sub labels 1 (String.length labels - 2) in
+      let parts = String.split_on_char ',' inner in
+      let is_le p =
+        String.length p > 5
+        && String.sub p 0 4 = {|le="|}
+        && p.[String.length p - 1] = '"'
+      in
+      let le_parts, rest = List.partition is_le parts in
+      match le_parts with
+      | [ p ] ->
+        let v = String.sub p 4 (String.length p - 5) in
+        let le =
           if v = "+Inf" then infinity
           else
             match float_of_string_opt v with
             | Some f -> f
             | None ->
               fail lineno ("bad le value " ^ v);
-              infinity)
-        | None ->
-          fail lineno "unterminated le label";
-          infinity
-      else begin
-        fail lineno ("unsupported bucket labels " ^ labels);
-        infinity
-      end)
+              infinity
+        in
+        let rest_s =
+          if rest = [] then "" else "{" ^ String.concat "," rest ^ "}"
+        in
+        (rest_s, le)
+      | _ ->
+        fail lineno ("no le label in " ^ labels);
+        ("", infinity)
+    end
   in
   List.iteri
     (fun i line ->
@@ -325,13 +350,16 @@ let of_prometheus text =
               (hist_member "_bucket", hist_member "_sum", hist_member "_count")
             with
             | Some h, _, _ ->
-              let buckets, _, _, _ = hist_parts h in
-              buckets := (le_of name lineno, int_of_float v) :: !buckets
+              (* the histogram's registry key is base + series labels
+                 (le stripped), so labeled families stay separate *)
+              let rest, le = split_le (labels_of name) lineno in
+              let buckets, _, _, _ = hist_parts (h ^ rest) in
+              buckets := (le, int_of_float v) :: !buckets
             | _, Some h, _ ->
-              let _, sum, _, _ = hist_parts h in
+              let _, sum, _, _ = hist_parts (h ^ labels_of name) in
               sum := v
             | _, _, Some h ->
-              let _, _, count, _ = hist_parts h in
+              let _, _, count, _ = hist_parts (h ^ labels_of name) in
               count := int_of_float v
             | None, None, None -> (
               match Hashtbl.find_opt kinds base with

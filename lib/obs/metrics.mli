@@ -54,11 +54,13 @@ val to_prometheus : t -> string
     cumulative [le]-labelled histogram buckets with the mandatory
     [+Inf] bucket, [_sum] and [_count].
 
-    Counter and gauge names may embed a label part
-    ([ocr_worker_up{worker="0"}]): the base name is sanitized, the
-    label part is emitted verbatim (it must not contain spaces), and
-    series sharing a base share one [# TYPE] line.  Histogram names
-    must be label-free. *)
+    Metric names may embed a label part
+    ([ocr_worker_up{worker="0"}], [ocr_queue_wait_ms{worker="0"}]):
+    the base name is sanitized, the label part is emitted verbatim (it
+    must not contain spaces, or commas inside label values), and
+    series sharing a base share one [# TYPE] line.  For a labeled
+    histogram the [le] label is appended after the series labels on
+    bucket lines. *)
 
 val of_prometheus : string -> (t, string) result
 (** Parses {!to_prometheus} output back into a fresh registry — the

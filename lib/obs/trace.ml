@@ -100,6 +100,40 @@ let[@inline] counter_int id v =
 
 let counter id v = if !Obs.enabled_flag then record kind_counter id v
 
+(* Tagged variants: the tag (a request trace id, 0 = untagged) rides
+   in the float argument slot, converted only after the enabled check,
+   so a disabled call site stays allocation-free.  A tag of 0 behaves
+   exactly like the untagged entry points. *)
+let[@inline] begin_span_id id tag =
+  if !Obs.enabled_flag then record kind_begin id (float_of_int tag)
+
+let[@inline] end_span_id id tag =
+  if !Obs.enabled_flag then record kind_end id (float_of_int tag)
+
+let[@inline] instant_id id tag =
+  if !Obs.enabled_flag then record kind_instant id (float_of_int tag)
+
+(* ------------------------------------------------------------------ *)
+(* Process identity (multi-process export)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A standalone trace (ocr solve --trace) exports as pid 0 / "ocr"
+   with timestamps rebased to the earliest record, which reads nicely
+   in a viewer.  The cluster's per-process files instead need absolute
+   timestamps (so the merger can align them) plus a stable pid per
+   process and the clock offset measured by the router handshake. *)
+let process_pid = ref 0
+let process_label = ref "ocr"
+let clock_offset = ref 0
+let absolute_ts = ref false
+
+let set_process ~pid ~name () =
+  process_pid := pid;
+  process_label := name;
+  absolute_ts := true
+
+let set_clock_offset_ns n = clock_offset := n
+
 (* ------------------------------------------------------------------ *)
 (* Configuration / lifecycle                                           *)
 (* ------------------------------------------------------------------ *)
@@ -113,7 +147,16 @@ let configure ?capacity () =
   | None -> ());
   rings := Array.make 16 None;
   tracks := [];
+  process_pid := 0;
+  process_label := "ocr";
+  clock_offset := 0;
+  absolute_ts := false;
   Mutex.unlock registry_mutex
+
+(* eager ring allocation for the calling domain: without it the first
+   record pays ~ms of array allocation, which skews the first traced
+   request's phase timing against the access log's clock stamps *)
+let preallocate () = ignore (buffer () : buf)
 
 let reset () =
   Mutex.lock registry_mutex;
@@ -171,19 +214,27 @@ let dropped () =
 (* Chrome/Perfetto trace-event JSON                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* One track per domain (pid 0, tid = domain id); spans become
+(* One track per domain (tid = domain id); untagged spans become
    complete events (ph "X" with ts + dur, both in microseconds), which
    Perfetto nests by time containment, so Howard iteration spans show
    under their component span.  Begin/end pairing is reconstructed
    with a per-track stack; records orphaned by ring wrap-around are
    closed at the last timestamp seen (or skipped, for an end with no
-   surviving begin) rather than corrupting the file. *)
+   surviving begin) rather than corrupting the file.
+
+   Tagged records (arg <> 0, written by the [_id] entry points) export
+   differently: begin/end become async events (ph "b"/"e") paired by
+   (cat, id) rather than the stack — request spans from different
+   requests overlap freely on one track — and instants carry the tag
+   as [args.trace].  The multi-process merger keys on both. *)
 let to_chrome_json () =
   let tracks = sorted_tracks () in
   let all = List.concat_map snapshot_track tracks in
   let t0 =
-    List.fold_left (fun acc e -> min acc e.ev_ts) max_int all
+    if !absolute_ts then 0
+    else List.fold_left (fun acc e -> min acc e.ev_ts) max_int all
   in
+  let pid = !process_pid in
   let us ns = float_of_int (ns - t0) /. 1_000.0 in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";
@@ -196,33 +247,50 @@ let to_chrome_json () =
       fmt
   in
   emit
-    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
-     \"args\":{\"name\":\"ocr\"}}";
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
+     \"args\":{\"name\":%s}}"
+    pid
+    (Obs.json_string !process_label);
+  if !absolute_ts then
+    emit
+      "{\"name\":\"clock_offset_ns\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
+       \"args\":{\"value\":%d}}"
+      pid !clock_offset;
   List.iter
     (fun tr ->
       emit
-        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\
          \"args\":{\"name\":\"domain %d\"}}"
-        tr.dom tr.dom)
+        pid tr.dom tr.dom)
     tracks;
   List.iter
     (fun tr ->
       let evs = snapshot_track tr in
       let stack = ref [] in
-      let last_ts = ref t0 in
+      let last_ts = ref (match evs with e :: _ -> e.ev_ts | [] -> t0) in
       let emit_span id ts_begin ts_end =
         emit
           "{\"name\":%s,\"cat\":\"ocr\",\"ph\":\"X\",\"ts\":%.3f,\
-           \"dur\":%.3f,\"pid\":0,\"tid\":%d}"
+           \"dur\":%.3f,\"pid\":%d,\"tid\":%d}"
           (Obs.json_string (Obs.name_of id))
           (us ts_begin)
           (float_of_int (ts_end - ts_begin) /. 1_000.0)
-          tr.dom
+          pid tr.dom
+      in
+      let emit_async ph e tag =
+        emit
+          "{\"name\":%s,\"cat\":\"ocr\",\"ph\":\"%s\",\"id\":\"%d\",\
+           \"ts\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"trace\":%d}}"
+          (Obs.json_string (Obs.name_of e.ev_id))
+          ph tag (us e.ev_ts) pid tr.dom tag
       in
       List.iter
         (fun e ->
           last_ts := max !last_ts e.ev_ts;
+          let tag = int_of_float e.ev_arg in
           match e.ev_kind with
+          | `Begin when tag <> 0 -> emit_async "b" e tag
+          | `End when tag <> 0 -> emit_async "e" e tag
           | `Begin -> stack := (e.ev_id, e.ev_ts) :: !stack
           | `End ->
             (* pop to the matching begin; anything above it was left
@@ -240,17 +308,24 @@ let to_chrome_json () =
               stack := pop !stack
             end
           | `Instant ->
-            emit
-              "{\"name\":%s,\"cat\":\"ocr\",\"ph\":\"i\",\"ts\":%.3f,\
-               \"s\":\"t\",\"pid\":0,\"tid\":%d}"
-              (Obs.json_string (Obs.name_of e.ev_id))
-              (us e.ev_ts) tr.dom
+            if tag <> 0 then
+              emit
+                "{\"name\":%s,\"cat\":\"ocr\",\"ph\":\"i\",\"ts\":%.3f,\
+                 \"s\":\"t\",\"pid\":%d,\"tid\":%d,\"args\":{\"trace\":%d}}"
+                (Obs.json_string (Obs.name_of e.ev_id))
+                (us e.ev_ts) pid tr.dom tag
+            else
+              emit
+                "{\"name\":%s,\"cat\":\"ocr\",\"ph\":\"i\",\"ts\":%.3f,\
+                 \"s\":\"t\",\"pid\":%d,\"tid\":%d}"
+                (Obs.json_string (Obs.name_of e.ev_id))
+                (us e.ev_ts) pid tr.dom
           | `Counter ->
             emit
               "{\"name\":%s,\"cat\":\"ocr\",\"ph\":\"C\",\"ts\":%.3f,\
-               \"pid\":0,\"tid\":%d,\"args\":{\"value\":%g}}"
+               \"pid\":%d,\"tid\":%d,\"args\":{\"value\":%g}}"
               (Obs.json_string (Obs.name_of e.ev_id))
-              (us e.ev_ts) tr.dom e.ev_arg)
+              (us e.ev_ts) pid tr.dom e.ev_arg)
         evs;
       (* spans still open at snapshot time close at the last record *)
       List.iter (fun (id, ts) -> emit_span id ts !last_ts) !stack)

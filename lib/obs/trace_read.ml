@@ -182,11 +182,16 @@ type open_span = {
   mutable os_children : float;
 }
 
-let summarize contents =
-  match parse_json contents with
-  | Error e -> Error ("bad JSON: " ^ e)
-  | Ok json -> (
-    let events =
+(* shared front door: contents -> event list.  An empty (or
+   whitespace-only) file gets its own message — it is what a crashed
+   or still-running writer leaves behind, and deserves better than
+   "bad number at byte 0". *)
+let events_of_contents contents =
+  if String.trim contents = "" then Error "empty trace file"
+  else
+    match parse_json contents with
+    | Error e -> Error ("bad JSON: " ^ e)
+    | Ok json -> (
       match json with
       | Arr evs -> Ok evs (* the bare JSON-array trace format *)
       | Obj _ -> (
@@ -194,9 +199,10 @@ let summarize contents =
         | Some (Arr evs) -> Ok evs
         | Some _ -> Error "\"traceEvents\" is not an array"
         | None -> Error "no \"traceEvents\" array")
-      | _ -> Error "top level is neither an object nor an array"
-    in
-    match events with
+      | _ -> Error "top level is neither an object nor an array")
+
+let summarize contents =
+  match events_of_contents contents with
     | Error e -> Error e
     | Ok events ->
       (* complete events only; metadata, instants and counters carry
@@ -295,9 +301,12 @@ let summarize contents =
              match compare b.sr_self_us a.sr_self_us with
              | 0 -> compare a.sr_name b.sr_name
              | c -> c)
-           rows))
+           rows)
 
-let summarize_file path =
+(* [really_input_string] raises [End_of_file] when the file is shorter
+   than its reported length (a writer truncated it under us) — that is
+   a malformed trace, not a crash *)
+let read_file path =
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -305,4 +314,282 @@ let summarize_file path =
       (fun () -> really_input_string ic (in_channel_length ic))
   with
   | exception Sys_error e -> Error e
-  | contents -> summarize contents
+  | exception End_of_file -> Error (path ^ ": truncated trace file")
+  | contents -> Ok contents
+
+let summarize_file path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok contents -> summarize contents
+
+(* ------------------------------------------------------------------ *)
+(* Multi-process merge                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Serializer for re-emitting parsed events.  Floats print with enough
+   digits to round-trip the microsecond timestamps exactly; integral
+   values print as integers so the output stays close to what the
+   exporter wrote. *)
+let rec write_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | Str s -> Buffer.add_string buf (Obs.json_string s)
+  | Arr l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        write_json buf v)
+      l;
+    Buffer.add_char buf ']'
+  | Obj l ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Obs.json_string k);
+        Buffer.add_char buf ':';
+        write_json buf v)
+      l;
+    Buffer.add_char buf '}'
+
+let json_to_string j =
+  let b = Buffer.create 256 in
+  write_json b j;
+  Buffer.contents b
+
+(* the trace id an event carries: args.trace (tagged instants and
+   async spans), falling back to the async "id" field *)
+let trace_of e =
+  match field e "args" with
+  | Some (Obj a) -> (
+    match List.assoc_opt "trace" a with
+    | Some (Num f) -> Some (int_of_float f)
+    | _ -> (
+      match str_field e "id" with
+      | Some s -> int_of_string_opt s
+      | None -> None))
+  | _ -> (
+    match str_field e "id" with
+    | Some s -> int_of_string_opt s
+    | None -> None)
+
+(* clock_offset_ns metadata record of one file, 0 when absent *)
+let offset_ns_of_events events =
+  List.fold_left
+    (fun acc e ->
+      match (str_field e "name", str_field e "ph", field e "args") with
+      | Some "clock_offset_ns", Some "M", Some (Obj a) -> (
+        match List.assoc_opt "value" a with
+        | Some (Num f) -> int_of_float f
+        | _ -> acc)
+      | _ -> acc)
+    0 events
+
+let shift_ts offset_us e =
+  match e with
+  | Obj fields when offset_us <> 0.0 ->
+    Obj
+      (List.map
+         (fun (k, v) ->
+           match (k, v) with
+           | "ts", Num f -> (k, Num (f +. offset_us))
+           | _ -> (k, v))
+         fields)
+  | _ -> e
+
+let merge inputs =
+  (* parse every file first: one bad input fails the whole merge with
+     a message naming it *)
+  let parsed =
+    List.map
+      (fun (label, contents) ->
+        match events_of_contents contents with
+        | Error e -> Error (label ^ ": " ^ e)
+        | Ok evs -> Ok evs)
+      inputs
+  in
+  match
+    List.find_map (function Error e -> Some e | Ok _ -> None) parsed
+  with
+  | Some e -> Error e
+  | None ->
+    (* clock alignment: add each file's stamped offset to its own
+       timestamps, putting every file on the router's clock *)
+    let shifted =
+      List.concat_map
+        (function
+          | Error _ -> []
+          | Ok evs ->
+            let off_us =
+              float_of_int (offset_ns_of_events evs) /. 1_000.0
+            in
+            List.map (shift_ts off_us) evs)
+        parsed
+    in
+    (* flow synthesis: for each request, an arrow from the router's
+       rt.sent instant to the earliest event of the same trace id in a
+       different process — the dispatch hop made visible *)
+    let sent = Hashtbl.create 64 (* trace -> (ts, pid, tid) *) in
+    let remote = Hashtbl.create 64 (* trace -> (ts, pid, tid) *) in
+    let pos e =
+      let ts = match num_field e "ts" with Some f -> f | None -> 0.0 in
+      let pid = match num_field e "pid" with Some f -> f | None -> 0.0 in
+      let tid = match num_field e "tid" with Some f -> f | None -> 0.0 in
+      (ts, pid, tid)
+    in
+    List.iter
+      (fun e ->
+        match trace_of e with
+        | None -> ()
+        | Some tr -> (
+          let p = pos e in
+          if str_field e "name" = Some "rt.sent" then
+            match Hashtbl.find_opt sent tr with
+            | Some (ts, _, _) when ts <= (let t, _, _ = p in t) -> ()
+            | _ -> Hashtbl.replace sent tr p))
+      shifted;
+    List.iter
+      (fun e ->
+        match trace_of e with
+        | None -> ()
+        | Some tr -> (
+          match Hashtbl.find_opt sent tr with
+          | None -> ()
+          | Some (_, spid, _) ->
+            let ((ts, pid, _) as p) = pos e in
+            if pid <> spid then (
+              match Hashtbl.find_opt remote tr with
+              | Some (ts', _, _) when ts' <= ts -> ()
+              | _ -> Hashtbl.replace remote tr p)))
+      shifted;
+    let flows =
+      Hashtbl.fold
+        (fun tr (rts, rpid, rtid) acc ->
+          match Hashtbl.find_opt sent tr with
+          | None -> acc
+          | Some (sts, spid, stid) ->
+            let mk ph extra ts pid tid =
+              Obj
+                ([
+                   ("name", Str "req");
+                   ("cat", Str "ocr");
+                   ("ph", Str ph);
+                   ("id", Str (string_of_int tr));
+                   ("ts", Num ts);
+                   ("pid", Num pid);
+                   ("tid", Num tid);
+                 ]
+                @ extra)
+            in
+            mk "s" [] sts spid stid
+            :: mk "f" [ ("bp", Str "e") ] rts rpid rtid
+            :: acc)
+        remote []
+    in
+    (* deterministic total order: ts first, then the serialized bytes,
+       so the result is independent of input file order and of any
+       interleaving of the rings *)
+    let keyed =
+      List.map
+        (fun e ->
+          let ts =
+            match num_field e "ts" with
+            | Some f -> f
+            | None -> neg_infinity (* metadata sorts first *)
+          in
+          (ts, json_to_string e))
+        (shifted @ flows)
+    in
+    let sorted =
+      List.sort
+        (fun (ts1, s1) (ts2, s2) ->
+          match compare ts1 ts2 with 0 -> compare s1 s2 | c -> c)
+        keyed
+    in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"traceEvents\":[";
+    List.iteri
+      (fun i (_, s) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b s)
+      sorted;
+    Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
+    Ok (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* Per-request critical-path attribution                               *)
+(* ------------------------------------------------------------------ *)
+
+type request_phases = {
+  rp_trace : int;
+  rp_dispatch_us : float; (* rt.admit -> rt.sent: parse + shard + pipe write *)
+  rp_queue_us : float;    (* rt.sent -> rt.head: wait behind the queue *)
+  rp_solve_us : float;    (* rt.head -> rt.reply: worker round-trip *)
+  rp_serialize_us : float;(* rt.reply -> rt.done: rewrite + client write *)
+  rp_total_us : float;    (* rt.admit -> rt.done *)
+}
+
+let attribute contents =
+  match events_of_contents contents with
+  | Error e -> Error e
+  | Ok events ->
+    let marks = Hashtbl.create 64 (* trace -> name -> ts *) in
+    List.iter
+      (fun e ->
+        match (str_field e "ph", str_field e "name", trace_of e) with
+        | Some "i", Some name, Some tr
+          when String.length name > 3 && String.sub name 0 3 = "rt." -> (
+          match num_field e "ts" with
+          | None -> ()
+          | Some ts ->
+            let m =
+              match Hashtbl.find_opt marks tr with
+              | Some m -> m
+              | None ->
+                let m = Hashtbl.create 8 in
+                Hashtbl.replace marks tr m;
+                m
+            in
+            Hashtbl.replace m name ts)
+        | _ -> ())
+      events;
+    let rows =
+      Hashtbl.fold
+        (fun tr m acc ->
+          match
+            ( Hashtbl.find_opt m "rt.admit",
+              Hashtbl.find_opt m "rt.sent",
+              Hashtbl.find_opt m "rt.head",
+              Hashtbl.find_opt m "rt.reply",
+              Hashtbl.find_opt m "rt.done" )
+          with
+          | Some admit, Some sent, Some head, Some reply, Some done_ ->
+            {
+              rp_trace = tr;
+              rp_dispatch_us = sent -. admit;
+              rp_queue_us = head -. sent;
+              rp_solve_us = reply -. head;
+              rp_serialize_us = done_ -. reply;
+              rp_total_us = done_ -. admit;
+            }
+            :: acc
+          | _ -> acc (* shed / failed requests lack the full set *))
+        marks []
+    in
+    Ok (List.sort (fun a b -> compare a.rp_trace b.rp_trace) rows)
+
+(* nearest-rank percentile over a sample list (not a histogram bound):
+   the smallest sample at or above rank ceil(q * n) *)
+let percentile samples q =
+  match List.sort compare samples with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (Float.round (ceil (q *. float_of_int n))) in
+    let rank = max 1 (min n rank) in
+    List.nth sorted (rank - 1)

@@ -31,3 +31,48 @@ val summarize : string -> (span_row list, string) result
     skipped, a malformed file is an [Error]. *)
 
 val summarize_file : string -> (span_row list, string) result
+(** {!summarize} on a file's contents.  Unreadable, empty and
+    truncated files are all an [Error], never an exception. *)
+
+val read_file : string -> (string, string) result
+(** Read a whole file, mapping [Sys_error] and a short read
+    ([End_of_file] from a file truncated under us) to [Error]. *)
+
+val merge : (string * string) list -> (string, string) result
+(** [merge [(label, contents); ...]] aligns per-process trace files
+    (each written by one {!Trace.set_process}-stamped process) into a
+    single Chrome trace:
+
+    - each file's timestamps are shifted by its own [clock_offset_ns]
+      metadata record (the router↔worker handshake measurement), so
+      every event lands on the router's clock;
+    - per-request flow arrows (ph ["s"]/["f"], id = trace id) are
+      synthesized from the router's [rt.sent] instant to the earliest
+      same-trace event in a different process;
+    - events are emitted in a deterministic total order (timestamp,
+      then serialized bytes), so the merged file is independent of
+      input order and ring interleaving.
+
+    A malformed input fails the whole merge with an error naming the
+    offending label. *)
+
+type request_phases = {
+  rp_trace : int;
+  rp_dispatch_us : float;
+      (** [rt.admit] → [rt.sent]: parse, shard decision, pipe write *)
+  rp_queue_us : float;  (** [rt.sent] → [rt.head]: queue wait *)
+  rp_solve_us : float;  (** [rt.head] → [rt.reply]: worker round-trip *)
+  rp_serialize_us : float;
+      (** [rt.reply] → [rt.done]: rewrite + client write *)
+  rp_total_us : float;  (** [rt.admit] → [rt.done] *)
+}
+
+val attribute : string -> (request_phases list, string) result
+(** Per-request critical-path attribution from the router's tagged
+    [rt.*] phase instants (present in a router or merged trace from a
+    traced [ocr cluster] run), sorted by trace id.  Requests missing
+    any of the five markers (shed or failed ones) are skipped; a trace
+    with no markers at all is [Ok []]. *)
+
+val percentile : float list -> float -> float
+(** Nearest-rank percentile of a sample list; 0 when empty. *)

@@ -13,7 +13,7 @@ set -eu
 run() { dune exec bench/main.exe -- "$@"; }
 gate() { dune exec bench/check_regress.exe -- "$@"; }
 
-for e in 1 11 12 13 14 15 16 17 18; do
+for e in 1 11 12 13 14 15 16 17 18 19; do
   run --only "E$e" --seeds 1 --bench-json "bench-e$e.json"
 done
 
@@ -25,7 +25,10 @@ gate --speedup bench-e14.json 4 1.2
 # committed baselines vs this run.  BENCH_pr7.json supersedes
 # BENCH_pr4.json as the E14 baseline (same workload, recorded after
 # the Bigarray CSR + adaptive-granularity rework); BENCH_pr9.json's
-# exact_matches_float flags are the zero-tolerance exact-answer gate.
+# exact_matches_float flags are the zero-tolerance exact-answer gate;
+# BENCH_pr10.json gates the E19 cluster-observability run (identical
+# and access_complete strict; its workers=2 timing skips when the
+# host core count differs from the recording box).
 gate \
   BENCH_pr2.json bench-e12.json \
   BENCH_pr3.json bench-e13.json \
@@ -33,6 +36,7 @@ gate \
   BENCH_pr5.json bench-e15.json \
   BENCH_pr6.json bench-e16.json \
   BENCH_pr8.json bench-e17.json \
-  BENCH_pr9.json bench-e18.json
+  BENCH_pr9.json bench-e18.json \
+  BENCH_pr10.json bench-e19.json
 
 echo "bench_smoke: OK"

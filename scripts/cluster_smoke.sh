@@ -71,8 +71,62 @@ grep -q '^ocr_worker_restarts_total{worker="1"} 1$' out.log || fail "labeled res
 grep -q '^ocr_worker_up{worker="0"} 1$' out.log || fail "worker 0 up gauge"
 grep -q '^ocr_requests_total' out.log || fail "merged engine counters missing"
 
+# the per-worker latency histograms ride the same exposition
+grep -q '^ocr_queue_wait_ms_bucket{worker="0",le="+Inf"}' out.log \
+  || fail "queue wait histogram missing"
+grep -q '^ocr_request_total_ms_count{worker="' out.log \
+  || fail "request total histogram missing"
+
 printf 'quit\n' >&3
 exec 3>&-
 wait "$cluster" || fail "router exited nonzero"
 
-echo "cluster_smoke: OK (baseline == replayed: $baseline)"
+# ------------------------------------------------------------------
+# traced session: every request must appear in BOTH the router's and
+# a worker's track of the merged trace, phases must land in the
+# access log, and summarize must attribute the critical path
+# ------------------------------------------------------------------
+mkdir traces
+mkfifo req2
+"$OCR" cluster --workers 2 --trace-dir traces --access-log access.ndjson \
+  < req2 > out2.log 2> err2.log &
+cluster=$!
+exec 4>req2
+printf '%s\n' g.ocr r.ocr g.ocr quit >&4
+exec 4>&-
+wait "$cluster" || fail "traced router exited nonzero"
+
+[ -s traces/router.json ] || fail "router trace missing"
+[ -s traces/worker-0.json ] || fail "worker 0 trace missing"
+[ -s traces/worker-1.json ] || fail "worker 1 trace missing"
+
+"$OCR" trace merge traces/router.json traces/worker-0.json \
+  traces/worker-1.json -o merged.json || fail "trace merge failed"
+
+# each of the three requests: router span + worker span + flow pair
+for id in 1 2 3; do
+  grep -q "\"name\":\"rt.request\",\"cat\":\"ocr\",\"ph\":\"b\",\"id\":\"$id\"" merged.json \
+    || fail "request $id missing from the router track"
+  grep -q "\"name\":\"engine.request\",\"cat\":\"ocr\",\"ph\":\"b\",\"id\":\"$id\"" merged.json \
+    || fail "request $id missing from every worker track"
+  grep -q "\"ph\":\"s\",\"id\":\"$id\"" merged.json \
+    || fail "request $id has no flow start"
+  grep -q "\"ph\":\"f\",\"id\":\"$id\"" merged.json \
+    || fail "request $id has no flow end"
+done
+
+# access log: one line per request, every field present, ids propagate
+[ "$(wc -l < access.ndjson)" -eq 3 ] || fail "access log line count"
+for id in 1 2 3; do
+  grep -q "\"trace\":$id,\"req\":$id," access.ndjson \
+    || fail "access log misses request $id"
+done
+grep -vq '"dispatch_ms":' access.ndjson \
+  && fail "access log line without phase fields"
+grep -cq '"status":"ok"' access.ndjson || fail "access log status"
+
+# summarize attributes the per-request critical path over the merge
+"$OCR" trace summarize merged.json | grep -q 'per-request critical path (3 requests)' \
+  || fail "per-request attribution missing"
+
+echo "cluster_smoke: OK (baseline == replayed: $baseline; 3 traced requests merged)"

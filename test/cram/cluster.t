@@ -120,3 +120,47 @@ worker, and the router saw both deaths:
   ocr_cluster_workers 2
   $ grep -c respawned err.log
   2
+
+`--access-log` appends one NDJSON line per request: routing decision,
+cache outcome, queue depth at admission and the per-phase breakdown
+(phase times vary run to run, so keep the stable fields):
+
+  $ printf '%s\n' g3.ocr g3.ocr quit | ocr cluster --workers 2 --access-log access.ndjson 2>/dev/null
+  req=1 file=g3.ocr status=ok lambda=3 float=3.000000 alg=howard components=2 fallbacks=0 cached=false
+  req=2 file=g3.ocr status=ok lambda=3 float=3.000000 alg=howard components=2 fallbacks=0 cached=true
+  $ grep -o '"req":[0-9]*,"worker":[0-9]*,"key":[0-9]*,"cache":[a-z]*,"queue":[0-9]*' access.ndjson
+  "req":1,"worker":0,"key":2872372986434491453,"cache":false,"queue":0
+  "req":2,"worker":0,"key":2872372986434491453,"cache":true,"queue":1
+  $ grep -c '"dispatch_ms":[0-9.]*,"queue_ms":[0-9.]*,"solve_ms":[0-9.]*,"serialize_ms":[0-9.]*,"total_ms":[0-9.]*,"status":"ok"' access.ndjson
+  2
+
+An unwritable access-log path is logged and the log disabled; the
+router keeps serving (satellite of the metrics-file guard):
+
+  $ printf '%s\n' g3.ocr quit | ocr cluster --workers 1 --access-log /nonexistent/dir/a.ndjson 2>access.err
+  req=1 file=g3.ocr status=ok lambda=3 float=3.000000 alg=howard components=2 fallbacks=0 cached=false
+  $ grep -c 'cannot open access log' access.err
+  1
+
+`--trace-dir` records a distributed trace: the router and every worker
+write per-process files, requests propagate their trace id to the
+worker (`"trace":1` in the access log below, equal to the request id),
+and `trace merge` aligns the files into one timeline with a flow arrow
+per request; summarize then attributes the per-request critical path:
+
+  $ mkdir td
+  $ printf '%s\n' g3.ocr quit | ocr cluster --workers 2 --trace-dir td --access-log traced.ndjson 2>/dev/null
+  req=1 file=g3.ocr status=ok lambda=3 float=3.000000 alg=howard components=2 fallbacks=0 cached=false
+  $ ls td
+  router.json
+  worker-0.json
+  worker-1.json
+  $ grep -o '"trace":[0-9]*,"req":[0-9]*' traced.ndjson
+  "trace":1,"req":1
+  $ ocr trace merge td/router.json td/worker-0.json td/worker-1.json -o m.json
+  $ grep -c '"ph":"s"' m.json
+  1
+  $ grep -c '"ph":"f"' m.json
+  1
+  $ ocr trace summarize m.json | grep -c 'per-request critical path'
+  1

@@ -61,6 +61,48 @@ never an exception trace:
   ocr: trace summarize: missing.json: No such file or directory
   [1]
 
+So is an empty or whitespace-only file (a crashed writer leaves one):
+
+  $ : > empty.json
+  $ ocr trace summarize empty.json
+  ocr: trace summarize: empty trace file
+  [1]
+  $ printf '  \n' > blank.json
+  $ ocr trace summarize blank.json
+  ocr: trace summarize: empty trace file
+  [1]
+
+`trace merge` aligns per-process files from a traced cluster run onto
+one clock and draws a flow arrow per request; on the committed
+miniature pair (the worker's clock reads 1ms behind, offset +1000000ns)
+the worker span shifts from 1500..3500 to 2500..4500:
+
+  $ cat > router.json << EOF
+  > {"traceEvents":[
+  >   {"name":"clock_offset_ns","ph":"M","pid":0,"tid":0,"args":{"value":0}},
+  >   {"name":"rt.sent","cat":"ocr","ph":"i","ts":1100,"s":"t","pid":0,"tid":0,"args":{"trace":1}} ]}
+  > EOF
+  $ cat > worker-0.json << EOF
+  > {"traceEvents":[
+  >   {"name":"clock_offset_ns","ph":"M","pid":1,"tid":0,"args":{"value":1000000}},
+  >   {"name":"engine.request","cat":"ocr","ph":"b","id":"1","ts":1500,"pid":1,"tid":0,"args":{"trace":1}},
+  >   {"name":"engine.request","cat":"ocr","ph":"e","id":"1","ts":3500,"pid":1,"tid":0,"args":{"trace":1}} ]}
+  > EOF
+  $ ocr trace merge router.json worker-0.json -o merged.json
+  $ grep -o '"name":"engine.request","cat":"ocr","ph":"[be]","id":"1","ts":[0-9]*' merged.json
+  "name":"engine.request","cat":"ocr","ph":"b","id":"1","ts":2500
+  "name":"engine.request","cat":"ocr","ph":"e","id":"1","ts":4500
+  $ grep -c '"ph":"s"' merged.json
+  1
+  $ grep -c '"ph":"f"' merged.json
+  1
+
+A malformed input fails the merge naming the file:
+
+  $ ocr trace merge router.json bad.json
+  ocr: trace merge: bad.json: bad JSON: expected 'u' at byte 1
+  [1]
+
 `serve --metrics` dumps Prometheus text exposition on exit, and the
 `metrics` protocol line prints the same snapshot mid-session; the
 counters are deterministic (latency samples are not, so keep the

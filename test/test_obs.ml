@@ -164,6 +164,347 @@ let test_summarize_malformed () =
   | Error e -> Alcotest.fail e
 
 (* ------------------------------------------------------------------ *)
+(* tagged events (distributed tracing)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* helpers over parsed merged/exported traces *)
+let events_of json =
+  match Trace_read.parse_json json with
+  | Ok (Trace_read.Obj fields) -> (
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Trace_read.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array")
+  | Ok _ -> Alcotest.fail "trace is not an object"
+  | Error e -> Alcotest.fail e
+
+let ev_str e k =
+  match e with
+  | Trace_read.Obj fields -> (
+    match List.assoc_opt k fields with
+    | Some (Trace_read.Str s) -> Some s
+    | _ -> None)
+  | _ -> None
+
+let ev_num e k =
+  match e with
+  | Trace_read.Obj fields -> (
+    match List.assoc_opt k fields with
+    | Some (Trace_read.Num f) -> Some f
+    | _ -> None)
+  | _ -> None
+
+let find_events json ~name ~ph =
+  List.filter
+    (fun e -> ev_str e "name" = Some name && ev_str e "ph" = Some ph)
+    (events_of json)
+
+let test_tagged_async_export () =
+  with_tracing (fun () ->
+      (* two same-name spans overlapping in a non-LIFO way: stack
+         pairing would mis-attribute them, async pairing by trace id
+         must not *)
+      Trace.begin_span_id sp_a 7;
+      Trace.begin_span_id sp_a 9;
+      Trace.end_span_id sp_a 7;
+      Trace.instant_id sp_b 7;
+      Trace.end_span_id sp_a 9;
+      Trace.begin_span sp_b;
+      Trace.end_span sp_b;
+      let json = Trace.to_chrome_json () in
+      let ids ph =
+        find_events json ~name:"test.a" ~ph
+        |> List.filter_map (fun e -> ev_str e "id")
+        |> List.sort compare
+      in
+      Alcotest.(check (list string)) "async begins" [ "7"; "9" ] (ids "b");
+      Alcotest.(check (list string)) "async ends" [ "7"; "9" ] (ids "e");
+      (match find_events json ~name:"test.b" ~ph:"i" with
+      | [ e ] -> (
+        match e with
+        | Trace_read.Obj fields -> (
+          match List.assoc_opt "args" fields with
+          | Some (Trace_read.Obj args) ->
+            Alcotest.(check bool)
+              "instant carries args.trace" true
+              (List.assoc_opt "trace" args = Some (Trace_read.Num 7.0))
+          | _ -> Alcotest.fail "tagged instant without args")
+        | _ -> Alcotest.fail "bad event shape")
+      | l ->
+        Alcotest.fail
+          (Printf.sprintf "expected one tagged instant, got %d"
+             (List.length l)));
+      (* the untagged span still exports as a stack-paired complete
+         event *)
+      Alcotest.(check int)
+        "untagged span is ph X" 1
+        (List.length (find_events json ~name:"test.b" ~ph:"X")))
+
+let test_tagged_disabled_no_alloc () =
+  Trace.configure ();
+  Alcotest.(check bool) "disabled" false (Obs.enabled ());
+  let before = Gc.minor_words () in
+  for i = 1 to 1000 do
+    Trace.begin_span_id sp_a i;
+    Trace.instant_id sp_b i;
+    Trace.end_span_id sp_a i
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check (float 0.0)) "no allocation while disabled" 0.0 allocated
+
+let test_set_process_absolute () =
+  with_tracing (fun () ->
+      Trace.set_process ~pid:3 ~name:"worker 2" ();
+      Trace.set_clock_offset_ns 1_500_000;
+      Trace.instant sp_a;
+      let json = Trace.to_chrome_json () in
+      (match find_events json ~name:"clock_offset_ns" ~ph:"M" with
+      | [ Trace_read.Obj fields ] ->
+        (match List.assoc_opt "args" fields with
+        | Some (Trace_read.Obj args) ->
+          Alcotest.(check bool)
+            "offset recorded" true
+            (List.assoc_opt "value" args = Some (Trace_read.Num 1_500_000.0))
+        | _ -> Alcotest.fail "offset record without args");
+        Alcotest.(check (option (float 0.0)))
+          "offset record carries the pid" (Some 3.0)
+          (ev_num (Trace_read.Obj fields) "pid")
+      | _ -> Alcotest.fail "expected one clock_offset_ns record");
+      match find_events json ~name:"test.a" ~ph:"i" with
+      | [ e ] ->
+        Alcotest.(check (option (float 0.0))) "event pid" (Some 3.0)
+          (ev_num e "pid");
+        (* absolute mode: timestamps are not rebased to the first
+           record, so a fresh instant is far from zero *)
+        Alcotest.(check bool)
+          "absolute timestamp" true
+          (match ev_num e "ts" with Some ts -> ts > 1e6 | None -> false)
+      | _ -> Alcotest.fail "expected the one instant");
+  (* configure resets the identity: a fresh trace is standalone again *)
+  with_tracing (fun () ->
+      Trace.instant sp_a;
+      match find_events (Trace.to_chrome_json ()) ~name:"test.a" ~ph:"i" with
+      | [ e ] ->
+        Alcotest.(check (option (float 0.0))) "pid back to 0" (Some 0.0)
+          (ev_num e "pid");
+        Alcotest.(check bool)
+          "timestamps rebased again" true
+          (match ev_num e "ts" with Some ts -> ts < 1e6 | None -> false)
+      | _ -> Alcotest.fail "expected the one instant")
+
+(* ------------------------------------------------------------------ *)
+(* multi-process merge                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* synthetic two-process run: the router dispatches request 1 to a
+   worker whose clock reads 1ms behind the router's *)
+let router_events =
+  [
+    {|{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"router"}}|};
+    {|{"name":"clock_offset_ns","ph":"M","pid":0,"tid":0,"args":{"value":0}}|};
+    {|{"name":"rt.request","cat":"ocr","ph":"b","id":"1","ts":1000,"pid":0,"tid":0,"args":{"trace":1}}|};
+    {|{"name":"rt.admit","cat":"ocr","ph":"i","ts":1000,"s":"t","pid":0,"tid":0,"args":{"trace":1}}|};
+    {|{"name":"rt.sent","cat":"ocr","ph":"i","ts":1100,"s":"t","pid":0,"tid":0,"args":{"trace":1}}|};
+    {|{"name":"rt.head","cat":"ocr","ph":"i","ts":1100,"s":"t","pid":0,"tid":0,"args":{"trace":1}}|};
+    {|{"name":"rt.reply","cat":"ocr","ph":"i","ts":5000,"s":"t","pid":0,"tid":0,"args":{"trace":1}}|};
+    {|{"name":"rt.done","cat":"ocr","ph":"i","ts":5050,"s":"t","pid":0,"tid":0,"args":{"trace":1}}|};
+    {|{"name":"rt.request","cat":"ocr","ph":"e","id":"1","ts":5050,"pid":0,"tid":0,"args":{"trace":1}}|};
+    {|{"name":"rt.admit","cat":"ocr","ph":"i","ts":6000,"s":"t","pid":0,"tid":0,"args":{"trace":2}}|};
+  ]
+
+let worker_events =
+  [
+    {|{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"worker 0"}}|};
+    {|{"name":"clock_offset_ns","ph":"M","pid":1,"tid":0,"args":{"value":1000000}}|};
+    {|{"name":"engine.request","cat":"ocr","ph":"b","id":"1","ts":1500,"pid":1,"tid":0,"args":{"trace":1}}|};
+    {|{"name":"engine.request","cat":"ocr","ph":"e","id":"1","ts":3500,"pid":1,"tid":0,"args":{"trace":1}}|};
+  ]
+
+let trace_file events = "{\"traceEvents\":[" ^ String.concat "," events ^ "]}"
+
+let merge_exn inputs =
+  match Trace_read.merge inputs with
+  | Ok s -> s
+  | Error e -> Alcotest.fail ("merge failed: " ^ e)
+
+let test_merge_offset_and_containment () =
+  let merged =
+    merge_exn
+      [
+        ("router.json", trace_file router_events);
+        ("worker-0.json", trace_file worker_events);
+      ]
+  in
+  (* the worker's span lands on the router's clock: shifted by the
+     recorded +1000000ns = +1000us offset *)
+  let b_ts =
+    match find_events merged ~name:"engine.request" ~ph:"b" with
+    | [ e ] -> Option.get (ev_num e "ts")
+    | _ -> Alcotest.fail "expected one worker begin"
+  in
+  let e_ts =
+    match find_events merged ~name:"engine.request" ~ph:"e" with
+    | [ e ] -> Option.get (ev_num e "ts")
+    | _ -> Alcotest.fail "expected one worker end"
+  in
+  Alcotest.(check (float 1e-6)) "begin shifted" 2500.0 b_ts;
+  Alcotest.(check (float 1e-6)) "end shifted" 4500.0 e_ts;
+  (* offset-corrected containment: the worker's solve lies inside the
+     router's sent->reply window *)
+  Alcotest.(check bool) "contained" true (1100.0 <= b_ts && e_ts <= 5000.0);
+  (* events come out in nondecreasing timestamp order *)
+  let tss = List.filter_map (fun e -> ev_num e "ts") (events_of merged) in
+  Alcotest.(check bool)
+    "sorted by ts" true
+    (List.sort compare tss = tss)
+
+let test_merge_flow_arrows () =
+  let merged =
+    merge_exn
+      [
+        ("router.json", trace_file router_events);
+        ("worker-0.json", trace_file worker_events);
+      ]
+  in
+  (match find_events merged ~name:"req" ~ph:"s" with
+  | [ e ] ->
+    Alcotest.(check (option string)) "flow id" (Some "1") (ev_str e "id");
+    Alcotest.(check (option (float 1e-6)))
+      "flow starts at rt.sent" (Some 1100.0) (ev_num e "ts");
+    Alcotest.(check (option (float 0.0))) "on the router track" (Some 0.0)
+      (ev_num e "pid")
+  | l ->
+    Alcotest.fail
+      (Printf.sprintf "expected one flow start, got %d" (List.length l)));
+  match find_events merged ~name:"req" ~ph:"f" with
+  | [ e ] ->
+    Alcotest.(check (option string)) "flow id" (Some "1") (ev_str e "id");
+    Alcotest.(check (option (float 1e-6)))
+      "flow ends at the worker's first event" (Some 2500.0) (ev_num e "ts");
+    Alcotest.(check (option (float 0.0))) "on the worker track" (Some 1.0)
+      (ev_num e "pid");
+    Alcotest.(check (option string)) "binds enclosing slice" (Some "e")
+      (ev_str e "bp")
+  | l ->
+    Alcotest.fail
+      (Printf.sprintf "expected one flow end, got %d" (List.length l))
+
+let test_merge_bad_input_named () =
+  match
+    Trace_read.merge
+      [ ("router.json", trace_file router_events); ("worker-0.json", "nope") ]
+  with
+  | Ok _ -> Alcotest.fail "merge accepted a malformed input"
+  | Error e ->
+    Alcotest.(check bool)
+      "error names the offending file" true
+      (String.length e >= 13 && String.sub e 0 13 = "worker-0.json")
+
+let qcheck_merge_interleaving_independent =
+  let reference =
+    lazy
+      (merge_exn
+         [
+           ("a", trace_file router_events); ("b", trace_file worker_events);
+         ])
+  in
+  QCheck.Test.make ~count:60
+    ~name:"merge is independent of ring interleaving and file order"
+    QCheck.(
+      triple
+        (make (Gen.shuffle_l router_events))
+        (make (Gen.shuffle_l worker_events))
+        bool)
+    (fun (router', worker', swap) ->
+      let inputs =
+        [ ("a", trace_file router'); ("b", trace_file worker') ]
+      in
+      let inputs = if swap then List.rev inputs else inputs in
+      merge_exn inputs = Lazy.force reference)
+
+(* ------------------------------------------------------------------ *)
+(* per-request attribution                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_attribute_phases () =
+  match Trace_read.attribute (trace_file router_events) with
+  | Error e -> Alcotest.fail e
+  | Ok [ r ] ->
+    (* request 2 has only rt.admit (a shed request) and must be
+       skipped; request 1's phases follow from the marker timestamps *)
+    Alcotest.(check int) "trace id" 1 r.Trace_read.rp_trace;
+    Alcotest.(check (float 1e-9)) "dispatch" 100.0 r.Trace_read.rp_dispatch_us;
+    Alcotest.(check (float 1e-9)) "queue" 0.0 r.Trace_read.rp_queue_us;
+    Alcotest.(check (float 1e-9)) "solve" 3900.0 r.Trace_read.rp_solve_us;
+    Alcotest.(check (float 1e-9)) "serialize" 50.0 r.Trace_read.rp_serialize_us;
+    Alcotest.(check (float 1e-9)) "total" 4050.0 r.Trace_read.rp_total_us
+  | Ok rows ->
+    Alcotest.fail (Printf.sprintf "expected one row, got %d" (List.length rows))
+
+let test_attribute_merged_agrees () =
+  (* attribution over the merged file sees the same router markers *)
+  let merged =
+    merge_exn
+      [
+        ("router.json", trace_file router_events);
+        ("worker-0.json", trace_file worker_events);
+      ]
+  in
+  match (Trace_read.attribute (trace_file router_events),
+         Trace_read.attribute merged)
+  with
+  | Ok [ a ], Ok [ b ] ->
+    Alcotest.(check (float 1e-9)) "same total" a.Trace_read.rp_total_us
+      b.Trace_read.rp_total_us
+  | _ -> Alcotest.fail "expected one row on each side"
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.0)) "p50" 50.0 (Trace_read.percentile xs 0.50);
+  Alcotest.(check (float 0.0)) "p95" 95.0 (Trace_read.percentile xs 0.95);
+  Alcotest.(check (float 0.0)) "p99" 99.0 (Trace_read.percentile xs 0.99);
+  Alcotest.(check (float 0.0)) "p100" 100.0 (Trace_read.percentile xs 1.0);
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Trace_read.percentile [] 0.5);
+  Alcotest.(check (float 0.0)) "singleton" 7.0 (Trace_read.percentile [ 7.0 ] 0.99)
+
+let test_summarize_file_errors () =
+  let check_error path expect_substring =
+    match Trace_read.summarize_file path with
+    | Ok _ -> Alcotest.fail ("expected an error for " ^ path)
+    | Error e ->
+      let has =
+        let n = String.length e and k = String.length expect_substring in
+        let rec scan i =
+          i + k <= n && (String.sub e i k = expect_substring || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" e expect_substring)
+        true has
+  in
+  let empty = Filename.temp_file "ocr_test_empty" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove empty)
+    (fun () -> check_error empty "empty trace file");
+  let blank = Filename.temp_file "ocr_test_blank" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove blank)
+    (fun () ->
+      let oc = open_out blank in
+      output_string oc "  \n\t\n";
+      close_out oc;
+      check_error blank "empty trace file");
+  let truncated = Filename.temp_file "ocr_test_trunc" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove truncated)
+    (fun () ->
+      let oc = open_out truncated in
+      output_string oc "{\"traceEvents\":[";
+      close_out oc;
+      check_error truncated "");
+  check_error "/nonexistent/ocr_no_such_trace.json" ""
+
+(* ------------------------------------------------------------------ *)
 (* metrics registry                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -236,6 +577,58 @@ let test_prometheus_format () =
       "ocr_solve_latency_ms_sum 3.5"; "ocr_solve_latency_ms_count 2";
     ]
 
+let contains_sub text s =
+  let n = String.length text and k = String.length s in
+  let rec scan i = i + k <= n && (String.sub text i k = s || scan (i + 1)) in
+  scan 0
+
+let test_labeled_histogram_exposition () =
+  let m = Metrics.create () in
+  let h0 = Metrics.histogram m "ocr_queue_wait_ms{worker=\"0\"}" in
+  let h1 = Metrics.histogram m "ocr_queue_wait_ms{worker=\"1\"}" in
+  List.iter (Metrics.observe h0) [ 0.5; 3.0 ];
+  Metrics.observe h1 10.0;
+  let text = Metrics.to_prometheus m in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("has " ^ line) true (contains_sub text line))
+    [
+      "# TYPE ocr_queue_wait_ms histogram";
+      "ocr_queue_wait_ms_bucket{worker=\"0\",le=\"1\"} 1";
+      "ocr_queue_wait_ms_bucket{worker=\"0\",le=\"4\"} 2";
+      "ocr_queue_wait_ms_bucket{worker=\"0\",le=\"+Inf\"} 2";
+      "ocr_queue_wait_ms_sum{worker=\"0\"} 3.5";
+      "ocr_queue_wait_ms_count{worker=\"0\"} 2";
+      "ocr_queue_wait_ms_bucket{worker=\"1\",le=\"16\"} 1";
+      "ocr_queue_wait_ms_count{worker=\"1\"} 1";
+    ]
+
+let test_labeled_histogram_roundtrip () =
+  let m = Metrics.create () in
+  let h0 = Metrics.histogram m "ocr_request_total_ms{worker=\"0\"}" in
+  let h1 = Metrics.histogram m "ocr_request_total_ms{worker=\"1\"}" in
+  List.iter (Metrics.observe h0) [ 0.5; 3.0; 200.0 ];
+  Metrics.observe h1 10.0;
+  Metrics.add (Metrics.counter m "plain_total") 2;
+  let text = Metrics.to_prometheus m in
+  match Metrics.of_prometheus text with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+    (* the parsed registry distinguishes the per-worker series *)
+    Alcotest.(check int) "worker 0 count" 3
+      (Metrics.hist_count
+         (Metrics.histogram m' "ocr_request_total_ms{worker=\"0\"}"));
+    Alcotest.(check int) "worker 1 count" 1
+      (Metrics.hist_count
+         (Metrics.histogram m' "ocr_request_total_ms{worker=\"1\"}"));
+    Alcotest.(check (float 1e-9)) "worker 0 sum" 203.5
+      (Metrics.hist_sum
+         (Metrics.histogram m' "ocr_request_total_ms{worker=\"0\"}"));
+    (* and the re-exposition is byte-identical, so aggregation across
+       processes is stable under the text round-trip *)
+    Alcotest.(check string) "exposition round-trips" text
+      (Metrics.to_prometheus m')
+
 (* ------------------------------------------------------------------ *)
 (* escaping helpers and the telemetry export fix                       *)
 (* ------------------------------------------------------------------ *)
@@ -298,6 +691,30 @@ let suite =
       test_summarize_bare_array;
     Alcotest.test_case "summarize rejects malformed files" `Quick
       test_summarize_malformed;
+    Alcotest.test_case "tagged spans export as async pairs" `Quick
+      test_tagged_async_export;
+    Alcotest.test_case "tagged entry points allocate nothing when off" `Quick
+      test_tagged_disabled_no_alloc;
+    Alcotest.test_case "set_process switches to absolute export" `Quick
+      test_set_process_absolute;
+    Alcotest.test_case "merge aligns clocks and contains spans" `Quick
+      test_merge_offset_and_containment;
+    Alcotest.test_case "merge synthesizes per-request flows" `Quick
+      test_merge_flow_arrows;
+    Alcotest.test_case "merge names the malformed input" `Quick
+      test_merge_bad_input_named;
+    QCheck_alcotest.to_alcotest qcheck_merge_interleaving_independent;
+    Alcotest.test_case "attribute extracts request phases" `Quick
+      test_attribute_phases;
+    Alcotest.test_case "attribute agrees on the merged file" `Quick
+      test_attribute_merged_agrees;
+    Alcotest.test_case "nearest-rank percentile" `Quick test_percentile;
+    Alcotest.test_case "summarize_file maps bad files to errors" `Quick
+      test_summarize_file_errors;
+    Alcotest.test_case "labeled histogram exposition" `Quick
+      test_labeled_histogram_exposition;
+    Alcotest.test_case "labeled histogram text round-trip" `Quick
+      test_labeled_histogram_roundtrip;
     Alcotest.test_case "counters and gauges" `Quick test_metrics_basics;
     Alcotest.test_case "histogram log2 buckets" `Quick test_histogram_buckets;
     Alcotest.test_case "shard merge is deterministic" `Quick
